@@ -1,0 +1,61 @@
+"""Ablation — grid index vs. brute-force η-graph construction (step 3).
+
+The proximity graph is rebuilt on every mining request, so its cost matters
+for interactivity.  Timed on a country-scale sensor cloud; identical output
+is asserted (the grid is an optimisation, not an approximation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spatial import build_proximity_graph
+from repro.core.types import Sensor
+
+from .conftest import print_table
+
+
+def sensor_cloud(n: int = 900, seed: int = 11) -> list[Sensor]:
+    """n sensors scattered over a China-sized box."""
+    rng = np.random.default_rng(seed)
+    return [
+        Sensor(
+            f"s{i}", "pm25",
+            float(rng.uniform(23.0, 41.0)), float(rng.uniform(104.0, 122.0)),
+        )
+        for i in range(n)
+    ]
+
+
+ETA_KM = 60.0
+
+
+def test_grid_index(benchmark):
+    sensors = sensor_cloud()
+    graph = benchmark(build_proximity_graph, sensors, ETA_KM, "grid")
+    assert len(graph) == len(sensors)
+
+
+def test_brute_force(benchmark):
+    sensors = sensor_cloud()
+    graph = benchmark(build_proximity_graph, sensors, ETA_KM, "brute")
+    assert len(graph) == len(sensors)
+
+
+def test_identical_graphs(benchmark):
+    sensors = sensor_cloud(400)
+
+    grid = benchmark(build_proximity_graph, sensors, ETA_KM, "grid")
+
+    brute = build_proximity_graph(sensors, ETA_KM, "brute")
+    edges = sum(len(v) for v in grid.values()) // 2
+    print_table(
+        "ablation — spatial index equivalence (400 sensors, η=60 km)",
+        [
+            {"method": "grid", "nodes": len(grid), "edges": edges},
+            {"method": "brute", "nodes": len(brute),
+             "edges": sum(len(v) for v in brute.values()) // 2},
+        ],
+    )
+    assert grid == brute

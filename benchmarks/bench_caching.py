@@ -1,0 +1,75 @@
+"""Section 3.3 — the caching mechanism.
+
+"This caching mechanism accelerates the analytic process and reduces the
+computational costs when the front end receives multiple requests at the
+same time."  Two timed cases over the same (dataset, parameters):
+
+* cold — cache emptied before every request (always re-mines);
+* warm — cache primed once, every request replays the stored result.
+
+The shape to reproduce: warm ≪ cold, and a burst of repeated requests is
+dominated by a single mining run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cache.cache import ResultCache
+from repro.store.database import Database
+
+from .conftest import print_table
+
+
+def test_cache_cold(benchmark, santander, santander_params):
+    cache = ResultCache(Database())
+
+    def cold_request():
+        cache.invalidate_dataset(santander.name)
+        return cache.mine_cached(santander, santander_params)
+
+    result = benchmark(cold_request)
+    assert not result.from_cache
+    assert cache.stats.misses > 0
+
+
+def test_cache_warm(benchmark, santander, santander_params):
+    cache = ResultCache(Database())
+    cache.mine_cached(santander, santander_params)  # prime
+
+    result = benchmark(cache.mine_cached, santander, santander_params)
+
+    assert result.from_cache
+    assert result.num_caps > 0
+    assert cache.stats.hits > 0
+
+
+def test_cache_speedup_shape(benchmark, santander, santander_params):
+    """One timed burst of 10 interactive requests, cache enabled (9 hits)."""
+    def burst():
+        cache = ResultCache(Database())
+        for _ in range(10):
+            cache.mine_cached(santander, santander_params)
+        return cache
+
+    cache = benchmark(burst)
+    assert cache.stats.hits == 9
+    assert cache.stats.misses == 1
+
+    # Out-of-band speedup measurement for the printed table.
+    cold_cache = ResultCache(Database())
+    t0 = time.perf_counter()
+    cold_cache.mine_cached(santander, santander_params)
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cold_cache.mine_cached(santander, santander_params)
+    warm = time.perf_counter() - t0
+    print_table(
+        "§3.3 caching — request latency",
+        [
+            {"case": "cold (mine)", "seconds": f"{cold:.4f}"},
+            {"case": "warm (cache hit)", "seconds": f"{warm:.4f}"},
+            {"case": "speedup", "seconds": f"{cold / warm:.1f}x"},
+        ],
+    )
+    assert warm < cold, "a cache hit must be faster than re-mining"

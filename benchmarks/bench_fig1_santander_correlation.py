@@ -1,0 +1,57 @@
+"""Figure 1 — traffic volume ↔ temperature correlation in Santander.
+
+The paper's Figure 1 shows three spatially close sensors (two traffic, one
+temperature) whose measurements co-evolve.  This bench mines the synthetic
+Santander dataset and checks that:
+
+* a CAP over {traffic_volume, temperature} exists,
+* its sensors are within the distance threshold of each other (panel a),
+* its measurements co-evolve at the recorded timestamps (panel b),
+
+then times the end-to-end mining run that produces it.
+"""
+
+from __future__ import annotations
+
+from repro.core.miner import MiscelaMiner
+
+from .conftest import print_table
+
+
+def test_fig1_traffic_temperature_cap(benchmark, santander, santander_params):
+    miner = MiscelaMiner(santander_params)
+
+    result = benchmark(miner.mine, santander)
+
+    fig1_caps = [
+        cap for cap in result.caps
+        if cap.attributes >= {"traffic_volume", "temperature"}
+    ]
+    rows = [
+        {
+            "sensors": ", ".join(sorted(cap.sensor_ids)),
+            "attributes": ", ".join(sorted(cap.attributes)),
+            "support": cap.support,
+        }
+        for cap in fig1_caps[:5]
+    ]
+    print_table("Fig. 1 — traffic_volume × temperature CAPs (Santander)", rows)
+
+    # Shape assertions: the paper's correlation exists and is spatial.
+    assert fig1_caps, "expected at least one traffic×temperature CAP"
+    cap = fig1_caps[0]
+    members = sorted(cap.sensor_ids)
+    for i, a in enumerate(members):
+        sa = santander.sensor(a)
+        # Connected: every sensor within eta of at least one other member.
+        assert any(
+            sa.distance_km(santander.sensor(b)) <= santander_params.distance_threshold
+            for b in members
+            if b != a
+        )
+    # Co-evolution is real: every recorded timestamp is an evolving
+    # timestamp of every member (panel (b) of the figure).
+    for index in cap.evolving_indices:
+        for sid in cap.sensor_ids:
+            assert index in result.evolving[sid]
+    assert cap.support >= santander_params.min_support

@@ -1,0 +1,54 @@
+"""Figure 3 — visualization of CAP mining results.
+
+The paper's Figure 3 has four panels: (A) sensor map, (B) map with the
+clicked sensor's correlated sensors highlighted, (C) measurement chart,
+(D) zoomed measurement chart.  This bench renders the full report (all four
+panels) for a mined result, checks the highlight semantics — the highlighted
+set is exactly the CAP's sensor set — and times the render.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.miner import MiscelaMiner
+from repro.viz.colors import HIGHLIGHT_COLOR
+from repro.viz.map_view import render_map
+from repro.viz.report import CapReport, densest_window
+
+from .conftest import print_table
+
+
+def test_fig3_report_render(benchmark, santander, santander_params):
+    result = MiscelaMiner(santander_params).mine(santander)
+    assert result.num_caps > 0
+    report = CapReport(santander, result, max_caps=5)
+
+    html = benchmark(report.to_html)
+
+    rows = [
+        {"panel": "(A) overview map", "present": "(A) all sensors" in html},
+        {"panel": "(B) highlighted map", "present": "(B) map, CAP highlighted" in html},
+        {"panel": "(C) full chart", "present": "(C) measurements, full range" in html},
+        {"panel": "(D) zoom chart", "present": "(D) zoom" in html},
+    ]
+    print_table("Fig. 3 — report panels", rows)
+    assert all(row["present"] for row in rows)
+
+    # Highlight semantics (the paper's click interaction): the halo count on
+    # the per-CAP map equals the CAP's sensor count.
+    cap = report.caps[0]
+    single_map = render_map(
+        santander, highlighted_sensors=cap.sensor_ids, dim_unhighlighted=True
+    ).to_string()
+    halos = len(re.findall(rf'stroke="{HIGHLIGHT_COLOR}"', single_map))
+    assert halos == len(cap.sensor_ids)
+
+    # The zoom window really is the densest co-evolution burst.
+    lo, hi = densest_window(cap, santander.num_timestamps, report.zoom_width)
+    inside = sum(1 for i in cap.evolving_indices if lo <= i < hi)
+    outside_windows = max(
+        sum(1 for i in cap.evolving_indices if s <= i < s + (hi - lo))
+        for s in range(0, santander.num_timestamps - (hi - lo) + 1)
+    )
+    assert inside == outside_windows

@@ -1,0 +1,54 @@
+"""Section 2.1 — parameter sensitivity of the number of CAPs.
+
+The paper documents how ε, η, μ, ψ move the number of discovered patterns.
+This bench sweeps each parameter on synthetic Santander, prints the curves,
+and asserts their monotone direction:
+
+* η (distance threshold) ↑ → #CAPs ↑
+* μ (max attributes)     ↑ → #CAPs ↑
+* ψ (min support)        ↑ → #CAPs ↓
+* ε (evolving rate)      ↑ → #CAPs ↓  — per the definition; the paper's
+  prose sentence for ε is inverted relative to its own definition, see the
+  note in DESIGN.md and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import expected_direction, is_monotone, sweep
+
+from .conftest import print_table
+
+SWEEPS = {
+    "evolving_rate": [1.0, 2.0, 3.0, 5.0, 8.0],
+    "distance_threshold": [0.05, 0.15, 0.35, 0.7],
+    "max_attributes": [2, 3, 4, 5],
+    "min_support": [2, 5, 10, 20, 40],
+}
+
+
+@pytest.mark.parametrize("parameter", list(SWEEPS))
+def test_sensitivity_curve(benchmark, santander, santander_params, parameter):
+    values = SWEEPS[parameter]
+
+    points = benchmark(sweep, santander, santander_params, parameter, values)
+
+    print_table(
+        f"§2.1 sensitivity — #CAPs vs {parameter}",
+        [
+            {
+                parameter: p.value,
+                "caps": p.num_caps,
+                "mine_ms": f"{p.elapsed_seconds * 1000:.1f}",
+            }
+            for p in points
+        ],
+    )
+    direction = expected_direction(parameter)
+    assert is_monotone(points, direction), (
+        f"#CAPs should be {direction} in {parameter}: "
+        f"{[(p.value, p.num_caps) for p in points]}"
+    )
+    # The sweep is informative, not flat: the extremes differ.
+    assert points[0].num_caps != points[-1].num_caps

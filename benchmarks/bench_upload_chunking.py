@@ -1,0 +1,78 @@
+"""Section 3.2 — scalable chunked upload.
+
+"For scalably uploading large datasets, we divide the file into 10,000
+lines and send each divided set to our system."  This bench pushes a
+data.csv of growing size through the full three-step upload protocol and
+checks that (a) the chunk count is ceil(rows / 10,000) and (b) per-row cost
+stays flat as the dataset grows (linear scaling).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.data.csv_io import dataset_to_rows, iter_chunks
+from repro.data.synthetic import generate_santander
+from repro.server.app import TestClient, create_app
+
+from .conftest import print_table
+
+
+def upload(dataset, chunk_lines=10_000):
+    client = TestClient(create_app())
+    response = client.upload_dataset(dataset, chunk_lines=chunk_lines)
+    assert response.status == 201, response.json()
+    return client
+
+
+@pytest.mark.parametrize("steps", [120, 480])
+def test_chunked_upload(benchmark, steps):
+    dataset = generate_santander(seed=11, neighbourhoods=6, steps=steps)
+    benchmark(upload, dataset)
+
+
+def test_chunk_count_and_linear_scaling(benchmark):
+    small = generate_santander(seed=11, neighbourhoods=6, steps=120)
+    large = generate_santander(seed=11, neighbourhoods=6, steps=600)
+
+    benchmark(upload, small)
+
+    rows_small, _ = dataset_to_rows(small)
+    rows_large, _ = dataset_to_rows(large)
+    chunks_small = list(iter_chunks(rows_small, 10_000))
+    chunks_large = list(iter_chunks(rows_large, 10_000))
+    assert len(chunks_small) == math.ceil(len(rows_small) / 10_000)
+    assert len(chunks_large) == math.ceil(len(rows_large) / 10_000)
+
+    t0 = time.perf_counter()
+    upload(small)
+    t_small = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    upload(large)
+    t_large = time.perf_counter() - t0
+
+    per_row_small = t_small / len(rows_small)
+    per_row_large = t_large / len(rows_large)
+    print_table(
+        "§3.2 — chunked upload scaling (10,000-line chunks)",
+        [
+            {
+                "rows": len(rows_small),
+                "chunks": len(chunks_small),
+                "seconds": f"{t_small:.3f}",
+                "µs_per_row": f"{per_row_small * 1e6:.1f}",
+            },
+            {
+                "rows": len(rows_large),
+                "chunks": len(chunks_large),
+                "seconds": f"{t_large:.3f}",
+                "µs_per_row": f"{per_row_large * 1e6:.1f}",
+            },
+        ],
+    )
+    # Linear shape: per-row cost within 4x across a 5x size change (slack
+    # for fixed setup costs and timer noise).
+    assert per_row_large < per_row_small * 4

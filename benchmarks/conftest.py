@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every file in this directory regenerates one table or figure of the paper
+(see the experiment index in DESIGN.md).  Conventions:
+
+* each bench prints the rows/series the paper reports (visible with
+  ``pytest benchmarks/ --benchmark-only -s``), and *asserts the shape* —
+  who wins, directions of monotone curves, which patterns appear;
+* the timed region (the ``benchmark(...)`` call) is the operation the
+  experiment is about; setup stays outside it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import recommended_parameters
+from repro.data.synthetic import (
+    generate_china6,
+    generate_covid19,
+    generate_santander,
+)
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Render rows as an aligned text table (the bench's 'paper output')."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0])
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+
+
+@pytest.fixture(scope="session")
+def santander():
+    """The scaled Santander dataset used across benches (seed-pinned)."""
+    return generate_santander(seed=11)
+
+
+@pytest.fixture(scope="session")
+def santander_params():
+    return recommended_parameters("santander")
+
+
+@pytest.fixture(scope="session")
+def china6():
+    return generate_china6(seed=11)
+
+
+@pytest.fixture(scope="session")
+def covid19():
+    return generate_covid19(seed=11)

@@ -1,0 +1,88 @@
+"""COVID-19 before/after analysis (paper §4 and Figure 4).
+
+Splits the Shanghai/Guangzhou pollutant dataset at the lockdown date, mines
+both halves with the same parameters, and shows that "activity changes
+affect not only the amounts of air pollutants but also their correlation
+patterns": traffic-driven patterns (NO₂/CO/PM) vanish, background patterns
+(SO₂/O₃) survive.
+
+Run:
+    python examples/covid19_before_after.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from datetime import datetime
+from pathlib import Path
+
+from repro import (
+    CapReport,
+    compare_periods,
+    generate_covid19,
+    recommended_parameters,
+    render_map,
+)
+
+LOCKDOWN = datetime(2020, 1, 23)
+
+
+def describe_caps(label: str, caps) -> None:
+    print(f"\n{label}: {len(caps)} CAPs")
+    for cap in caps[:6]:
+        attrs = ", ".join(sorted(cap.attributes))
+        cities = {sid.split("-")[1] for sid in cap.sensor_ids}
+        print(f"  support={cap.support:3d}  {{{attrs}}}  in {'/'.join(sorted(cities))}")
+
+
+def main(output_dir: str = "covid_output") -> None:
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    dataset = generate_covid19(seed=0)
+    params = recommended_parameters("covid19")
+    comparison = compare_periods(dataset, LOCKDOWN, params)
+
+    print(f"split at {LOCKDOWN:%Y-%m-%d} "
+          f"(lockdown in Wuhan announced; activity collapse follows)")
+    describe_caps("BEFORE lockdown", comparison.before.caps)
+    describe_caps("AFTER lockdown", comparison.after.caps)
+
+    print("\npattern diff:")
+    print(f"  vanished: {len(comparison.vanished)}")
+    print(f"  appeared: {len(comparison.appeared)}")
+    print(f"  survived: {len(comparison.survived)}")
+
+    print("\nmean level shift per attribute (after − before):")
+    for attribute, shift in sorted(comparison.level_shifts().items()):
+        print(f"  {attribute:>5s}: {shift:+8.2f}")
+
+    # Figure-4 style panels: the same map, before-pattern vs after-pattern.
+    if comparison.vanished:
+        render_map(
+            dataset, highlighted_sensors=comparison.vanished[0].sensor_ids,
+            dim_unhighlighted=True,
+            title="(a) Before: a traffic-pollutant CAP",
+        ).save(str(out / "fig4_before.svg"))
+    survivors = comparison.after.caps
+    if survivors:
+        render_map(
+            dataset, highlighted_sensors=survivors[0].sensor_ids,
+            dim_unhighlighted=True,
+            title="(b) After: only background-pollutant CAPs remain",
+        ).save(str(out / "fig4_after.svg"))
+
+    CapReport(
+        dataset.slice_time(dataset.timeline[0], LOCKDOWN, name="covid:before"),
+        comparison.before, max_caps=4,
+    ).save_html(out / "covid_before_report.html")
+    CapReport(
+        dataset.slice_time(LOCKDOWN, dataset.timeline[-1] + dataset.interval,
+                           name="covid:after"),
+        comparison.after, max_caps=4,
+    ).save_html(out / "covid_after_report.html")
+    print(f"\nwrote fig4_before.svg, fig4_after.svg and two reports under {out}/")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -1,0 +1,78 @@
+"""Time-delayed CAP mining (the DPD 2020 extension).
+
+Simultaneous co-evolution misses cause-and-effect chains: traffic builds up
+*then* NO₂ rises a couple of hours later.  The delayed miner assigns each
+sensor a lag within δ and finds patterns whose members co-evolve at their
+lagged timestamps.
+
+This example builds a small scenario with a known 2-step lag between
+traffic and NO₂, shows that the simultaneous miner misses it, and that the
+delayed miner recovers both the pattern and the lag.
+
+Run:
+    python examples/delayed_patterns.py
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro import MiningParameters, MiscelaMiner, Sensor, SensorDataset
+
+
+def build_lagged_city(lag_steps: int = 2, n: int = 200, seed: int = 4) -> SensorDataset:
+    """Three sensors: traffic drives NO₂ after ``lag_steps``; O₃ independent."""
+    rng = np.random.default_rng(seed)
+    timeline = [datetime(2018, 6, 1) + timedelta(hours=i) for i in range(n)]
+    jumps = np.where(rng.random(n) < 0.10, rng.choice([-6.0, 6.0], n), 0.0)
+    jumps[0] = 0.0
+
+    traffic = 120.0 + np.cumsum(jumps) + rng.normal(0, 0.1, n)
+    lagged = np.zeros(n)
+    lagged[lag_steps:] = np.cumsum(jumps)[:-lag_steps]
+    no2 = 35.0 + 0.8 * lagged + rng.normal(0, 0.1, n)
+    o3_jumps = np.where(rng.random(n) < 0.10, rng.choice([-6.0, 6.0], n), 0.0)
+    o3_jumps[0] = 0.0
+    o3 = 45.0 + np.cumsum(o3_jumps) + rng.normal(0, 0.1, n)
+
+    sensors = [
+        Sensor("traffic", "traffic_volume", 31.2304, 121.4737),
+        Sensor("no2", "no2", 31.2310, 121.4742),
+        Sensor("o3", "o3", 31.2299, 121.4731),
+    ]
+    return SensorDataset(
+        "lagged-city", timeline, sensors,
+        {"traffic": traffic, "no2": no2, "o3": o3},
+    )
+
+
+def main() -> None:
+    dataset = build_lagged_city(lag_steps=2)
+    base = dict(
+        evolving_rate=3.0, distance_threshold=1.0, max_attributes=2, min_support=8
+    )
+
+    simultaneous = MiscelaMiner(MiningParameters(**base)).mine(dataset)
+    print("simultaneous mining (δ=0):")
+    print(f"  {simultaneous.num_caps} CAPs")
+    for cap in simultaneous.caps:
+        print(f"    {sorted(cap.sensor_ids)} support={cap.support}")
+
+    delayed = MiscelaMiner(MiningParameters(**base, max_delay=3)).mine(dataset)
+    print("\ndelayed mining (δ=3):")
+    print(f"  {delayed.num_caps} CAPs")
+    for cap in delayed.caps:
+        lags = {sid: f"+{d}" for sid, d in sorted(cap.delays.items())}
+        print(f"    {sorted(cap.sensor_ids)} support={cap.support} lags={lags}")
+
+    traffic_no2 = [c for c in delayed.caps if c.sensor_ids == {"traffic", "no2"}]
+    assert traffic_no2, "delayed miner should recover the traffic→no2 pattern"
+    recovered = traffic_no2[0]
+    print(f"\nrecovered lag: no2 reacts {recovered.delays['no2']} steps "
+          f"after traffic (ground truth: 2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Run the Miscela-V API server (the paper's Figure-2 architecture).
+
+Starts the WSGI app under ``wsgiref``, uploads the synthetic Santander
+dataset through the chunked protocol, and prints the curl-able endpoints.
+
+Run:
+    python examples/interactive_server.py [port]
+
+Then, from another shell:
+
+    curl localhost:8000/datasets
+    curl -X POST localhost:8000/mine -d '{"dataset": "santander", "parameters": \
+      {"evolving_rate": 3.0, "distance_threshold": 0.35, \
+       "max_attributes": 3, "min_support": 10}}'
+    curl localhost:8000/viz/santander/map > map.html
+    curl localhost:8000/admin/stats
+"""
+
+from __future__ import annotations
+
+import sys
+from wsgiref.simple_server import make_server
+
+from repro import generate_santander
+from repro.server import TestClient, create_app
+from repro.server.http import wsgi_adapter
+
+
+def main(port: int = 8000) -> None:
+    app = create_app(with_logging=True)
+
+    # Pre-load the demo dataset exactly as a browser client would: via the
+    # three-step chunked upload.
+    dataset = generate_santander(seed=7)
+    response = TestClient(app).upload_dataset(dataset, chunk_lines=10_000)
+    assert response.status == 201, response.json()
+    print(f"pre-loaded dataset 'santander' "
+          f"({len(dataset)} sensors, {dataset.num_records} records)")
+
+    server = make_server("127.0.0.1", port, wsgi_adapter(app))
+    print(f"Miscela-V API listening on http://127.0.0.1:{port}")
+    print("try:  curl localhost:%d/          (route index)" % port)
+    print("      curl localhost:%d/datasets" % port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nbye")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8000)

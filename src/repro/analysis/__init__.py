@@ -1,0 +1,43 @@
+"""Analysis toolkit: statistics, before/after comparison, parameter sweeps."""
+
+from .comparison import PeriodComparison, attribute_level_shift, compare_periods
+from .sensitivity import (
+    SWEEPABLE_PARAMETERS,
+    SweepPoint,
+    expected_direction,
+    is_monotone,
+    sweep,
+)
+from .reporting import caps_to_table, result_to_markdown
+from .stability import core_patterns, mine_settings, pattern_overlap, stability_matrix
+from .statistics import (
+    attribute_pair_counts,
+    axis_alignment,
+    axis_correlation_report,
+    cap_summary,
+    co_evolution_rate,
+    pairwise_co_evolution,
+)
+
+__all__ = [
+    "PeriodComparison",
+    "SWEEPABLE_PARAMETERS",
+    "SweepPoint",
+    "attribute_level_shift",
+    "attribute_pair_counts",
+    "axis_alignment",
+    "axis_correlation_report",
+    "cap_summary",
+    "caps_to_table",
+    "co_evolution_rate",
+    "compare_periods",
+    "core_patterns",
+    "expected_direction",
+    "is_monotone",
+    "mine_settings",
+    "pairwise_co_evolution",
+    "pattern_overlap",
+    "result_to_markdown",
+    "stability_matrix",
+    "sweep",
+]

@@ -1,0 +1,117 @@
+"""Plain-text / Markdown result summaries.
+
+The HTML report (``repro.viz.report``) is for browsers; pipelines and
+notebooks want something greppable.  :func:`result_to_markdown` renders a
+mining result as a self-contained Markdown document: parameters, headline
+statistics, attribute-pair counts, geographic-axis breakdown, and the top
+patterns — the textual twin of the Figure-3 page.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.miner import MiningResult
+from ..core.types import CAP, SensorDataset
+from .statistics import attribute_pair_counts, axis_correlation_report, cap_summary
+
+__all__ = ["result_to_markdown", "caps_to_table"]
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def caps_to_table(caps: Sequence[CAP], limit: int = 10) -> str:
+    """Top patterns as a Markdown table (support, attributes, sensors, delays)."""
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    rows = []
+    for cap in list(caps)[:limit]:
+        delays = (
+            ", ".join(f"{sid}+{d}" for sid, d in sorted(cap.delays.items()) if d)
+            if cap.is_delayed
+            else "-"
+        )
+        rows.append(
+            (
+                cap.support,
+                ", ".join(sorted(cap.attributes)),
+                ", ".join(sorted(cap.sensor_ids)),
+                delays,
+            )
+        )
+    return _md_table(["support", "attributes", "sensors", "delays"], rows)
+
+
+def result_to_markdown(
+    dataset: SensorDataset,
+    result: MiningResult,
+    top: int = 10,
+    include_axis_report: bool = True,
+) -> str:
+    """A full mining result as a Markdown document."""
+    params = result.parameters
+    summary = cap_summary(result.caps)
+    parts: list[str] = [
+        f"# CAP mining report — {dataset.name}",
+        "",
+        f"*{len(dataset)} sensors, {dataset.num_timestamps} timestamps, "
+        f"{dataset.num_records} records; "
+        f"mined in {result.elapsed_seconds:.3f}s"
+        f"{' (from cache)' if result.from_cache else ''}*",
+        "",
+        "## Parameters",
+        "",
+        _md_table(
+            ["parameter", "value"],
+            [
+                ("evolving rate ε", params.evolving_rate),
+                ("distance threshold η (km)", params.distance_threshold),
+                ("max attributes μ", params.max_attributes),
+                ("min support ψ", params.min_support),
+                ("max delay δ", params.max_delay),
+                ("direction aware", params.direction_aware),
+                ("segmentation", params.segmentation),
+            ],
+        ),
+        "",
+        "## Findings",
+        "",
+        f"- **{summary['num_caps']}** patterns "
+        f"(max support {summary['max_support']}, "
+        f"mean {summary['mean_support']:.1f})"
+        if summary["num_caps"]
+        else "- no patterns under these parameters",
+    ]
+    if result.caps:
+        pair_rows = [
+            (f"{a} × {b}", count)
+            for (a, b), count in attribute_pair_counts(result.caps).most_common(8)
+        ]
+        parts += [
+            "",
+            "### Correlated attribute pairs",
+            "",
+            _md_table(["pair", "patterns"], pair_rows),
+            "",
+            f"### Top {min(top, len(result.caps))} patterns",
+            "",
+            caps_to_table(result.caps, top),
+        ]
+        if include_axis_report:
+            axis = axis_correlation_report(dataset, result.caps, min_km=1.0)
+            if sum(axis.values()):
+                parts += [
+                    "",
+                    "### Cross-location pairs by geographic axis",
+                    "",
+                    _md_table(["axis", "pairs"], sorted(axis.items())),
+                ]
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,94 @@
+"""Parameter sensitivity sweeps (Section 2.1).
+
+The paper documents how each mining parameter moves the number of CAPs and
+notes "the sensitivity of parameters depends on datasets, so it is necessary
+to support interactive analysis".  :func:`sweep` mines a dataset across a
+grid of values for one parameter and reports #CAPs and runtime per value —
+the data behind the parameter-sensitivity benchmark and the interactive
+tuning workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.miner import MiscelaMiner
+from ..core.parameters import MiningParameters
+from ..core.types import SensorDataset
+
+__all__ = ["SweepPoint", "sweep", "SWEEPABLE_PARAMETERS", "expected_direction"]
+
+#: Parameters :func:`sweep` accepts, with the direction Section 2.1 implies
+#: for #CAPs as the value grows.  (ε is implemented per its definition —
+#: larger ε discards more changes, hence fewer CAPs; see DESIGN.md for the
+#: discrepancy note on the paper's prose.)
+SWEEPABLE_PARAMETERS = {
+    "evolving_rate": "decreasing",
+    "distance_threshold": "increasing",
+    "max_attributes": "increasing",
+    "min_support": "decreasing",
+}
+
+
+def expected_direction(parameter: str) -> str:
+    """The monotone direction of #CAPs as the parameter grows."""
+    try:
+        return SWEEPABLE_PARAMETERS[parameter]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep parameter {parameter!r}; "
+            f"choose from {sorted(SWEEPABLE_PARAMETERS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep measurement."""
+
+    parameter: str
+    value: float
+    num_caps: int
+    elapsed_seconds: float
+
+
+def sweep(
+    dataset: SensorDataset,
+    base_params: MiningParameters,
+    parameter: str,
+    values: Sequence[float | int],
+) -> list[SweepPoint]:
+    """Mine the dataset once per value of one parameter.
+
+    Returns points in the order of ``values``.  Every other parameter stays
+    at its ``base_params`` setting.
+    """
+    expected_direction(parameter)  # validates the name
+    if not values:
+        raise ValueError("values must be non-empty")
+    points: list[SweepPoint] = []
+    for value in values:
+        params = base_params.with_updates(**{parameter: value})
+        result = MiscelaMiner(params).mine(dataset)
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                value=float(value),
+                num_caps=result.num_caps,
+                elapsed_seconds=result.elapsed_seconds,
+            )
+        )
+    return points
+
+
+def is_monotone(points: Sequence[SweepPoint], direction: str) -> bool:
+    """Whether a sweep's #CAPs is (weakly) monotone in the given direction."""
+    counts = [p.num_caps for p in points]
+    if direction == "increasing":
+        return all(a <= b for a, b in zip(counts, counts[1:]))
+    if direction == "decreasing":
+        return all(a >= b for a, b in zip(counts, counts[1:]))
+    raise ValueError(f'direction must be "increasing" or "decreasing", got {direction!r}')
+
+
+__all__.append("is_monotone")

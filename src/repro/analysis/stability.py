@@ -1,0 +1,79 @@
+"""Pattern stability across parameter settings.
+
+Interactive analysis (Section 4) is a loop of re-mining under tweaked
+parameters.  A question the UI raises but the paper leaves to the analyst's
+eye is *how much the answer moved*: did loosening ψ merely add weak
+patterns, or did it reshuffle everything?  This module quantifies that:
+
+* :func:`pattern_overlap` — Jaccard similarity between two CAP sets (keyed
+  by sensor set);
+* :func:`stability_matrix` — pairwise overlap across a list of settings;
+* :func:`core_patterns` — the patterns present under *every* setting, i.e.
+  the parameter-robust findings worth reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.miner import MiningResult, MiscelaMiner
+from ..core.parameters import MiningParameters
+from ..core.types import CAP, SensorDataset
+
+__all__ = ["pattern_overlap", "stability_matrix", "core_patterns", "mine_settings"]
+
+
+def _keys(caps: Sequence[CAP]) -> set[tuple[str, ...]]:
+    return {cap.key() for cap in caps}
+
+
+def pattern_overlap(a: Sequence[CAP], b: Sequence[CAP]) -> float:
+    """Jaccard similarity of two pattern sets (by sensor-set identity).
+
+    1.0 — identical findings; 0.0 — nothing in common.  Empty vs empty is
+    defined as 1.0 (both settings agree there is nothing).
+    """
+    ka, kb = _keys(a), _keys(b)
+    if not ka and not kb:
+        return 1.0
+    union = ka | kb
+    return len(ka & kb) / len(union)
+
+
+def mine_settings(
+    dataset: SensorDataset, settings: Sequence[MiningParameters]
+) -> list[MiningResult]:
+    """Mine one dataset under each parameter setting, in order."""
+    if not settings:
+        raise ValueError("settings must be non-empty")
+    return [MiscelaMiner(params).mine(dataset) for params in settings]
+
+
+def stability_matrix(results: Sequence[MiningResult]) -> list[list[float]]:
+    """Pairwise pattern overlap between mining results (symmetric, 1s on diag)."""
+    n = len(results)
+    matrix = [[1.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            overlap = pattern_overlap(results[i].caps, results[j].caps)
+            matrix[i][j] = overlap
+            matrix[j][i] = overlap
+    return matrix
+
+
+def core_patterns(results: Sequence[MiningResult]) -> list[CAP]:
+    """Patterns discovered under every setting — the robust findings.
+
+    Returned as the instances from the *first* result (whose supports are
+    the first setting's), ordered by support.
+    """
+    if not results:
+        return []
+    common = _keys(results[0].caps)
+    for result in results[1:]:
+        common &= _keys(result.caps)
+        if not common:
+            return []
+    kept = [cap for cap in results[0].caps if cap.key() in common]
+    kept.sort(key=lambda c: (-c.support, c.key()))
+    return kept

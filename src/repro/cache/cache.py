@@ -1,0 +1,130 @@
+"""The CAP result cache (Section 3.3).
+
+"Before computing CAPs by Miscela, our system searches for CAPs with the
+same parameters and the name of the dataset from the database."  This module
+implements exactly that: :class:`ResultCache` sits between callers and a
+miner, storing :class:`~repro.core.miner.MiningResult` documents in the
+``cap_results`` collection of a :class:`~repro.store.Database`, keyed by the
+canonical hash of (dataset name, parameters).
+
+``mine_cached`` is the interactive-analysis entry point: a hit replays the
+stored result (``from_cache=True``), a miss runs the miner and stores the
+outcome.  Statistics (hits/misses/evictions) feed the caching benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.miner import MiningResult, MiscelaMiner
+from ..core.parameters import MiningParameters
+from ..core.types import SensorDataset
+from ..store.database import Database
+from .eviction import EvictionPolicy, NoEviction
+from .keys import cache_key, canonical_payload
+
+__all__ = ["CacheStats", "ResultCache"]
+
+_COLLECTION = "cap_results"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ResultCache:
+    """Parameter-keyed cache of mining results backed by the document store."""
+
+    def __init__(self, database: Database, policy: EvictionPolicy | None = None) -> None:
+        self.database = database
+        self.policy: EvictionPolicy = policy if policy is not None else NoEviction()
+        self.stats = CacheStats()
+        collection = database.collection(_COLLECTION)
+        collection.create_index("key", "hash")
+        collection.create_index("payload.dataset", "hash")
+
+    # -- raw get/put ----------------------------------------------------------
+
+    def get(self, dataset_name: str, params: MiningParameters) -> MiningResult | None:
+        """The cached result for (dataset, params), or None."""
+        key = cache_key(dataset_name, params)
+        if not self.policy.on_hit(key):
+            # Policy says expired: drop the stored document too.
+            self._delete_key(key)
+            self.stats.misses += 1
+            return None
+        document = self.database[_COLLECTION].find_one({"key": key})
+        if document is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return MiningResult.from_document(document["result"])
+
+    def put(self, result: MiningResult) -> str:
+        """Store a mining result; returns its cache key."""
+        key = cache_key(result.dataset_name, result.parameters)
+        document = {
+            "key": key,
+            "payload": canonical_payload(result.dataset_name, result.parameters),
+            "result": result.to_document(),
+        }
+        collection = self.database[_COLLECTION]
+        if collection.replace_one({"key": key}, document) is None:
+            collection.insert_one(document)
+        for victim in self.policy.on_store(key):
+            if victim != key:
+                self._delete_key(victim)
+                self.stats.evictions += 1
+        return key
+
+    def _delete_key(self, key: str) -> None:
+        self.database[_COLLECTION].delete_many({"key": key})
+        self.policy.on_evict(key)
+
+    # -- the interactive-analysis entry point ----------------------------------
+
+    def mine_cached(
+        self,
+        dataset: SensorDataset,
+        params: MiningParameters,
+        miner_factory: Callable[[MiningParameters], MiscelaMiner] = MiscelaMiner,
+    ) -> MiningResult:
+        """Return cached CAPs when available, otherwise mine and cache.
+
+        Note the cache key uses the *dataset name*, like the paper — callers
+        re-uploading different data under the same name must call
+        :meth:`invalidate_dataset` first (the upload handler does).
+        """
+        cached = self.get(dataset.name, params)
+        if cached is not None:
+            return cached
+        result = MiscelaMiner(params).mine(dataset) if miner_factory is MiscelaMiner \
+            else miner_factory(params).mine(dataset)
+        self.put(result)
+        return result
+
+    def invalidate_dataset(self, dataset_name: str) -> int:
+        """Drop every cached result for one dataset (after re-upload)."""
+        collection = self.database[_COLLECTION]
+        victims = collection.find({"payload.dataset": dataset_name})
+        for document in victims:
+            self.policy.on_evict(document["key"])
+        removed = collection.delete_many({"payload.dataset": dataset_name})
+        self.stats.invalidations += removed
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.database[_COLLECTION])

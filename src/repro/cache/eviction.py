@@ -1,0 +1,117 @@
+"""Eviction policies for the result cache.
+
+The paper's cache grows without bound; a production deployment needs a cap.
+Policies track *keys only* — the cached payloads live in the document store
+— and tell the cache which key to drop when it is full.
+
+* :class:`NoEviction` — the paper's behaviour (unbounded).
+* :class:`LRUPolicy` — least-recently-used, the default bounded policy.
+* :class:`TTLPolicy` — entries expire after a fixed lifetime, useful when
+  datasets are re-uploaded under the same name.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Protocol
+
+__all__ = ["EvictionPolicy", "NoEviction", "LRUPolicy", "TTLPolicy"]
+
+
+class EvictionPolicy(Protocol):
+    """The interface the cache drives."""
+
+    def on_store(self, key: str) -> list[str]:
+        """Record a new entry; returns keys that must be evicted now."""
+        ...
+
+    def on_hit(self, key: str) -> bool:
+        """Record an access; returns False if the entry must be treated as gone."""
+        ...
+
+    def on_evict(self, key: str) -> None:
+        """The cache dropped a key for external reasons (invalidation)."""
+        ...
+
+
+class NoEviction:
+    """Unbounded cache — exactly the paper's described behaviour."""
+
+    def on_store(self, key: str) -> list[str]:
+        return []
+
+    def on_hit(self, key: str) -> bool:
+        return True
+
+    def on_evict(self, key: str) -> None:
+        return None
+
+
+class LRUPolicy:
+    """Keep at most ``capacity`` entries, dropping the least recently used."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._order: OrderedDict[str, None] = OrderedDict()
+
+    def on_store(self, key: str) -> list[str]:
+        if key in self._order:
+            self._order.move_to_end(key)
+        else:
+            self._order[key] = None
+        evicted: list[str] = []
+        while len(self._order) > self.capacity:
+            victim, _ = self._order.popitem(last=False)
+            evicted.append(victim)
+        return evicted
+
+    def on_hit(self, key: str) -> bool:
+        if key in self._order:
+            self._order.move_to_end(key)
+        return True
+
+    def on_evict(self, key: str) -> None:
+        self._order.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class TTLPolicy:
+    """Entries expire ``ttl_seconds`` after being stored.
+
+    A ``clock`` injection point keeps the tests deterministic.
+    """
+
+    def __init__(self, ttl_seconds: float, clock: Callable[[], float] = time.monotonic) -> None:
+        if ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be > 0, got {ttl_seconds}")
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._stored_at: dict[str, float] = {}
+
+    def on_store(self, key: str) -> list[str]:
+        now = self._clock()
+        self._stored_at[key] = now
+        expired = [k for k, at in self._stored_at.items() if now - at > self.ttl_seconds]
+        for k in expired:
+            del self._stored_at[k]
+        return expired
+
+    def on_hit(self, key: str) -> bool:
+        at = self._stored_at.get(key)
+        if at is None:
+            return False
+        if self._clock() - at > self.ttl_seconds:
+            del self._stored_at[key]
+            return False
+        return True
+
+    def on_evict(self, key: str) -> None:
+        self._stored_at.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._stored_at)

@@ -1,0 +1,31 @@
+"""Canonical cache keys for mining results (Section 3.3).
+
+The paper caches CAP results under "the name of the dataset [and the]
+parameters".  Equal parameter settings must map to the same key regardless
+of dict ordering or float formatting, so the key is a SHA-256 over a
+canonical JSON encoding of ``(dataset_name, parameters)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+from ..core.parameters import MiningParameters
+
+__all__ = ["canonical_payload", "cache_key"]
+
+
+def canonical_payload(dataset_name: str, params: MiningParameters) -> dict[str, Any]:
+    """The exact structure hashed into the cache key (also stored for audit)."""
+    if not dataset_name:
+        raise ValueError("dataset_name must be non-empty")
+    return {"dataset": dataset_name, "parameters": params.to_document()}
+
+
+def cache_key(dataset_name: str, params: MiningParameters) -> str:
+    """Deterministic hex key for a (dataset, parameters) pair."""
+    payload = canonical_payload(dataset_name, params)
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

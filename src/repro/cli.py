@@ -1,0 +1,307 @@
+"""Command-line interface for the Miscela-V reproduction.
+
+Everything the demo's web UI drives is reachable from a terminal:
+
+* ``inventory`` — the §4 dataset table (paper vs generated);
+* ``generate``  — write a synthetic dataset as data/location/attribute CSVs;
+* ``mine``      — run CAP mining over a dataset directory or a named
+  synthetic dataset, with the four paper parameters as flags;
+* ``report``    — mine and write the Figure-3 HTML report;
+* ``sweep``     — the §2.1 sensitivity sweep, as a table and optional SVG;
+* ``compare``   — the Figure-4 before/after diff at a split date;
+* ``serve``     — start the Figure-2 API server.
+
+Examples::
+
+    repro-miscela inventory
+    repro-miscela generate santander --seed 7 --out ./santander_csv
+    repro-miscela mine --dataset santander --min-support 10 --json caps.json
+    repro-miscela report --dataset china6 --out report.html
+    repro-miscela sweep --dataset santander --parameter min_support \\
+        --values 2,5,10,20 --svg sweep.svg
+    repro-miscela compare --dataset covid19 --split 2020-01-23
+    repro-miscela serve --port 8000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime
+from pathlib import Path
+from typing import Sequence
+
+from .analysis.comparison import compare_periods
+from .analysis.sensitivity import SWEEPABLE_PARAMETERS, sweep
+from .core.miner import MiscelaMiner
+from .core.parameters import MiningParameters
+from .core.types import SensorDataset
+from .data.csv_io import read_dataset_dir, write_dataset_dir
+from .data.datasets import DATASET_NAMES, dataset_table, generate, recommended_parameters
+
+__all__ = ["main", "build_parser"]
+
+
+def _print_table(rows: list[dict], stream=None) -> None:
+    stream = stream or sys.stdout
+    if not rows:
+        print("(no rows)", file=stream)
+        return
+    columns = list(rows[0])
+    widths = {c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns}
+    print("  ".join(str(c).ljust(widths[c]) for c in columns), file=stream)
+    for row in rows:
+        print("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns), file=stream)
+
+
+def _load_dataset(args: argparse.Namespace) -> SensorDataset:
+    """Resolve --dataset (registry name) or --data-dir (CSV directory)."""
+    if getattr(args, "data_dir", None):
+        return read_dataset_dir(args.data_dir)
+    name = args.dataset
+    if name not in DATASET_NAMES:
+        raise SystemExit(
+            f"unknown dataset {name!r}; choose from {', '.join(DATASET_NAMES)} "
+            f"or pass --data-dir"
+        )
+    return generate(name, seed=args.seed)
+
+
+def _params_from_args(args: argparse.Namespace, dataset_name: str) -> MiningParameters:
+    """Start from the dataset's recommended parameters, apply flag overrides."""
+    if dataset_name in DATASET_NAMES:
+        params = recommended_parameters(dataset_name)
+    else:
+        params = MiningParameters(
+            evolving_rate=1.0, distance_threshold=1.0, max_attributes=3, min_support=5
+        )
+    overrides = {}
+    for flag, field in [
+        ("evolving_rate", "evolving_rate"),
+        ("distance_threshold", "distance_threshold"),
+        ("max_attributes", "max_attributes"),
+        ("min_support", "min_support"),
+        ("max_sensors", "max_sensors"),
+        ("max_delay", "max_delay"),
+        ("segmentation", "segmentation"),
+        ("segmentation_error", "segmentation_error"),
+    ]:
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field] = value
+    if getattr(args, "direction_aware", False):
+        overrides["direction_aware"] = True
+    return params.with_updates(**overrides) if overrides else params
+
+
+def _add_param_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("mining parameters (defaults: recommended per dataset)")
+    group.add_argument("--evolving-rate", dest="evolving_rate", type=float, metavar="ε")
+    group.add_argument("--distance-threshold", dest="distance_threshold", type=float, metavar="η")
+    group.add_argument("--max-attributes", dest="max_attributes", type=int, metavar="μ")
+    group.add_argument("--min-support", dest="min_support", type=int, metavar="ψ")
+    group.add_argument("--max-sensors", dest="max_sensors", type=int)
+    group.add_argument("--max-delay", dest="max_delay", type=int, metavar="δ")
+    group.add_argument("--direction-aware", dest="direction_aware", action="store_true")
+    group.add_argument("--segmentation", choices=["none", "sliding_window", "bottom_up", "top_down"])
+    group.add_argument("--segmentation-error", dest="segmentation_error", type=float)
+
+
+def _add_dataset_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="santander",
+                        help=f"synthetic dataset name ({', '.join(DATASET_NAMES)})")
+    parser.add_argument("--data-dir", help="directory with data/location/attribute CSVs")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-miscela",
+        description="Miscela-V reproduction: CAP mining over smart-city sensor data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("inventory", help="print the §4 dataset table")
+
+    p_gen = sub.add_parser("generate", help="write a synthetic dataset as CSVs")
+    p_gen.add_argument("name", choices=list(DATASET_NAMES))
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True, help="output directory")
+
+    p_mine = sub.add_parser("mine", help="mine CAPs and print/save them")
+    _add_dataset_flags(p_mine)
+    _add_param_flags(p_mine)
+    p_mine.add_argument("--json", help="write CAPs to this JSON file")
+    p_mine.add_argument("--top", type=int, default=10, help="rows to print")
+
+    p_rep = sub.add_parser("report", help="mine and write the Figure-3 HTML report")
+    _add_dataset_flags(p_rep)
+    _add_param_flags(p_rep)
+    p_rep.add_argument("--out", default="report.html")
+    p_rep.add_argument("--max-caps", dest="max_caps", type=int, default=10)
+    p_rep.add_argument("--markdown", help="also write a Markdown summary here")
+
+    p_sweep = sub.add_parser("sweep", help="§2.1 parameter sensitivity sweep")
+    _add_dataset_flags(p_sweep)
+    _add_param_flags(p_sweep)
+    p_sweep.add_argument("--parameter", required=True, choices=sorted(SWEEPABLE_PARAMETERS))
+    p_sweep.add_argument("--values", required=True,
+                         help="comma-separated values, e.g. 2,5,10,20")
+    p_sweep.add_argument("--svg", help="write the sweep curve to this SVG file")
+
+    p_cmp = sub.add_parser("compare", help="Figure-4 before/after comparison")
+    _add_dataset_flags(p_cmp)
+    _add_param_flags(p_cmp)
+    p_cmp.add_argument("--split", required=True, help="split date, YYYY-MM-DD")
+
+    p_srv = sub.add_parser("serve", help="start the Figure-2 API server")
+    p_srv.add_argument("--port", type=int, default=8000)
+    p_srv.add_argument("--store", help="JSON snapshot path for persistence")
+    p_srv.add_argument("--preload", action="store_true",
+                       help="pre-upload synthetic santander")
+
+    return parser
+
+
+def cmd_inventory(args: argparse.Namespace) -> int:
+    _print_table(dataset_table(seed=0))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate(args.name, seed=args.seed)
+    directory = write_dataset_dir(dataset, args.out)
+    print(f"wrote {dataset.name}: {len(dataset)} sensors, "
+          f"{dataset.num_records} records -> {directory}")
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    params = _params_from_args(args, dataset.name)
+    result = MiscelaMiner(params).mine(dataset)
+    print(f"{result.num_caps} CAPs in {result.elapsed_seconds:.3f}s "
+          f"(ε={params.evolving_rate}, η={params.distance_threshold}, "
+          f"μ={params.max_attributes}, ψ={params.min_support})")
+    _print_table(
+        [
+            {
+                "support": cap.support,
+                "attributes": ",".join(sorted(cap.attributes)),
+                "sensors": ",".join(sorted(cap.sensor_ids)),
+            }
+            for cap in result.caps[: args.top]
+        ]
+    )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps([cap.to_document() for cap in result.caps], indent=2)
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .viz.report import CapReport
+
+    dataset = _load_dataset(args)
+    params = _params_from_args(args, dataset.name)
+    result = MiscelaMiner(params).mine(dataset)
+    path = CapReport(dataset, result, max_caps=args.max_caps).save_html(args.out)
+    print(f"{result.num_caps} CAPs; wrote {path}")
+    if args.markdown:
+        from .analysis.reporting import result_to_markdown
+
+        Path(args.markdown).write_text(result_to_markdown(dataset, result))
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    params = _params_from_args(args, dataset.name)
+    try:
+        values = [float(v) if "." in v else int(v) for v in args.values.split(",")]
+    except ValueError as exc:
+        raise SystemExit(f"bad --values: {exc}")
+    points = sweep(dataset, params, args.parameter, values)
+    _print_table(
+        [
+            {args.parameter: p.value, "caps": p.num_caps,
+             "mine_ms": f"{p.elapsed_seconds * 1000:.1f}"}
+            for p in points
+        ]
+    )
+    if args.svg:
+        from .viz.charts import render_sweep_chart
+
+        render_sweep_chart(points).save(args.svg)
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    params = _params_from_args(args, dataset.name)
+    try:
+        split = datetime.strptime(args.split, "%Y-%m-%d")
+    except ValueError as exc:
+        raise SystemExit(f"bad --split date: {exc}")
+    comparison = compare_periods(dataset, split, params)
+    summary = comparison.summary()
+    _print_table([
+        {"metric": k, "value": v}
+        for k, v in summary.items()
+        if k != "level_shifts"
+    ])
+    print("level shifts (after - before):")
+    _print_table([
+        {"attribute": a, "shift": f"{v:+.2f}"}
+        for a, v in summary["level_shifts"].items()
+    ])
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from wsgiref.simple_server import make_server
+
+    from .server.app import TestClient, create_app
+    from .server.http import wsgi_adapter
+    from .store.database import Database
+
+    database = Database(args.store) if args.store else None
+    app = create_app(database, with_logging=True)
+    if args.preload:
+        dataset = generate("santander", seed=7)
+        response = TestClient(app).upload_dataset(dataset)
+        print(f"pre-loaded santander: {response.status}")
+    server = make_server("127.0.0.1", args.port, wsgi_adapter(app))
+    print(f"Miscela-V API on http://127.0.0.1:{args.port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        if args.store:
+            app.state.database.save()
+            print(f"saved store to {args.store}")
+    return 0
+
+
+_COMMANDS = {
+    "inventory": cmd_inventory,
+    "generate": cmd_generate,
+    "mine": cmd_mine,
+    "report": cmd_report,
+    "sweep": cmd_sweep,
+    "compare": cmd_compare,
+    "serve": cmd_serve,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Core CAP mining: data model, parameters, and the MISCELA algorithm."""
+
+from .baseline import naive_search
+from .delayed import delayed_support, search_delayed
+from .evolving import co_evolution_count, extract_all_evolving, extract_evolving
+from .miner import MiningResult, MiscelaMiner, NaiveMiner
+from .parameters import SEGMENTATION_METHODS, MiningParameters
+from .search import filter_maximal, search_all, search_component
+from .segmentation import (
+    Segment,
+    bottom_up_segmentation,
+    reconstruct,
+    segment_series,
+    sliding_window_segmentation,
+    smooth_series,
+    top_down_segmentation,
+)
+from .streaming import StreamingMiner
+from .spatial import (
+    GridIndex,
+    build_proximity_graph,
+    connected_components,
+    haversine_matrix,
+    is_connected,
+    subgraph,
+)
+from .types import CAP, EvolvingSet, Sensor, SensorDataset, haversine_km
+
+__all__ = [
+    "CAP",
+    "EvolvingSet",
+    "GridIndex",
+    "MiningParameters",
+    "MiningResult",
+    "MiscelaMiner",
+    "NaiveMiner",
+    "SEGMENTATION_METHODS",
+    "Segment",
+    "Sensor",
+    "SensorDataset",
+    "StreamingMiner",
+    "bottom_up_segmentation",
+    "build_proximity_graph",
+    "co_evolution_count",
+    "connected_components",
+    "delayed_support",
+    "extract_all_evolving",
+    "extract_evolving",
+    "filter_maximal",
+    "haversine_km",
+    "haversine_matrix",
+    "is_connected",
+    "naive_search",
+    "reconstruct",
+    "search_all",
+    "search_component",
+    "search_delayed",
+    "segment_series",
+    "sliding_window_segmentation",
+    "smooth_series",
+    "subgraph",
+    "top_down_segmentation",
+]

@@ -1,0 +1,218 @@
+"""Time-delayed CAP mining (the DPD 2020 extension of MISCELA).
+
+The journal version of MISCELA ("discovering simultaneous and time-delayed
+correlated attribute patterns") generalises co-evolution: sensor ``s`` may
+react up to δ timeline steps *after* the pattern's reference time.  A
+delayed CAP assigns each sensor a delay ``d_s ∈ [0, δ]`` (with at least one
+sensor at delay 0, which anchors the pattern in time) such that at ≥ ψ
+reference timestamps ``t`` every sensor evolves at ``t + d_s``.
+
+Implementation: shifting an evolving set *earlier* by ``d`` turns "evolves at
+``t + d``" into "evolves at ``t``", so delayed co-evolution is an ordinary
+intersection of shifted sets.  For each sensor set the miner reports the
+best delay assignment (maximum support), which is what the analyst wants to
+see; enumerating every passing assignment is available via
+``emit_all_assignments``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .parameters import MiningParameters
+from .spatial import connected_components
+from .types import CAP, EvolvingSet, Sensor
+
+__all__ = ["search_delayed", "delayed_support"]
+
+
+def _shift_earlier(evolving: EvolvingSet, delay: int, horizon: int) -> EvolvingSet:
+    """Evolving set re-indexed to reference time (event at t+delay → t)."""
+    return evolving.shift(-delay, horizon)
+
+
+def delayed_support(
+    evolving: Mapping[str, EvolvingSet],
+    delays: Mapping[str, int],
+    horizon: int,
+) -> np.ndarray:
+    """Reference timestamps where every sensor evolves at its delayed time."""
+    items = list(delays.items())
+    if not items:
+        return np.empty(0, dtype=np.int64)
+    first_id, first_delay = items[0]
+    common = _shift_earlier(evolving[first_id], first_delay, horizon).indices
+    for sid, delay in items[1:]:
+        shifted = _shift_earlier(evolving[sid], delay, horizon).indices
+        common = np.intersect1d(common, shifted, assume_unique=True)
+        if common.size == 0:
+            break
+    return common
+
+
+class _DelayedState:
+    """A tree node: members with chosen delays and surviving reference times."""
+
+    __slots__ = ("members", "delays", "attrs", "indices")
+
+    def __init__(
+        self,
+        members: tuple[str, ...],
+        delays: tuple[int, ...],
+        attrs: frozenset[str],
+        indices: np.ndarray,
+    ) -> None:
+        self.members = members
+        self.delays = delays
+        self.attrs = attrs
+        self.indices = indices
+
+
+def search_delayed(
+    sensors: Sequence[Sensor],
+    adjacency: Mapping[str, set[str]],
+    evolving: Mapping[str, EvolvingSet],
+    params: MiningParameters,
+    horizon: int,
+    emit_all_assignments: bool = False,
+) -> list[CAP]:
+    """Delayed CAPs over the proximity graph.
+
+    Parameters
+    ----------
+    horizon:
+        Number of timestamps in the dataset timeline (bounds shifted sets).
+    emit_all_assignments:
+        When true every passing delay assignment becomes its own CAP;
+        by default only the maximum-support assignment per sensor set is
+        returned.
+
+    Notes
+    -----
+    With ``params.max_delay == 0`` this reduces exactly to the simultaneous
+    search (every delay is forced to 0) — the property tests rely on that.
+    """
+    if params.direction_aware:
+        raise NotImplementedError(
+            "direction-aware delayed mining is not part of the reproduction; "
+            "use direction_aware=False with max_delay > 0"
+        )
+    attributes = {s.sensor_id: s.attribute for s in sensors}
+    delta = params.max_delay
+    order = {sid: i for i, sid in enumerate(sorted(adjacency))}
+    results: list[CAP] = []
+
+    def expand(state: _DelayedState, extension: list[str], seed_rank: int) -> None:
+        if len(state.members) >= 2:
+            multi_ok = (not params.require_multi_attribute) or len(state.attrs) >= 2
+            if multi_ok and state.indices.size >= params.min_support:
+                # Canonical form: the smallest delay is zero so patterns are
+                # anchored (shifting all delays together is the same pattern).
+                min_delay = min(state.delays)
+                delays = {
+                    sid: d - min_delay
+                    for sid, d in zip(state.members, state.delays)
+                }
+                results.append(
+                    CAP(
+                        sensor_ids=frozenset(state.members),
+                        attributes=state.attrs,
+                        support=int(state.indices.size),
+                        evolving_indices=tuple(int(i) for i in state.indices),
+                        delays=delays,
+                    )
+                )
+        if params.max_sensors is not None and len(state.members) >= params.max_sensors:
+            return
+        member_set = set(state.members)
+        pending = list(extension)
+        while pending:
+            candidate = pending.pop()
+            new_attrs = state.attrs | {attributes[candidate]}
+            if len(new_attrs) > params.max_attributes:
+                continue
+            cand_evolving = evolving[candidate]
+            if len(cand_evolving) < params.min_support:
+                continue
+            new_extension: list[str] | None = None
+            # The seed is pinned at relative delay 0, so a candidate may lead
+            # (negative) or lag (positive) it; the pattern is valid as long
+            # as the overall delay span stays within δ.
+            lo = min(state.delays)
+            hi = max(state.delays)
+            for delay in range(-delta, delta + 1):
+                if max(hi, delay) - min(lo, delay) > delta:
+                    continue
+                shifted = _shift_earlier(cand_evolving, delay, horizon).indices
+                mask = np.isin(state.indices, shifted, assume_unique=True)
+                new_indices = state.indices[mask]
+                if new_indices.size < params.min_support:
+                    continue
+                if new_extension is None:
+                    new_extension = _grown_extension(
+                        adjacency, order, member_set, candidate, pending, seed_rank
+                    )
+                expand(
+                    _DelayedState(
+                        state.members + (candidate,),
+                        state.delays + (delay,),
+                        new_attrs,
+                        new_indices,
+                    ),
+                    new_extension,
+                    seed_rank,
+                )
+
+    for component in connected_components(adjacency):
+        if len(component) < 2:
+            continue
+        for seed in sorted(component, key=lambda sid: order[sid]):
+            seed_evolving = evolving[seed]
+            if len(seed_evolving) < params.min_support:
+                continue
+            seed_rank = order[seed]
+            extension = [w for w in adjacency[seed] if order[w] > seed_rank]
+            expand(
+                _DelayedState(
+                    (seed,),
+                    (0,),
+                    frozenset({attributes[seed]}),
+                    seed_evolving.indices,
+                ),
+                extension,
+                seed_rank,
+            )
+
+    if emit_all_assignments:
+        results.sort(key=lambda c: (-c.support, c.key()))
+        return results
+    best: dict[tuple[str, ...], CAP] = {}
+    for cap in results:
+        key = cap.key()
+        if key not in best or cap.support > best[key].support:
+            best[key] = cap
+    out = list(best.values())
+    out.sort(key=lambda c: (-c.support, c.key()))
+    return out
+
+
+def _grown_extension(
+    adjacency: Mapping[str, set[str]],
+    order: Mapping[str, int],
+    member_set: set[str],
+    candidate: str,
+    pending: Sequence[str],
+    seed_rank: int,
+) -> list[str]:
+    """ESU extension growth; mirrors :func:`repro.core.search._grown_extension`."""
+    existing = set(pending) | member_set
+    for m in member_set:
+        existing |= adjacency[m]
+    grown = list(pending)
+    for w in adjacency[candidate]:
+        if order[w] <= seed_rank or w in existing or w == candidate:
+            continue
+        grown.append(w)
+    return grown

@@ -1,0 +1,188 @@
+"""Miner facades — the public entry points for CAP mining.
+
+:class:`MiscelaMiner` wires the four MISCELA steps together:
+
+1. linear segmentation (inside evolving extraction, per the parameters),
+2. evolving-timestamp extraction,
+3. proximity graph + connected components,
+4. tree-structured CAP search (or the delayed variant when δ > 0).
+
+:class:`NaiveMiner` runs the exhaustive baseline over the same steps 1–3 so
+the two are comparable input-for-input.  Both return
+:class:`MiningResult`, which carries the CAPs plus the intermediate products
+the visualization layer needs (evolving sets, proximity graph) and basic
+timing for the caching/efficiency benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .baseline import naive_search
+from .delayed import search_delayed
+from .evolving import extract_all_evolving
+from .parameters import MiningParameters
+from .search import search_all
+from .spatial import build_proximity_graph, connected_components
+from .types import CAP, EvolvingSet, SensorDataset
+
+__all__ = ["MiningResult", "MiscelaMiner", "NaiveMiner"]
+
+
+@dataclass
+class MiningResult:
+    """The output of one mining run.
+
+    Attributes
+    ----------
+    dataset_name, parameters:
+        Identify the run (together they form the cache key).
+    caps:
+        The discovered patterns, strongest support first.
+    evolving:
+        Per-sensor evolving sets (kept so charts can mark evolution points).
+    adjacency:
+        The η-proximity graph (kept so maps can draw closeness edges).
+    elapsed_seconds:
+        Wall-clock time of the mining computation.
+    from_cache:
+        Set by the cache layer when the result was replayed, not computed.
+    """
+
+    dataset_name: str
+    parameters: MiningParameters
+    caps: list[CAP]
+    evolving: Mapping[str, EvolvingSet] = field(default_factory=dict)
+    adjacency: Mapping[str, set[str]] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def num_caps(self) -> int:
+        return len(self.caps)
+
+    def caps_containing(self, sensor_id: str) -> list[CAP]:
+        """Patterns that include one sensor — the map's click interaction."""
+        return [cap for cap in self.caps if sensor_id in cap.sensor_ids]
+
+    def correlated_sensors(self, sensor_id: str) -> set[str]:
+        """Sensors correlated with the given one via any CAP (highlighting)."""
+        correlated: set[str] = set()
+        for cap in self.caps_containing(sensor_id):
+            correlated |= cap.sensor_ids
+        correlated.discard(sensor_id)
+        return correlated
+
+    def to_document(self) -> dict[str, object]:
+        """JSON-serialisable form stored by the cache / document store."""
+        return {
+            "dataset": self.dataset_name,
+            "parameters": self.parameters.to_document(),
+            "caps": [cap.to_document() for cap in self.caps],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_document(cls, doc: Mapping[str, object]) -> "MiningResult":
+        return cls(
+            dataset_name=str(doc["dataset"]),
+            parameters=MiningParameters.from_document(doc["parameters"]),  # type: ignore[arg-type]
+            caps=[CAP.from_document(d) for d in doc["caps"]],  # type: ignore[union-attr]
+            elapsed_seconds=float(doc.get("elapsed_seconds", 0.0)),  # type: ignore[arg-type]
+            from_cache=True,
+        )
+
+
+class MiscelaMiner:
+    """The efficient CAP miner (the paper's MISCELA).
+
+    Parameters
+    ----------
+    params:
+        Mining parameters (ε, η, μ, ψ and extensions).
+    spatial_method:
+        ``"grid"`` (default) or ``"brute"`` — how the η-graph is built.
+    """
+
+    def __init__(self, params: MiningParameters, spatial_method: str = "grid") -> None:
+        self.params = params
+        self.spatial_method = spatial_method
+
+    def mine(self, dataset: SensorDataset) -> MiningResult:
+        """Run the four MISCELA steps over a dataset."""
+        start = time.perf_counter()
+        evolving = extract_all_evolving(dataset, self.params)
+        adjacency = build_proximity_graph(
+            list(dataset), self.params.distance_threshold, self.spatial_method
+        )
+        if self.params.max_delay > 0:
+            caps = search_delayed(
+                list(dataset),
+                adjacency,
+                evolving,
+                self.params,
+                horizon=dataset.num_timestamps,
+            )
+        else:
+            caps = search_all(list(dataset), adjacency, evolving, self.params)
+        elapsed = time.perf_counter() - start
+        return MiningResult(
+            dataset_name=dataset.name,
+            parameters=self.params,
+            caps=caps,
+            evolving=evolving,
+            adjacency=adjacency,
+            elapsed_seconds=elapsed,
+        )
+
+    def components(self, dataset: SensorDataset) -> list[set[str]]:
+        """The spatially connected sensor sets (step 3 output), for inspection."""
+        adjacency = build_proximity_graph(
+            list(dataset), self.params.distance_threshold, self.spatial_method
+        )
+        return connected_components(adjacency)
+
+
+class NaiveMiner:
+    """Exhaustive baseline miner with identical inputs and outputs.
+
+    Only usable on small components (exponential search); see
+    :func:`repro.core.baseline.naive_search`.
+    """
+
+    def __init__(
+        self,
+        params: MiningParameters,
+        spatial_method: str = "grid",
+        max_component_size: int = 20,
+    ) -> None:
+        if params.max_delay > 0:
+            raise NotImplementedError("the naive baseline mines simultaneous CAPs only")
+        self.params = params
+        self.spatial_method = spatial_method
+        self.max_component_size = max_component_size
+
+    def mine(self, dataset: SensorDataset) -> MiningResult:
+        start = time.perf_counter()
+        evolving = extract_all_evolving(dataset, self.params)
+        adjacency = build_proximity_graph(
+            list(dataset), self.params.distance_threshold, self.spatial_method
+        )
+        caps = naive_search(
+            list(dataset),
+            adjacency,
+            evolving,
+            self.params,
+            max_component_size=self.max_component_size,
+        )
+        elapsed = time.perf_counter() - start
+        return MiningResult(
+            dataset_name=dataset.name,
+            parameters=self.params,
+            caps=caps,
+            evolving=evolving,
+            adjacency=adjacency,
+            elapsed_seconds=elapsed,
+        )

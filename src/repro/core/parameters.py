@@ -1,0 +1,184 @@
+"""Mining parameters (Section 2.1 of the paper).
+
+The four user-facing parameters of CAP mining, plus the knobs the MISCELA
+papers add (segmentation method, direction-aware co-evolution, maximum time
+delay).  ``MiningParameters`` is immutable and hashable so it can serve
+directly as a cache key component (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = ["MiningParameters", "SEGMENTATION_METHODS"]
+
+#: Linear-segmentation algorithms offered by :mod:`repro.core.segmentation`.
+SEGMENTATION_METHODS = ("none", "sliding_window", "bottom_up", "top_down")
+
+
+@dataclass(frozen=True, slots=True)
+class MiningParameters:
+    """User-specified parameters of CAP mining.
+
+    Parameters
+    ----------
+    evolving_rate:
+        ε — changes smaller than this are treated as "no change" when
+        extracting evolving timestamps.  Must be non-negative.  Measured in
+        the unit of the attribute; attribute-specific overrides can be given
+        via ``evolving_rate_per_attribute``.
+    distance_threshold:
+        η — two sensors closer than this many kilometres are "spatially
+        close".  Must be positive.
+    max_attributes:
+        μ — upper bound on the number of distinct attributes in a CAP.
+        Must be at least 2 (a CAP correlates *multiple* attributes).
+    min_support:
+        ψ — minimum number of co-evolving timestamps.  Must be at least 1.
+    max_sensors:
+        Optional cap on CAP size in sensors (the MISCELA implementation
+        bounds pattern size to keep the search tractable).  ``None`` means
+        unbounded.
+    segmentation:
+        Which linear-segmentation filter to run before extracting evolving
+        timestamps (MISCELA step 1).  ``"none"`` skips filtering.
+    segmentation_error:
+        Maximum residual error allowed per segment for the segmentation
+        algorithms.
+    direction_aware:
+        When true, a co-evolution additionally requires a *consistent*
+        direction pattern across the sensor set at the shared timestamps
+        (the MDM 2019 definition records direction patterns; the demo paper
+        uses the simpler "change at the same timestamp").
+    require_multi_attribute:
+        The paper restricts CAPs to multiple attributes but notes "this
+        restriction can be easily removed" — set to ``False`` to remove it.
+    max_delay:
+        δ — maximum time delay (in timeline steps) for the time-delayed
+        extension (DPD 2020).  ``0`` mines simultaneous CAPs only.
+    evolving_rate_per_attribute:
+        Optional per-attribute ε overrides, e.g. ``{"temperature": 0.5}``.
+    """
+
+    evolving_rate: float
+    distance_threshold: float
+    max_attributes: int
+    min_support: int
+    max_sensors: int | None = None
+    segmentation: str = "none"
+    segmentation_error: float = 0.0
+    direction_aware: bool = False
+    require_multi_attribute: bool = True
+    max_delay: int = 0
+    evolving_rate_per_attribute: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.evolving_rate < 0:
+            raise ValueError(f"evolving_rate must be >= 0, got {self.evolving_rate}")
+        if self.distance_threshold <= 0:
+            raise ValueError(
+                f"distance_threshold must be > 0, got {self.distance_threshold}"
+            )
+        if self.max_attributes < 2 and self.require_multi_attribute:
+            raise ValueError(
+                f"max_attributes must be >= 2 for multi-attribute CAPs, "
+                f"got {self.max_attributes}"
+            )
+        if self.max_attributes < 1:
+            raise ValueError(f"max_attributes must be >= 1, got {self.max_attributes}")
+        if self.min_support < 1:
+            raise ValueError(f"min_support must be >= 1, got {self.min_support}")
+        if self.max_sensors is not None and self.max_sensors < 2:
+            raise ValueError(f"max_sensors must be >= 2, got {self.max_sensors}")
+        if self.segmentation not in SEGMENTATION_METHODS:
+            raise ValueError(
+                f"segmentation must be one of {SEGMENTATION_METHODS}, "
+                f"got {self.segmentation!r}"
+            )
+        if self.segmentation_error < 0:
+            raise ValueError(
+                f"segmentation_error must be >= 0, got {self.segmentation_error}"
+            )
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        for attr, rate in self.evolving_rate_per_attribute.items():
+            if rate < 0:
+                raise ValueError(
+                    f"evolving_rate override for {attr!r} must be >= 0, got {rate}"
+                )
+        # Freeze the mapping so the dataclass stays hashable-by-value.
+        object.__setattr__(
+            self,
+            "evolving_rate_per_attribute",
+            dict(self.evolving_rate_per_attribute),
+        )
+
+    def rate_for(self, attribute: str) -> float:
+        """The evolving rate ε to use for one attribute."""
+        return self.evolving_rate_per_attribute.get(attribute, self.evolving_rate)
+
+    def with_updates(self, **changes: Any) -> "MiningParameters":
+        """A copy with some fields replaced (for parameter sweeps)."""
+        return replace(self, **changes)
+
+    # -- serialisation (cache keys, API payloads) ---------------------------
+
+    def to_document(self) -> dict[str, Any]:
+        """Canonical JSON-serialisable form used for cache keys and the API."""
+        return {
+            "evolving_rate": float(self.evolving_rate),
+            "distance_threshold": float(self.distance_threshold),
+            "max_attributes": int(self.max_attributes),
+            "min_support": int(self.min_support),
+            "max_sensors": None if self.max_sensors is None else int(self.max_sensors),
+            "segmentation": self.segmentation,
+            "segmentation_error": float(self.segmentation_error),
+            "direction_aware": bool(self.direction_aware),
+            "require_multi_attribute": bool(self.require_multi_attribute),
+            "max_delay": int(self.max_delay),
+            "evolving_rate_per_attribute": {
+                k: float(v)
+                for k, v in sorted(self.evolving_rate_per_attribute.items())
+            },
+        }
+
+    @classmethod
+    def from_document(cls, doc: Mapping[str, Any]) -> "MiningParameters":
+        known = {
+            "evolving_rate",
+            "distance_threshold",
+            "max_attributes",
+            "min_support",
+            "max_sensors",
+            "segmentation",
+            "segmentation_error",
+            "direction_aware",
+            "require_multi_attribute",
+            "max_delay",
+            "evolving_rate_per_attribute",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown parameter fields: {sorted(unknown)}")
+        missing = {"evolving_rate", "distance_threshold", "max_attributes", "min_support"} - set(doc)
+        if missing:
+            raise ValueError(f"missing required parameter fields: {sorted(missing)}")
+        return cls(**dict(doc))
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.evolving_rate,
+                self.distance_threshold,
+                self.max_attributes,
+                self.min_support,
+                self.max_sensors,
+                self.segmentation,
+                self.segmentation_error,
+                self.direction_aware,
+                self.require_multi_attribute,
+                self.max_delay,
+                tuple(sorted(self.evolving_rate_per_attribute.items())),
+            )
+        )

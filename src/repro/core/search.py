@@ -1,0 +1,277 @@
+"""CAP search (MISCELA step 4).
+
+MISCELA searches each spatially connected sensor set for CAPs by "recursively
+conducting the CAP search with gradually expanding spatially close sensors
+according to a tree structure".  We realise that tree as an ESU-style
+enumeration (Wernicke 2006) of connected subgraphs of the η-proximity graph:
+
+* every connected sensor set is visited **exactly once** (no duplicate work),
+* the co-evolving timestamp set shrinks monotonically along a tree path, so
+  any state whose support drops below ψ prunes its whole subtree,
+* attribute-count and sensor-count bounds prune expansions that could never
+  return below the limits.
+
+The module exposes :func:`search_component` (one connected component) and
+:func:`search_all` (whole proximity graph), plus :func:`filter_maximal` for
+callers that only want maximal patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .parameters import MiningParameters
+from .spatial import connected_components
+from .types import CAP, EvolvingSet, Sensor
+
+__all__ = ["search_component", "search_all", "filter_maximal"]
+
+
+class _SearchContext:
+    """Immutable-per-run inputs shared by every tree node."""
+
+    __slots__ = ("adjacency", "attributes", "evolving", "params", "order")
+
+    def __init__(
+        self,
+        adjacency: Mapping[str, set[str]],
+        attributes: Mapping[str, str],
+        evolving: Mapping[str, EvolvingSet],
+        params: MiningParameters,
+    ) -> None:
+        self.adjacency = adjacency
+        self.attributes = attributes
+        self.evolving = evolving
+        self.params = params
+        # A fixed total order on sensors makes the enumeration canonical:
+        # each connected set is generated from its smallest member only.
+        self.order = {sid: i for i, sid in enumerate(sorted(adjacency))}
+
+
+def _signs_at(evolving: EvolvingSet, indices: np.ndarray) -> np.ndarray:
+    """Directions of ``evolving`` at the given indices (must all be present)."""
+    pos = np.searchsorted(evolving.indices, indices)
+    return evolving.directions[pos].astype(np.int8)
+
+
+def _emit(
+    ctx: _SearchContext,
+    members: tuple[str, ...],
+    attrs: frozenset[str],
+    indices: np.ndarray,
+    out: list[CAP],
+) -> None:
+    params = ctx.params
+    if len(members) < 2:
+        return
+    if params.require_multi_attribute and len(attrs) < 2:
+        return
+    if indices.size < params.min_support:
+        return
+    out.append(
+        CAP(
+            sensor_ids=frozenset(members),
+            attributes=attrs,
+            support=int(indices.size),
+            evolving_indices=tuple(int(i) for i in indices),
+        )
+    )
+
+
+def _expand(
+    ctx: _SearchContext,
+    members: tuple[str, ...],
+    attrs: frozenset[str],
+    indices: np.ndarray,
+    ref_signs: np.ndarray | None,
+    extension: list[str],
+    seed_rank: int,
+    out: list[CAP],
+) -> None:
+    """One node of the CAP tree.
+
+    ``members`` is the current connected sensor set, ``indices`` the
+    timestamps at which it co-evolves, ``ref_signs`` (direction-aware mode)
+    the seed sensor's direction at each of those timestamps, and
+    ``extension`` the ESU extension list: sensors that may still be added in
+    this subtree.
+    """
+    params = ctx.params
+    _emit(ctx, members, attrs, indices, out)
+    if params.max_sensors is not None and len(members) >= params.max_sensors:
+        return
+    member_set = set(members)
+    # Work on a copy we can consume: ESU removes each candidate before
+    # recursing so no connected set is generated twice.
+    pending = list(extension)
+    while pending:
+        candidate = pending.pop()
+        cand_attr = ctx.attributes[candidate]
+        new_attrs = attrs | {cand_attr}
+        if len(new_attrs) > params.max_attributes:
+            continue
+        cand_evolving = ctx.evolving[candidate]
+        if len(cand_evolving) < params.min_support:
+            continue
+        # Timestamps where the grown set still co-evolves.
+        mask = np.isin(indices, cand_evolving.indices, assume_unique=True)
+        new_indices = indices[mask]
+        new_ref: np.ndarray | None = None
+        if params.direction_aware and new_indices.size:
+            cand_signs = _signs_at(cand_evolving, new_indices)
+            base_signs = ref_signs[mask]  # type: ignore[index]
+            # Keep timestamps where the candidate moves with a consistent
+            # relative direction to the seed.  Both relative orientations
+            # (same / opposite) are explored as separate tree branches.
+            for relative in (1, -1):
+                dir_mask = cand_signs == base_signs * relative
+                if int(np.count_nonzero(dir_mask)) < params.min_support:
+                    continue
+                self_indices = new_indices[dir_mask]
+                self_ref = base_signs[dir_mask]
+                new_extension = _grown_extension(
+                    ctx, member_set, candidate, pending, seed_rank
+                )
+                _expand(
+                    ctx,
+                    members + (candidate,),
+                    new_attrs,
+                    self_indices,
+                    self_ref,
+                    new_extension,
+                    seed_rank,
+                    out,
+                )
+            continue
+        if new_indices.size < params.min_support:
+            continue
+        if params.direction_aware:
+            new_ref = ref_signs[mask]  # type: ignore[index]
+        new_extension = _grown_extension(ctx, member_set, candidate, pending, seed_rank)
+        _expand(
+            ctx,
+            members + (candidate,),
+            new_attrs,
+            new_indices,
+            new_ref,
+            new_extension,
+            seed_rank,
+            out,
+        )
+
+
+def _grown_extension(
+    ctx: _SearchContext,
+    member_set: set[str],
+    candidate: str,
+    pending: Sequence[str],
+    seed_rank: int,
+) -> list[str]:
+    """ESU extension list after adding ``candidate``.
+
+    The new list keeps the not-yet-consumed candidates and adds the
+    *exclusive* neighbours of ``candidate``: sensors adjacent to it that are
+    neither members nor adjacent to an existing member, and rank after the
+    seed.  The exclusivity test is what guarantees exactly-once enumeration.
+    """
+    order = ctx.order
+    adjacency = ctx.adjacency
+    existing_neighbourhood = set(pending) | member_set
+    for m in member_set:
+        existing_neighbourhood |= adjacency[m]
+    new_extension = list(pending)
+    for w in adjacency[candidate]:
+        if order[w] <= seed_rank:
+            continue
+        if w == candidate or w in existing_neighbourhood:
+            continue
+        new_extension.append(w)
+    return new_extension
+
+
+def search_component(
+    component: Iterable[str],
+    adjacency: Mapping[str, set[str]],
+    attributes: Mapping[str, str],
+    evolving: Mapping[str, EvolvingSet],
+    params: MiningParameters,
+) -> list[CAP]:
+    """All CAPs inside one spatially connected sensor set.
+
+    Parameters
+    ----------
+    component:
+        Sensor ids of one connected component of the proximity graph.
+    adjacency:
+        The full proximity graph (only edges inside the component are used).
+    attributes:
+        Sensor id → attribute name.
+    evolving:
+        Sensor id → evolving set (step-2 output).
+    params:
+        Mining parameters.
+    """
+    ctx = _SearchContext(adjacency, attributes, evolving, params)
+    out: list[CAP] = []
+    members = sorted(component, key=lambda sid: ctx.order[sid])
+    for seed in members:
+        seed_rank = ctx.order[seed]
+        seed_evolving = evolving[seed]
+        if len(seed_evolving) < params.min_support:
+            continue
+        extension = [w for w in adjacency[seed] if ctx.order[w] > seed_rank]
+        ref = seed_evolving.directions if params.direction_aware else None
+        _expand(
+            ctx,
+            (seed,),
+            frozenset({attributes[seed]}),
+            seed_evolving.indices,
+            ref,
+            extension,
+            seed_rank,
+            out,
+        )
+    return out
+
+
+def search_all(
+    sensors: Sequence[Sensor],
+    adjacency: Mapping[str, set[str]],
+    evolving: Mapping[str, EvolvingSet],
+    params: MiningParameters,
+) -> list[CAP]:
+    """CAPs across every connected component of the proximity graph."""
+    attributes = {s.sensor_id: s.attribute for s in sensors}
+    caps: list[CAP] = []
+    for component in connected_components(adjacency):
+        if len(component) < 2:
+            continue
+        caps.extend(search_component(component, adjacency, attributes, evolving, params))
+    # Direction-aware search can reach one sensor set through both relative
+    # orientations; keep the strongest pattern per set.
+    best: dict[tuple[str, ...], CAP] = {}
+    for cap in caps:
+        key = cap.key()
+        if key not in best or cap.support > best[key].support:
+            best[key] = cap
+    caps = list(best.values())
+    caps.sort(key=lambda c: (-c.support, c.key()))
+    return caps
+
+
+def filter_maximal(caps: Sequence[CAP]) -> list[CAP]:
+    """Only the CAPs whose sensor set is not a subset of another CAP's.
+
+    The miner returns *all* patterns above threshold (like the reference
+    implementation); visualizations usually want the maximal ones.
+    """
+    ordered = sorted(caps, key=lambda c: -len(c.sensor_ids))
+    kept: list[CAP] = []
+    for cap in ordered:
+        if any(cap.sensor_ids < other.sensor_ids for other in kept):
+            continue
+        kept.append(cap)
+    kept.sort(key=lambda c: (-c.support, c.key()))
+    return kept

@@ -1,0 +1,204 @@
+"""Spatial substrate (MISCELA step 3).
+
+CAPs are only discovered among sensors that are "spatially close" — within
+the distance threshold η of each other, connected transitively.  This module
+provides:
+
+* :func:`haversine_matrix` — pairwise great-circle distances;
+* :class:`GridIndex` — a uniform lat/lon grid over the sensors so that the
+  η-neighbour query inspects only nearby cells instead of all pairs;
+* :func:`build_proximity_graph` — the η-closeness graph as adjacency sets;
+* :func:`connected_components` — the spatially connected sensor sets that
+  bound the CAP search space.
+
+The grid index is the default; ``method="brute"`` keeps the O(n²) scan as a
+correctness oracle and as the ablation baseline
+(``benchmarks/bench_ablation_spatial_index.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .types import EARTH_RADIUS_KM, Sensor, haversine_km
+
+__all__ = [
+    "haversine_matrix",
+    "GridIndex",
+    "build_proximity_graph",
+    "connected_components",
+    "component_of",
+]
+
+
+def haversine_matrix(sensors: Sequence[Sensor]) -> np.ndarray:
+    """Symmetric matrix of pairwise haversine distances in kilometres."""
+    lat = np.radians(np.array([s.lat for s in sensors], dtype=np.float64))
+    lon = np.radians(np.array([s.lon for s in sensors], dtype=np.float64))
+    dphi = lat[:, None] - lat[None, :]
+    dlmb = lon[:, None] - lon[None, :]
+    a = (
+        np.sin(dphi / 2.0) ** 2
+        + np.cos(lat)[:, None] * np.cos(lat)[None, :] * np.sin(dlmb / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
+
+class GridIndex:
+    """Uniform lat/lon grid for η-radius neighbour queries.
+
+    Cells are sized so that any two points within η kilometres are in the
+    same or adjacent cells (cell edge ≥ η in both axes), so a query only
+    scans the 3×3 neighbourhood of the probe cell.
+    """
+
+    def __init__(self, sensors: Sequence[Sensor], eta_km: float) -> None:
+        if eta_km <= 0:
+            raise ValueError(f"eta_km must be > 0, got {eta_km}")
+        self.sensors = list(sensors)
+        self.eta_km = eta_km
+        # Degrees of latitude spanning eta kilometres.
+        self._dlat = math.degrees(eta_km / EARTH_RADIUS_KM)
+        # Longitude degrees shrink with cos(lat); use the worst (largest
+        # |lat|) cosine among the sensors so cells are wide enough everywhere.
+        max_abs_lat = max((abs(s.lat) for s in self.sensors), default=0.0)
+        cos_lat = max(math.cos(math.radians(min(max_abs_lat, 89.0))), 1e-6)
+        self._dlon = self._dlat / cos_lat
+        self._cells: dict[tuple[int, int], list[int]] = {}
+        for i, sensor in enumerate(self.sensors):
+            self._cells.setdefault(self._cell(sensor.lat, sensor.lon), []).append(i)
+
+    def _cell(self, lat: float, lon: float) -> tuple[int, int]:
+        return (int(math.floor(lat / self._dlat)), int(math.floor(lon / self._dlon)))
+
+    def neighbours_within(self, index: int) -> list[int]:
+        """Indices of sensors within η km of ``sensors[index]`` (excluding it)."""
+        probe = self.sensors[index]
+        row, col = self._cell(probe.lat, probe.lon)
+        found: list[int] = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                for j in self._cells.get((row + dr, col + dc), ()):
+                    if j == index:
+                        continue
+                    other = self.sensors[j]
+                    if haversine_km(probe.lat, probe.lon, other.lat, other.lon) <= self.eta_km:
+                        found.append(j)
+        return found
+
+    def query_point(self, lat: float, lon: float) -> list[int]:
+        """Indices of sensors within η km of an arbitrary point."""
+        row, col = self._cell(lat, lon)
+        found: list[int] = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                for j in self._cells.get((row + dr, col + dc), ()):
+                    other = self.sensors[j]
+                    if haversine_km(lat, lon, other.lat, other.lon) <= self.eta_km:
+                        found.append(j)
+        return found
+
+
+def build_proximity_graph(
+    sensors: Sequence[Sensor], eta_km: float, method: str = "grid"
+) -> dict[str, set[str]]:
+    """Adjacency sets of the η-closeness graph, keyed by sensor id.
+
+    Two sensors are adjacent iff their haversine distance is ≤ η km.  Every
+    sensor appears as a key, isolated sensors with an empty set.
+    """
+    if eta_km <= 0:
+        raise ValueError(f"eta_km must be > 0, got {eta_km}")
+    sensors = list(sensors)
+    adjacency: dict[str, set[str]] = {s.sensor_id: set() for s in sensors}
+    if len(adjacency) != len(sensors):
+        raise ValueError("sensor ids must be unique")
+    if method == "grid":
+        index = GridIndex(sensors, eta_km)
+        for i, sensor in enumerate(sensors):
+            for j in index.neighbours_within(i):
+                adjacency[sensor.sensor_id].add(sensors[j].sensor_id)
+                adjacency[sensors[j].sensor_id].add(sensor.sensor_id)
+    elif method == "brute":
+        for i, a in enumerate(sensors):
+            for b in sensors[i + 1 :]:
+                if a.distance_km(b) <= eta_km:
+                    adjacency[a.sensor_id].add(b.sensor_id)
+                    adjacency[b.sensor_id].add(a.sensor_id)
+    else:
+        raise ValueError(f'method must be "grid" or "brute", got {method!r}')
+    return adjacency
+
+
+def connected_components(adjacency: Mapping[str, set[str]]) -> list[set[str]]:
+    """Connected components of the proximity graph, largest first.
+
+    These are MISCELA's "spatially connected sets of sensors"; the CAP
+    search runs independently inside each component.
+    """
+    seen: set[str] = set()
+    components: list[set[str]] = []
+    for start in adjacency:
+        if start in seen:
+            continue
+        component = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    component.add(neighbour)
+                    queue.append(neighbour)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def component_of(adjacency: Mapping[str, set[str]], sensor_id: str) -> set[str]:
+    """The connected component containing one sensor."""
+    if sensor_id not in adjacency:
+        raise KeyError(f"unknown sensor id: {sensor_id!r}")
+    component = {sensor_id}
+    queue = deque([sensor_id])
+    while queue:
+        node = queue.popleft()
+        for neighbour in adjacency[node]:
+            if neighbour not in component:
+                component.add(neighbour)
+                queue.append(neighbour)
+    return component
+
+
+def subgraph(adjacency: Mapping[str, set[str]], keep: Iterable[str]) -> dict[str, set[str]]:
+    """The proximity graph restricted to a subset of sensors."""
+    keep_set = set(keep)
+    unknown = keep_set - set(adjacency)
+    if unknown:
+        raise KeyError(f"unknown sensor ids: {sorted(unknown)}")
+    return {node: adjacency[node] & keep_set for node in keep_set}
+
+
+def is_connected(adjacency: Mapping[str, set[str]], nodes: Iterable[str]) -> bool:
+    """Whether the given nodes induce a connected subgraph."""
+    nodes = set(nodes)
+    if not nodes:
+        return False
+    start = next(iter(nodes))
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbour in adjacency.get(node, ()):
+            if neighbour in nodes and neighbour not in seen:
+                seen.add(neighbour)
+                queue.append(neighbour)
+    return seen == nodes
+
+
+__all__.extend(["subgraph", "is_connected"])

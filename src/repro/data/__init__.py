@@ -1,0 +1,68 @@
+"""Data layer: the three-CSV upload format, validation, and synthetic datasets."""
+
+from .csv_io import (
+    ChunkAssembler,
+    dataset_to_rows,
+    iter_chunks,
+    read_attribute_csv,
+    read_data_csv,
+    read_dataset_dir,
+    read_location_csv,
+    write_dataset_dir,
+)
+from .datasets import DATASET_NAMES, dataset_table, generate, recommended_parameters
+from .resample import assemble_dataset, downsample, fill_gaps
+from .schema import (
+    DATA_COLUMNS,
+    DEFAULT_CHUNK_LINES,
+    LOCATION_COLUMNS,
+    NULL_TOKEN,
+    TIME_FORMAT,
+    DataRow,
+    LocationRow,
+)
+from .synthetic import (
+    JUMP_SIZE,
+    NOISE_STD,
+    PAPER_SHAPES,
+    RECOMMENDED_EVOLVING_RATE,
+    generate_china6,
+    generate_china13,
+    generate_covid19,
+    generate_santander,
+)
+from .validation import DatasetValidationError
+
+__all__ = [
+    "ChunkAssembler",
+    "DATASET_NAMES",
+    "DATA_COLUMNS",
+    "DEFAULT_CHUNK_LINES",
+    "DataRow",
+    "DatasetValidationError",
+    "JUMP_SIZE",
+    "LOCATION_COLUMNS",
+    "LocationRow",
+    "NOISE_STD",
+    "NULL_TOKEN",
+    "PAPER_SHAPES",
+    "RECOMMENDED_EVOLVING_RATE",
+    "TIME_FORMAT",
+    "assemble_dataset",
+    "dataset_table",
+    "dataset_to_rows",
+    "downsample",
+    "fill_gaps",
+    "generate",
+    "generate_china6",
+    "generate_china13",
+    "generate_covid19",
+    "generate_santander",
+    "iter_chunks",
+    "read_attribute_csv",
+    "read_data_csv",
+    "read_dataset_dir",
+    "read_location_csv",
+    "recommended_parameters",
+    "write_dataset_dir",
+]

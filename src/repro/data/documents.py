@@ -1,0 +1,63 @@
+"""Dataset ⇄ document conversion.
+
+"Each dataset is stored in databases, and thus we can use the dataset
+without re-uploading by specifying the dataset name" (Section 3.2).  These
+helpers give a dataset a JSON-serialisable document form the store can hold
+and the server can reload after a restart.  NaN is encoded as ``None``
+(JSON has no NaN), timestamps as ISO strings.
+"""
+
+from __future__ import annotations
+
+import math
+from datetime import datetime
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.types import Sensor, SensorDataset
+
+__all__ = ["dataset_to_document", "dataset_from_document"]
+
+
+def dataset_to_document(dataset: SensorDataset) -> dict[str, Any]:
+    """A JSON-serialisable snapshot of a full dataset."""
+    series: dict[str, list[float | None]] = {}
+    for sensor in dataset:
+        values = dataset.values(sensor.sensor_id)
+        series[sensor.sensor_id] = [
+            None if math.isnan(v) else float(v) for v in values
+        ]
+    return {
+        "name": dataset.name,
+        "timeline": [t.isoformat() for t in dataset.timeline],
+        "attributes": list(dataset.attributes),
+        "sensors": [
+            {
+                "id": s.sensor_id,
+                "attribute": s.attribute,
+                "lat": s.lat,
+                "lon": s.lon,
+            }
+            for s in dataset
+        ],
+        "series": series,
+    }
+
+
+def dataset_from_document(doc: Mapping[str, Any]) -> SensorDataset:
+    """Rebuild a dataset from its document form."""
+    timeline = [datetime.fromisoformat(t) for t in doc["timeline"]]
+    sensors = [
+        Sensor(entry["id"], entry["attribute"], float(entry["lat"]), float(entry["lon"]))
+        for entry in doc["sensors"]
+    ]
+    measurements = {
+        sensor_id: np.array(
+            [np.nan if v is None else float(v) for v in values], dtype=np.float64
+        )
+        for sensor_id, values in doc["series"].items()
+    }
+    return SensorDataset(
+        str(doc["name"]), timeline, sensors, measurements, attributes=doc["attributes"]
+    )

@@ -1,0 +1,143 @@
+"""Timeline assembly and gap handling.
+
+Uploaded rows arrive as a flat ``(sensor, time, value)`` list; the miner
+wants dense per-sensor arrays on one shared, evenly spaced timeline.  This
+module builds that timeline (inserting grid timestamps a sensor skipped
+entirely as NaN), plus the small resampling utilities the examples use:
+
+* :func:`assemble_dataset` — rows → :class:`SensorDataset`;
+* :func:`fill_gaps` — forward-fill / interpolate short NaN runs;
+* :func:`downsample` — thin a dataset to every k-th timestamp (the paper's
+  "any space and time scales" — daily city-scale vs. minutely country-scale).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+from typing import Sequence
+
+import numpy as np
+
+from ..core.types import Sensor, SensorDataset
+from .schema import DataRow, LocationRow
+
+__all__ = ["assemble_dataset", "fill_gaps", "downsample"]
+
+
+def _shared_timeline(rows: Sequence[DataRow]) -> list[datetime]:
+    """The evenly spaced grid spanning every timestamp seen in the rows."""
+    times = sorted({row.time for row in rows})
+    if len(times) < 2:
+        raise ValueError("cannot build a timeline from fewer than two timestamps")
+    steps = sorted({(b - a) for a, b in zip(times, times[1:])})
+    interval = steps[0]
+    if interval <= timedelta(0):
+        raise ValueError("timestamps must be strictly increasing")
+    span = times[-1] - times[0]
+    count = int(round(span / interval)) + 1
+    grid = [times[0] + interval * i for i in range(count)]
+    off_grid = set(times) - set(grid)
+    if off_grid:
+        sample = sorted(off_grid)[:3]
+        raise ValueError(
+            f"timestamps do not fit an even {interval} grid; first offenders: {sample}"
+        )
+    return grid
+
+
+def assemble_dataset(
+    name: str,
+    rows: Sequence[DataRow],
+    locations: Sequence[LocationRow],
+    attributes: Sequence[str] | None = None,
+) -> SensorDataset:
+    """Build a dense dataset from validated upload rows.
+
+    Sensors that skipped grid timestamps (no row at all) get NaN there,
+    matching the paper's rule that "sensor values are null if the sensors do
+    not have the sensor values at timestamps".
+    """
+    timeline = _shared_timeline(rows)
+    position = {t: i for i, t in enumerate(timeline)}
+    sensors = [
+        Sensor(loc.sensor_id, loc.attribute, loc.lat, loc.lon) for loc in locations
+    ]
+    measurements = {
+        s.sensor_id: np.full(len(timeline), np.nan, dtype=np.float64) for s in sensors
+    }
+    for row in rows:
+        if row.sensor_id not in measurements:
+            raise ValueError(f"data row references undeclared sensor {row.sensor_id!r}")
+        measurements[row.sensor_id][position[row.time]] = row.value
+    return SensorDataset(name, timeline, sensors, measurements, attributes=attributes)
+
+
+def fill_gaps(
+    dataset: SensorDataset, method: str = "interpolate", max_gap: int = 3
+) -> SensorDataset:
+    """Fill short NaN runs in every sensor's series.
+
+    Parameters
+    ----------
+    method:
+        ``"interpolate"`` (linear between the run's finite neighbours) or
+        ``"ffill"`` (repeat the last finite value).
+    max_gap:
+        Runs longer than this stay NaN — long outages should not be invented.
+    """
+    if method not in ("interpolate", "ffill"):
+        raise ValueError(f'method must be "interpolate" or "ffill", got {method!r}')
+    if max_gap < 1:
+        raise ValueError(f"max_gap must be >= 1, got {max_gap}")
+    filled: dict[str, np.ndarray] = {}
+    for sensor in dataset:
+        values = dataset.values(sensor.sensor_id).copy()
+        isnan = np.isnan(values)
+        i = 0
+        n = values.shape[0]
+        while i < n:
+            if not isnan[i]:
+                i += 1
+                continue
+            j = i
+            while j < n and isnan[j]:
+                j += 1
+            run = j - i
+            has_left = i > 0
+            has_right = j < n
+            if run <= max_gap:
+                if method == "ffill" and has_left:
+                    values[i:j] = values[i - 1]
+                elif method == "interpolate" and has_left and has_right:
+                    left, right = values[i - 1], values[j]
+                    steps = np.arange(1, run + 1, dtype=np.float64) / (run + 1)
+                    values[i:j] = left + (right - left) * steps
+                elif method == "interpolate" and has_left:
+                    values[i:j] = values[i - 1]
+            i = j
+        filled[sensor.sensor_id] = values
+    return SensorDataset(
+        dataset.name, dataset.timeline, list(dataset), filled, attributes=dataset.attributes
+    )
+
+
+def downsample(dataset: SensorDataset, every: int, name: str | None = None) -> SensorDataset:
+    """Keep every ``every``-th timestamp (aggregation-free thinning)."""
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    if every == 1:
+        return dataset
+    keep = list(range(0, dataset.num_timestamps, every))
+    if len(keep) < 2:
+        raise ValueError("downsampling would leave fewer than two timestamps")
+    timeline = [dataset.timeline[i] for i in keep]
+    measurements = {
+        s.sensor_id: dataset.values(s.sensor_id)[keep] for s in dataset
+    }
+    return SensorDataset(
+        name or f"{dataset.name}[every{every}]",
+        timeline,
+        list(dataset),
+        measurements,
+        attributes=dataset.attributes,
+    )

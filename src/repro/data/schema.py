@@ -1,0 +1,92 @@
+"""The three-file upload schema (Section 3.2 of the paper).
+
+A dataset is uploaded as:
+
+* ``data.csv`` — ``id,attribute,time,data`` with one row per measurement;
+  ``data`` is ``null`` when the sensor has no value at that timestamp;
+* ``location.csv`` — ``id,attribute,lat,lon`` with one row per sensor;
+* ``attribute.csv`` — one attribute name per line.
+
+This module holds the column names, the timestamp format, and the row-level
+parsing/formatting helpers shared by the reader and writer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime
+
+__all__ = [
+    "DATA_COLUMNS",
+    "LOCATION_COLUMNS",
+    "NULL_TOKEN",
+    "TIME_FORMAT",
+    "DEFAULT_CHUNK_LINES",
+    "DataRow",
+    "LocationRow",
+    "parse_time",
+    "format_time",
+    "parse_value",
+    "format_value",
+]
+
+DATA_COLUMNS = ("id", "attribute", "time", "data")
+LOCATION_COLUMNS = ("id", "attribute", "lat", "lon")
+
+#: The literal the paper uses for missing measurements.
+NULL_TOKEN = "null"
+
+#: Timestamp format used in the paper's data.csv example.
+TIME_FORMAT = "%Y-%m-%d %H:%M:%S"
+
+#: "For scalably uploading large datasets, we divide the file into 10,000
+#: lines and send each divided set to our system." (Section 3.2)
+DEFAULT_CHUNK_LINES = 10_000
+
+
+@dataclass(frozen=True, slots=True)
+class DataRow:
+    """One parsed row of ``data.csv``."""
+
+    sensor_id: str
+    attribute: str
+    time: datetime
+    value: float  # NaN when the CSV said "null"
+
+    @property
+    def is_null(self) -> bool:
+        return math.isnan(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class LocationRow:
+    """One parsed row of ``location.csv``."""
+
+    sensor_id: str
+    attribute: str
+    lat: float
+    lon: float
+
+
+def parse_time(text: str) -> datetime:
+    """Parse a ``data.csv`` timestamp."""
+    return datetime.strptime(text, TIME_FORMAT)
+
+
+def format_time(when: datetime) -> str:
+    return when.strftime(TIME_FORMAT)
+
+
+def parse_value(text: str) -> float:
+    """Parse a measurement cell; the ``null`` token becomes NaN."""
+    stripped = text.strip()
+    if stripped == NULL_TOKEN or stripped == "":
+        return math.nan
+    return float(stripped)
+
+
+def format_value(value: float) -> str:
+    if math.isnan(value):
+        return NULL_TOKEN
+    return repr(value) if value != int(value) else str(int(value))

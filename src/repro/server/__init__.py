@@ -1,0 +1,26 @@
+"""API server — the django substitute (see DESIGN.md)."""
+
+from .app import App, TestClient, create_app, create_wsgi_app
+from .handlers import ServerState, register_routes
+from .http import HTTPError, Request, Response, html_response, json_response
+from .middleware import body_limit_middleware, error_middleware, logging_middleware
+from .routing import Route, Router
+
+__all__ = [
+    "App",
+    "HTTPError",
+    "Request",
+    "Response",
+    "Route",
+    "Router",
+    "ServerState",
+    "TestClient",
+    "body_limit_middleware",
+    "create_app",
+    "create_wsgi_app",
+    "error_middleware",
+    "html_response",
+    "json_response",
+    "logging_middleware",
+    "register_routes",
+]

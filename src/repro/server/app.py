@@ -1,0 +1,147 @@
+"""Application assembly — the django-substitute's ``urls.py + settings.py``.
+
+:func:`create_app` wires store → cache → handlers → router → middleware into
+a single callable, and :func:`create_wsgi_app` adapts it to WSGI so it runs
+under any WSGI server (``wsgiref.simple_server`` in the example).
+
+The in-process :class:`TestClient` drives the app without sockets; the
+integration tests and the pipeline benchmark use it, which keeps the whole
+"system" benchmarkable in-process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+from urllib.parse import parse_qs, urlsplit
+
+from ..store.database import Database
+from .handlers import ServerState, register_routes
+from .http import Request, Response, wsgi_adapter
+from .middleware import body_limit_middleware, error_middleware, logging_middleware
+from .routing import Router
+
+__all__ = ["App", "TestClient", "create_app", "create_wsgi_app"]
+
+#: Chunks are 10,000 CSV lines; a generous per-request ceiling on top.
+DEFAULT_BODY_LIMIT = 4 * 1024 * 1024
+
+
+class App:
+    """The assembled application: a ``Request -> Response`` callable."""
+
+    def __init__(self, state: ServerState, handler: Callable[[Request], Response]) -> None:
+        self.state = state
+        self._handler = handler
+
+    def __call__(self, request: Request) -> Response:
+        return self._handler(request)
+
+
+def create_app(
+    database: Database | None = None,
+    body_limit: int = DEFAULT_BODY_LIMIT,
+    with_logging: bool = False,
+) -> App:
+    """Build the Miscela-V API application.
+
+    Parameters
+    ----------
+    database:
+        Backing store; pass a :class:`Database` opened on a snapshot path
+        for persistence across restarts.  Defaults to in-memory.
+    body_limit:
+        Maximum request body size (enforces the chunked-upload protocol).
+    with_logging:
+        Attach the request-logging middleware.
+    """
+    state = ServerState(database)
+    router = Router()
+    register_routes(router, state)
+    handler: Callable[[Request], Response] = router.dispatch
+    handler = body_limit_middleware(body_limit)(handler)
+    if with_logging:
+        handler = logging_middleware(handler)
+    handler = error_middleware(handler)
+    return App(state, handler)
+
+
+def create_wsgi_app(
+    database: Database | None = None, **kwargs: object
+) -> Callable[..., Iterable[bytes]]:
+    """The WSGI entry point (``wsgiref.simple_server.make_server`` ready)."""
+    return wsgi_adapter(create_app(database, **kwargs))  # type: ignore[arg-type]
+
+
+class TestClient:
+    """Drive an :class:`App` in-process (no sockets)."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, app: App) -> None:
+        self.app = app
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        json_body: object = None,
+        text_body: str | None = None,
+    ) -> Response:
+        import json as _json
+
+        if json_body is not None and text_body is not None:
+            raise ValueError("pass json_body or text_body, not both")
+        split = urlsplit(url)
+        body = b""
+        if json_body is not None:
+            body = _json.dumps(json_body).encode("utf-8")
+        elif text_body is not None:
+            body = text_body.encode("utf-8")
+        request = Request(
+            method=method.upper(),
+            path=split.path,
+            query=parse_qs(split.query),
+            body=body,
+        )
+        return self.app(request)
+
+    def get(self, url: str) -> Response:
+        return self.request("GET", url)
+
+    def post(self, url: str, json_body: object = None, text_body: str | None = None) -> Response:
+        return self.request("POST", url, json_body=json_body, text_body=text_body)
+
+    def delete(self, url: str) -> Response:
+        return self.request("DELETE", url)
+
+    def upload_dataset(self, dataset, chunk_lines: int = 10_000) -> Response:
+        """Run the full three-step chunked upload for a dataset object."""
+        import csv
+        import io
+
+        from ..data.csv_io import dataset_to_rows, iter_chunks
+        from ..data.schema import LOCATION_COLUMNS
+
+        data_rows, location_rows = dataset_to_rows(dataset)
+        loc_buffer = io.StringIO()
+        writer = csv.writer(loc_buffer)
+        writer.writerow(LOCATION_COLUMNS)
+        for row in location_rows:
+            writer.writerow([row.sensor_id, row.attribute, repr(row.lat), repr(row.lon)])
+        attr_text = "\n".join(dataset.attributes) + "\n"
+        begin = self.post(
+            f"/datasets/{dataset.name}/upload/begin",
+            json_body={
+                "location_csv": loc_buffer.getvalue(),
+                "attribute_csv": attr_text,
+            },
+        )
+        if begin.status != 201:
+            return begin
+        for chunk in iter_chunks(data_rows, chunk_lines):
+            response = self.post(
+                f"/datasets/{dataset.name}/upload/chunk", text_body=chunk
+            )
+            if response.status != 200:
+                return response
+        return self.post(f"/datasets/{dataset.name}/upload/finish")

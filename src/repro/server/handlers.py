@@ -1,0 +1,332 @@
+"""API handlers: upload, parameter input, CAP results, visualization.
+
+These implement the three-stage flow of the paper's Figure 2 —
+"Data upload → Parameter input → CAP mining results" — plus the
+interactive-analysis endpoints (correlated-sensor lookup, cached-result
+listing).  Handlers hold no state of their own; everything lives in
+:class:`ServerState` (datasets + cache, both backed by the document store).
+
+Upload protocol (Section 3.2):
+
+1. ``POST /datasets/{name}/upload/begin`` — JSON body with the contents of
+   ``location.csv`` and ``attribute.csv``;
+2. ``POST /datasets/{name}/upload/chunk`` — one ≤10,000-line piece of
+   ``data.csv`` per request (text body);
+3. ``POST /datasets/{name}/upload/finish`` — validate, assemble, store.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any
+
+from ..cache.cache import ResultCache
+from ..core.miner import MiningResult
+from ..core.parameters import MiningParameters
+from ..core.types import SensorDataset
+from ..data.csv_io import ChunkAssembler, read_attribute_csv, read_location_csv
+from ..data.documents import dataset_from_document, dataset_to_document
+from ..store.database import Database
+from .http import HTTPError, Request, Response, html_response, json_response
+
+__all__ = ["ServerState", "register_routes"]
+
+_DATASETS = "datasets"
+
+
+class ServerState:
+    """Shared state behind the handlers: store, cache, pending uploads."""
+
+    def __init__(self, database: Database | None = None) -> None:
+        self.database = database if database is not None else Database()
+        self.cache = ResultCache(self.database)
+        self.database.collection(_DATASETS).create_index("name", "hash")
+        self._pending: dict[str, ChunkAssembler] = {}
+        self._pending_meta: dict[str, tuple[list, list]] = {}
+        self._loaded: dict[str, SensorDataset] = {}
+
+    # -- dataset registry -----------------------------------------------------
+
+    def dataset_names(self) -> list[str]:
+        return sorted(
+            doc["name"] for doc in self.database[_DATASETS].find()
+        )
+
+    def get_dataset(self, name: str) -> SensorDataset:
+        if name in self._loaded:
+            return self._loaded[name]
+        document = self.database[_DATASETS].find_one({"name": name})
+        if document is None:
+            raise HTTPError(404, f"unknown dataset {name!r}")
+        dataset = dataset_from_document(document["dataset"])
+        self._loaded[name] = dataset
+        return dataset
+
+    def put_dataset(self, dataset: SensorDataset) -> None:
+        collection = self.database[_DATASETS]
+        document = {"name": dataset.name, "dataset": dataset_to_document(dataset)}
+        if collection.replace_one({"name": dataset.name}, document) is None:
+            collection.insert_one(document)
+        # Re-uploading under an existing name invalidates its cached CAPs.
+        self.cache.invalidate_dataset(dataset.name)
+        self._loaded[dataset.name] = dataset
+
+    def delete_dataset(self, name: str) -> bool:
+        removed = self.database[_DATASETS].delete_many({"name": name})
+        self.cache.invalidate_dataset(name)
+        self._loaded.pop(name, None)
+        return removed > 0
+
+
+def register_routes(router: Any, state: ServerState) -> None:
+    """Attach every API route to a router."""
+
+    @router.get("/")
+    def index(request: Request) -> Response:
+        return json_response(
+            {
+                "service": "miscela-v",
+                "routes": [f"{m} {p}" for m, p in router.routes()],
+            }
+        )
+
+    # -- upload (Figure 2, stage 1) -------------------------------------------
+
+    @router.post("/datasets/{name}/upload/begin")
+    def upload_begin(request: Request) -> Response:
+        name = request.path_params["name"]
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "expected a JSON object")
+        missing = {"location_csv", "attribute_csv"} - set(payload)
+        if missing:
+            raise HTTPError(400, f"missing fields: {sorted(missing)}")
+        locations = read_location_csv(io.StringIO(payload["location_csv"]))
+        attributes = read_attribute_csv(io.StringIO(payload["attribute_csv"]))
+        self_assembler = ChunkAssembler(name)
+        state._pending[name] = self_assembler
+        state._pending_meta[name] = (locations, attributes)
+        return json_response({"dataset": name, "status": "upload started"}, status=201)
+
+    @router.post("/datasets/{name}/upload/chunk")
+    def upload_chunk(request: Request) -> Response:
+        name = request.path_params["name"]
+        assembler = state._pending.get(name)
+        if assembler is None:
+            raise HTTPError(409, f"no upload in progress for dataset {name!r}")
+        rows = assembler.add_chunk(request.text())
+        return json_response(
+            {
+                "dataset": name,
+                "chunk": assembler.chunks_received,
+                "rows_in_chunk": rows,
+                "rows_total": assembler.rows_received,
+            }
+        )
+
+    @router.post("/datasets/{name}/upload/finish")
+    def upload_finish(request: Request) -> Response:
+        name = request.path_params["name"]
+        assembler = state._pending.pop(name, None)
+        meta = state._pending_meta.pop(name, None)
+        if assembler is None or meta is None:
+            raise HTTPError(409, f"no upload in progress for dataset {name!r}")
+        locations, attributes = meta
+        dataset = assembler.finish(locations, attributes)
+        state.put_dataset(dataset)
+        return json_response(
+            {"dataset": name, "summary": dataset.describe()}, status=201
+        )
+
+    # -- dataset registry -------------------------------------------------------
+
+    @router.get("/datasets")
+    def list_datasets(request: Request) -> Response:
+        return json_response({"datasets": state.dataset_names()})
+
+    @router.get("/datasets/{name}")
+    def describe_dataset(request: Request) -> Response:
+        dataset = state.get_dataset(request.path_params["name"])
+        return json_response(dataset.describe())
+
+    @router.delete("/datasets/{name}")
+    def delete_dataset(request: Request) -> Response:
+        if not state.delete_dataset(request.path_params["name"]):
+            raise HTTPError(404, f"unknown dataset {request.path_params['name']!r}")
+        return json_response({"deleted": request.path_params["name"]})
+
+    # -- mining (Figure 2, stages 2 and 3) ----------------------------------------
+
+    @router.post("/mine")
+    def mine(request: Request) -> Response:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "expected a JSON object")
+        if "dataset" not in payload or "parameters" not in payload:
+            raise HTTPError(400, "body must contain 'dataset' and 'parameters'")
+        dataset = state.get_dataset(str(payload["dataset"]))
+        try:
+            params = MiningParameters.from_document(payload["parameters"])
+        except (ValueError, TypeError) as exc:
+            raise HTTPError(400, f"invalid parameters: {exc}") from exc
+        result = state.cache.mine_cached(dataset, params)
+        return json_response(_result_payload(result))
+
+    @router.get("/caps/{dataset}")
+    def cached_results(request: Request) -> Response:
+        name = request.path_params["dataset"]
+        state.get_dataset(name)  # 404 for unknown datasets
+        documents = state.database["cap_results"].find({"payload.dataset": name})
+        return json_response(
+            {
+                "dataset": name,
+                "cached_results": [
+                    {
+                        "key": doc["key"],
+                        "parameters": doc["payload"]["parameters"],
+                        "num_caps": len(doc["result"]["caps"]),
+                    }
+                    for doc in documents
+                ],
+            }
+        )
+
+    @router.get("/caps/{dataset}/sensors/{sensor_id}")
+    def correlated_sensors(request: Request) -> Response:
+        """The map's click interaction: who is correlated with this sensor?"""
+        name = request.path_params["dataset"]
+        sensor_id = request.path_params["sensor_id"]
+        dataset = state.get_dataset(name)
+        if sensor_id not in dataset:
+            raise HTTPError(404, f"unknown sensor {sensor_id!r} in dataset {name!r}")
+        documents = state.database["cap_results"].find({"payload.dataset": name})
+        if not documents:
+            raise HTTPError(409, f"no mined results for dataset {name!r}; POST /mine first")
+        correlated: dict[str, set[str]] = {}
+        for doc in documents:
+            result = MiningResult.from_document(doc["result"])
+            for cap in result.caps_containing(sensor_id):
+                for other in cap.sensor_ids:
+                    if other != sensor_id:
+                        correlated.setdefault(other, set()).update(cap.attributes)
+        return json_response(
+            {
+                "dataset": name,
+                "sensor": sensor_id,
+                "correlated": {
+                    sid: sorted(attrs) for sid, attrs in sorted(correlated.items())
+                },
+            }
+        )
+
+    # -- visualization ------------------------------------------------------------
+
+    @router.get("/viz/{dataset}/map")
+    def viz_map(request: Request) -> Response:
+        from ..viz.map_view import render_map  # local import: viz is optional at runtime
+
+        dataset = state.get_dataset(request.path_params["dataset"])
+        highlight = request.param("highlight")
+        highlighted = set(highlight.split(",")) if highlight else set()
+        svg = render_map(dataset, highlighted_sensors=highlighted)
+        return html_response(svg.to_html_page(title=f"{dataset.name} sensors"))
+
+    @router.get("/viz/{dataset}/heatmap")
+    def viz_heatmap(request: Request) -> Response:
+        from ..core.evolving import extract_all_evolving
+        from ..viz.heatmap import render_coevolution_heatmap
+
+        dataset = state.get_dataset(request.path_params["dataset"])
+        sensors_param = request.param("sensors")
+        sensor_ids = sensors_param.split(",") if sensors_param else list(
+            dataset.sensor_ids[:20]
+        )
+        for sid in sensor_ids:
+            if sid not in dataset:
+                raise HTTPError(404, f"unknown sensor {sid!r}")
+        # Use the most recently cached parameters for this dataset, or a
+        # neutral default, to derive evolving sets for the heatmap.
+        documents = state.database["cap_results"].find(
+            {"payload.dataset": dataset.name}
+        )
+        if documents:
+            params = MiningParameters.from_document(
+                documents[-1]["payload"]["parameters"]
+            )
+        else:
+            params = MiningParameters(
+                evolving_rate=1.0, distance_threshold=1.0,
+                max_attributes=2, min_support=1,
+            )
+        evolving = extract_all_evolving(dataset, params)
+        svg = render_coevolution_heatmap(dataset, evolving, sensor_ids)
+        return html_response(svg.to_html_page(title=f"{dataset.name} co-evolution"))
+
+    @router.get("/viz/{dataset}/timeseries")
+    def viz_timeseries(request: Request) -> Response:
+        from ..viz.timeseries_view import render_timeseries
+
+        dataset = state.get_dataset(request.path_params["dataset"])
+        sensors_param = request.param("sensors")
+        if not sensors_param:
+            raise HTTPError(400, "pass ?sensors=id1,id2,...")
+        sensor_ids = sensors_param.split(",")
+        for sid in sensor_ids:
+            if sid not in dataset:
+                raise HTTPError(404, f"unknown sensor {sid!r}")
+        svg = render_timeseries(dataset, sensor_ids)
+        return html_response(svg.to_html_page(title=f"{dataset.name} measurements"))
+
+    # -- admin ----------------------------------------------------------------------
+
+    @router.get("/admin/results-by-dataset")
+    def admin_results_by_dataset(request: Request) -> Response:
+        """Aggregation-pipeline summary of the cached results per dataset."""
+        rows = state.database["cap_results"].aggregate(
+            [
+                {"$project": {
+                    "dataset": "$payload.dataset",
+                    "num_caps": "$result.caps",
+                    "min_support": "$payload.parameters.min_support",
+                }},
+                {"$unwind": "$num_caps"},
+                {"$group": {"_id": "$dataset", "total_caps": {"$count": 1}}},
+                {"$sort": {"_id": 1}},
+            ]
+        )
+        settings = state.database["cap_results"].aggregate(
+            [
+                {"$group": {"_id": "$payload.dataset", "settings": {"$count": 1}}},
+                {"$sort": {"_id": 1}},
+            ]
+        )
+        per_dataset = {row["_id"]: {"total_caps": row["total_caps"]} for row in rows}
+        for row in settings:
+            per_dataset.setdefault(row["_id"], {"total_caps": 0})["settings"] = row["settings"]
+        return json_response({"results_by_dataset": per_dataset})
+
+    @router.get("/admin/stats")
+    def admin_stats(request: Request) -> Response:
+        return json_response(
+            {
+                "store": state.database.stats(),
+                "cache": {
+                    "entries": len(state.cache),
+                    "hits": state.cache.stats.hits,
+                    "misses": state.cache.stats.misses,
+                    "evictions": state.cache.stats.evictions,
+                    "hit_rate": state.cache.stats.hit_rate,
+                },
+            }
+        )
+
+
+def _result_payload(result: MiningResult) -> dict[str, Any]:
+    return {
+        "dataset": result.dataset_name,
+        "parameters": result.parameters.to_document(),
+        "num_caps": result.num_caps,
+        "caps": [cap.to_document() for cap in result.caps],
+        "from_cache": result.from_cache,
+        "elapsed_seconds": result.elapsed_seconds,
+    }

@@ -1,0 +1,146 @@
+"""Minimal HTTP request/response model for the API server.
+
+The paper uses django purely as an API layer between the JavaScript front
+end, MISCELA, and MongoDB.  We reproduce that layer as plain WSGI: this
+module defines the framework-ish primitives (:class:`Request`,
+:class:`Response`, :class:`HTTPError`) and the WSGI adapter; routing and
+handlers live in their own modules so "we can modify each component
+individually" (Section 3.4) holds here too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+from urllib.parse import parse_qs
+
+__all__ = ["Request", "Response", "HTTPError", "json_response", "wsgi_adapter"]
+
+_STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HTTPError(Exception):
+    """An error with an HTTP status; the middleware renders it as JSON."""
+
+    def __init__(self, status: int, message: str, details: Any = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.details = details
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Mapping[str, list[str]] = field(default_factory=dict)
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    #: Filled by the router with the matched path parameters.
+    path_params: dict[str, str] = field(default_factory=dict)
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """First query-string value for ``name``."""
+        values = self.query.get(name)
+        return values[0] if values else default
+
+    def json(self) -> Any:
+        """Parse the body as JSON; raises 400 on malformed input."""
+        if not self.body:
+            raise HTTPError(400, "expected a JSON body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, f"malformed JSON body: {exc}") from exc
+
+    def text(self) -> str:
+        """The body as UTF-8 text (CSV chunk uploads)."""
+        try:
+            return self.body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise HTTPError(400, f"body is not valid UTF-8: {exc}") from exc
+
+
+@dataclass
+class Response:
+    """One HTTP response."""
+
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def status_line(self) -> str:
+        return f"{self.status} {_STATUS_TEXT.get(self.status, 'Unknown')}"
+
+    def json(self) -> Any:
+        """Decode the body as JSON (test convenience)."""
+        return json.loads(self.body.decode("utf-8")) if self.body else None
+
+
+def json_response(payload: Any, status: int = 200) -> Response:
+    """A JSON response with the right content type."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return Response(
+        status=status,
+        headers={"Content-Type": "application/json; charset=utf-8"},
+        body=body,
+    )
+
+
+def html_response(markup: str, status: int = 200) -> Response:
+    """An HTML response (the visualization endpoints)."""
+    return Response(
+        status=status,
+        headers={"Content-Type": "text/html; charset=utf-8"},
+        body=markup.encode("utf-8"),
+    )
+
+
+Handler = Callable[[Request], Response]
+
+
+def wsgi_adapter(handler: Handler) -> Callable[..., Iterable[bytes]]:
+    """Wrap the app's root handler as a WSGI callable (for ``wsgiref``)."""
+
+    def application(environ: Mapping[str, Any], start_response: Callable[..., Any]) -> Iterable[bytes]:
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        body = environ["wsgi.input"].read(length) if length else b""
+        headers = {
+            key[5:].replace("_", "-").lower(): value
+            for key, value in environ.items()
+            if key.startswith("HTTP_")
+        }
+        if environ.get("CONTENT_TYPE"):
+            headers["content-type"] = environ["CONTENT_TYPE"]
+        request = Request(
+            method=environ.get("REQUEST_METHOD", "GET").upper(),
+            path=environ.get("PATH_INFO", "/"),
+            query=parse_qs(environ.get("QUERY_STRING", "")),
+            headers=headers,
+            body=body,
+        )
+        response = handler(request)
+        start_response(response.status_line, sorted(response.headers.items()))
+        return [response.body]
+
+    return application
+
+
+__all__.append("html_response")

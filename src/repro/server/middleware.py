@@ -1,0 +1,84 @@
+"""Middleware: error rendering, request logging, and body-size limits.
+
+Composable request wrappers in the WSGI/django tradition.  The error
+middleware is what turns :class:`~repro.server.http.HTTPError` and
+validation failures into clean JSON error payloads instead of stack traces.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable
+
+from ..data.validation import DatasetValidationError
+from .http import HTTPError, Request, Response, json_response
+
+__all__ = ["error_middleware", "logging_middleware", "body_limit_middleware"]
+
+Handler = Callable[[Request], Response]
+
+logger = logging.getLogger("repro.server")
+
+
+def error_middleware(handler: Handler) -> Handler:
+    """Render HTTPError / validation errors as JSON; 500 for the unexpected."""
+
+    def wrapped(request: Request) -> Response:
+        try:
+            return handler(request)
+        except HTTPError as exc:
+            payload = {"error": exc.message}
+            if exc.details is not None:
+                payload["details"] = exc.details
+            return json_response(payload, status=exc.status)
+        except DatasetValidationError as exc:
+            return json_response(
+                {"error": "dataset validation failed", "details": exc.errors},
+                status=400,
+            )
+        except Exception as exc:  # noqa: BLE001 - the server must not crash
+            logger.exception("unhandled error for %s %s", request.method, request.path)
+            return json_response({"error": f"internal error: {exc}"}, status=500)
+
+    return wrapped
+
+
+def logging_middleware(handler: Handler) -> Handler:
+    """Log method, path, status, and latency per request."""
+
+    def wrapped(request: Request) -> Response:
+        started = time.perf_counter()
+        response = handler(request)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        logger.info(
+            "%s %s -> %d (%.1f ms)", request.method, request.path, response.status, elapsed_ms
+        )
+        return response
+
+    return wrapped
+
+
+def body_limit_middleware(max_bytes: int) -> Callable[[Handler], Handler]:
+    """Reject requests whose body exceeds ``max_bytes`` with 413.
+
+    The chunked upload protocol keeps individual requests small; this guard
+    enforces that clients actually chunk instead of posting a whole
+    data.csv at once.
+    """
+    if max_bytes < 1:
+        raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+
+    def factory(handler: Handler) -> Handler:
+        def wrapped(request: Request) -> Response:
+            if len(request.body) > max_bytes:
+                raise HTTPError(
+                    413,
+                    f"request body of {len(request.body)} bytes exceeds the "
+                    f"{max_bytes}-byte limit; use the chunked upload protocol",
+                )
+            return handler(request)
+
+        return wrapped
+
+    return factory

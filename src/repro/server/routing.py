@@ -1,0 +1,91 @@
+"""URL routing.
+
+A tiny django-style URL dispatcher: routes are method + path patterns with
+``{name}`` placeholders, matched in registration order.  ``{name}``
+captures one path segment; captured values land in ``request.path_params``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from .http import HTTPError, Request, Response
+
+__all__ = ["Router", "Route"]
+
+Handler = Callable[[Request], Response]
+
+_PLACEHOLDER = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+def _compile_pattern(pattern: str) -> re.Pattern[str]:
+    if not pattern.startswith("/"):
+        raise ValueError(f"route pattern must start with '/', got {pattern!r}")
+    parts: list[str] = []
+    last = 0
+    for match in _PLACEHOLDER.finditer(pattern):
+        parts.append(re.escape(pattern[last : match.start()]))
+        parts.append(f"(?P<{match.group(1)}>[^/]+)")
+        last = match.end()
+    parts.append(re.escape(pattern[last:]))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    pattern: str
+    regex: re.Pattern[str]
+    handler: Handler
+
+
+class Router:
+    """Ordered route table with 404/405 semantics."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        method = method.upper()
+        if method not in ("GET", "POST", "PUT", "DELETE", "PATCH", "HEAD"):
+            raise ValueError(f"unsupported method {method!r}")
+        self._routes.append(Route(method, pattern, _compile_pattern(pattern), handler))
+
+    def get(self, pattern: str) -> Callable[[Handler], Handler]:
+        """Decorator form: ``@router.get("/caps/{dataset}")``."""
+        return self._decorator("GET", pattern)
+
+    def post(self, pattern: str) -> Callable[[Handler], Handler]:
+        return self._decorator("POST", pattern)
+
+    def delete(self, pattern: str) -> Callable[[Handler], Handler]:
+        return self._decorator("DELETE", pattern)
+
+    def _decorator(self, method: str, pattern: str) -> Callable[[Handler], Handler]:
+        def register(handler: Handler) -> Handler:
+            self.add(method, pattern, handler)
+            return handler
+
+        return register
+
+    def dispatch(self, request: Request) -> Response:
+        """Route a request; raises 404/405 HTTPError when nothing matches."""
+        path_matched = False
+        for route in self._routes:
+            match = route.regex.match(request.path)
+            if match is None:
+                continue
+            path_matched = True
+            if route.method != request.method:
+                continue
+            request.path_params = dict(match.groupdict())
+            return route.handler(request)
+        if path_matched:
+            raise HTTPError(405, f"method {request.method} not allowed for {request.path}")
+        raise HTTPError(404, f"no route for {request.path}")
+
+    def routes(self) -> list[tuple[str, str]]:
+        """(method, pattern) pairs — the API index endpoint's payload."""
+        return [(r.method, r.pattern) for r in self._routes]

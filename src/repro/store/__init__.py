@@ -1,0 +1,18 @@
+"""Embedded document store — the MongoDB substitute (see DESIGN.md)."""
+
+from .aggregate import aggregate
+from .collection import Collection
+from .database import Database
+from .index import HashIndex, SortedIndex
+from .query import QueryError, compile_query, matches
+
+__all__ = [
+    "Collection",
+    "Database",
+    "HashIndex",
+    "QueryError",
+    "SortedIndex",
+    "aggregate",
+    "compile_query",
+    "matches",
+]

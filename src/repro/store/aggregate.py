@@ -1,0 +1,180 @@
+"""Aggregation pipelines for the document store.
+
+The Mongo-style counterpart to SQL GROUP BY, used by the admin/statistics
+endpoints ("how many cached results per dataset?", "top patterns by
+support").  A pipeline is a list of stages applied in order:
+
+* ``{"$match": <query>}``            — filter with the normal query language;
+* ``{"$group": {"_id": "$field" | None, out: {"$sum"|"$avg"|"$min"|"$max"|
+  "$count"|"$push": "$field" | 1}}}`` — group and accumulate;
+* ``{"$sort": {"field": 1 | -1}}``   — order (single key);
+* ``{"$limit": n}`` / ``{"$skip": n}`` — pagination;
+* ``{"$project": {"field": 1, ...}}`` — keep only listed fields (plus
+  renames via ``{"new": "$old.path"}``);
+* ``{"$unwind": "$field"}``          — one output document per array element.
+
+Pipelines operate on plain dicts and return plain dicts; they never mutate
+stored documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from .query import MISSING, QueryError, get_path, matches
+
+__all__ = ["aggregate"]
+
+
+def _resolve(document: Mapping[str, Any], ref: Any) -> Any:
+    """Resolve ``"$field.path"`` references; literals pass through."""
+    if isinstance(ref, str) and ref.startswith("$"):
+        value = get_path(document, ref[1:])
+        return None if value is MISSING else value
+    return ref
+
+
+def _stage_match(docs: list[dict], spec: Mapping[str, Any]) -> list[dict]:
+    return [d for d in docs if matches(d, spec)]
+
+
+def _stage_group(docs: list[dict], spec: Mapping[str, Any]) -> list[dict]:
+    if "_id" not in spec:
+        raise QueryError("$group requires an _id expression (use None for all)")
+    key_expr = spec["_id"]
+    accumulators = {k: v for k, v in spec.items() if k != "_id"}
+    for name, acc in accumulators.items():
+        if not isinstance(acc, Mapping) or len(acc) != 1:
+            raise QueryError(f"accumulator {name!r} must be a single-operator object")
+        op = next(iter(acc))
+        if op not in ("$sum", "$avg", "$min", "$max", "$count", "$push"):
+            raise QueryError(f"unknown accumulator {op!r}")
+
+    groups: dict[Any, list[dict]] = {}
+    order: list[Any] = []
+    for doc in docs:
+        key = _resolve(doc, key_expr)
+        try:
+            hash(key)
+        except TypeError:
+            key = repr(key)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(doc)
+
+    out: list[dict] = []
+    for key in order:
+        members = groups[key]
+        row: dict[str, Any] = {"_id": key}
+        for name, acc in accumulators.items():
+            op, operand = next(iter(acc.items()))
+            if op == "$count":
+                row[name] = len(members)
+                continue
+            values = [_resolve(d, operand) for d in members]
+            if op == "$push":
+                row[name] = values
+                continue
+            numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+            if op == "$sum":
+                row[name] = sum(numeric)
+            elif op == "$avg":
+                row[name] = sum(numeric) / len(numeric) if numeric else None
+            elif op == "$min":
+                row[name] = min(numeric) if numeric else None
+            elif op == "$max":
+                row[name] = max(numeric) if numeric else None
+        out.append(row)
+    return out
+
+
+def _stage_sort(docs: list[dict], spec: Mapping[str, Any]) -> list[dict]:
+    if not isinstance(spec, Mapping) or len(spec) != 1:
+        raise QueryError("$sort takes exactly one {field: 1|-1}")
+    field, direction = next(iter(spec.items()))
+    if direction not in (1, -1):
+        raise QueryError("$sort direction must be 1 or -1")
+    present = [d for d in docs if get_path(d, field) is not MISSING]
+    absent = [d for d in docs if get_path(d, field) is MISSING]
+    present.sort(key=lambda d: get_path(d, field), reverse=direction == -1)
+    return present + absent
+
+
+def _stage_limit(docs: list[dict], spec: Any) -> list[dict]:
+    if not isinstance(spec, int) or spec < 0:
+        raise QueryError("$limit requires a non-negative integer")
+    return docs[:spec]
+
+
+def _stage_skip(docs: list[dict], spec: Any) -> list[dict]:
+    if not isinstance(spec, int) or spec < 0:
+        raise QueryError("$skip requires a non-negative integer")
+    return docs[spec:]
+
+
+def _stage_project(docs: list[dict], spec: Mapping[str, Any]) -> list[dict]:
+    if not isinstance(spec, Mapping) or not spec:
+        raise QueryError("$project requires a non-empty field object")
+    out = []
+    for doc in docs:
+        row: dict[str, Any] = {}
+        for name, rule in spec.items():
+            if rule == 1 or rule is True:
+                value = get_path(doc, name)
+                if value is not MISSING:
+                    row[name] = value
+            elif isinstance(rule, str) and rule.startswith("$"):
+                row[name] = _resolve(doc, rule)
+            else:
+                raise QueryError(
+                    f"$project rule for {name!r} must be 1 or a '$path' reference"
+                )
+        out.append(row)
+    return out
+
+
+def _stage_unwind(docs: list[dict], spec: Any) -> list[dict]:
+    if not isinstance(spec, str) or not spec.startswith("$"):
+        raise QueryError('$unwind requires a "$field" path')
+    path = spec[1:]
+    out = []
+    for doc in docs:
+        value = get_path(doc, path)
+        if value is MISSING or value is None:
+            continue
+        if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+            out.append(dict(doc))
+            continue
+        for element in value:
+            clone = dict(doc)
+            # Only top-level unwind targets are rewritten; dotted paths keep
+            # the original nested document and add a flattened key.
+            clone[path] = element
+            out.append(clone)
+    return out
+
+
+_STAGES = {
+    "$match": _stage_match,
+    "$group": _stage_group,
+    "$sort": _stage_sort,
+    "$limit": _stage_limit,
+    "$skip": _stage_skip,
+    "$project": _stage_project,
+    "$unwind": _stage_unwind,
+}
+
+
+def aggregate(documents: Sequence[Mapping[str, Any]], pipeline: Sequence[Mapping[str, Any]]) -> list[dict]:
+    """Run an aggregation pipeline over documents; returns new dicts."""
+    current: list[dict] = [dict(d) for d in documents]
+    for i, stage in enumerate(pipeline):
+        if not isinstance(stage, Mapping) or len(stage) != 1:
+            raise QueryError(f"pipeline stage {i} must be a single-operator object")
+        op, spec = next(iter(stage.items()))
+        handler = _STAGES.get(op)
+        if handler is None:
+            raise QueryError(f"unknown pipeline stage {op!r}")
+        current = handler(current, spec)
+    return current

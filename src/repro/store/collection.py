@@ -1,0 +1,281 @@
+"""Document collections.
+
+A :class:`Collection` owns JSON-like documents keyed by an integer id the
+store assigns (exposed as ``_id``), supports Mongo-style ``find`` /
+``insert_one`` / ``update_one`` / ``delete_many``, and consults its
+secondary indexes to avoid full scans for equality and range queries.
+
+Documents are deep-copied on the way in and out so callers can never mutate
+stored state behind the store's back — the same isolation a real database
+client gives you.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .index import HashIndex, SortedIndex
+from .query import MISSING as _MISSING
+from .query import QueryError, compile_query, get_path, matches
+
+__all__ = ["Collection"]
+
+
+class Collection:
+    """One named set of documents with optional secondary indexes."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("collection name must be non-empty")
+        self.name = name
+        self._documents: dict[int, dict[str, Any]] = {}
+        self._next_id = 1
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._sorted_indexes: dict[str, SortedIndex] = {}
+
+    # -- index management ---------------------------------------------------
+
+    def create_index(self, path: str, kind: str = "hash") -> None:
+        """Create a secondary index over a dotted field path.
+
+        Existing documents are back-filled.  Creating the same index twice
+        is a no-op.
+        """
+        if kind == "hash":
+            if path in self._hash_indexes:
+                return
+            index = HashIndex(path)
+            for doc_id, document in self._documents.items():
+                index.insert(doc_id, document)
+            self._hash_indexes[path] = index
+        elif kind == "sorted":
+            if path in self._sorted_indexes:
+                return
+            sindex = SortedIndex(path)
+            for doc_id, document in self._documents.items():
+                sindex.insert(doc_id, document)
+            self._sorted_indexes[path] = sindex
+        else:
+            raise ValueError(f'index kind must be "hash" or "sorted", got {kind!r}')
+
+    def indexes(self) -> dict[str, list[str]]:
+        return {
+            "hash": sorted(self._hash_indexes),
+            "sorted": sorted(self._sorted_indexes),
+        }
+
+    # -- writes ---------------------------------------------------------------
+
+    def insert_one(self, document: Mapping[str, Any]) -> int:
+        """Insert a document; returns its assigned ``_id``."""
+        if not isinstance(document, Mapping):
+            raise TypeError(f"document must be a mapping, got {type(document).__name__}")
+        doc = copy.deepcopy(dict(document))
+        doc_id = self._next_id
+        self._next_id += 1
+        doc["_id"] = doc_id
+        self._documents[doc_id] = doc
+        for index in self._hash_indexes.values():
+            index.insert(doc_id, doc)
+        for sindex in self._sorted_indexes.values():
+            sindex.insert(doc_id, doc)
+        return doc_id
+
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[int]:
+        return [self.insert_one(doc) for doc in documents]
+
+    def replace_one(self, query: Mapping[str, Any], document: Mapping[str, Any]) -> int | None:
+        """Replace the first matching document (keeping its ``_id``).
+
+        Returns the ``_id`` of the replaced document, or ``None`` if no
+        document matched.
+        """
+        found = self.find_one(query)
+        if found is None:
+            return None
+        doc_id = found["_id"]
+        self._unindex(doc_id)
+        doc = copy.deepcopy(dict(document))
+        doc["_id"] = doc_id
+        self._documents[doc_id] = doc
+        self._index(doc_id, doc)
+        return doc_id
+
+    def update_one(self, query: Mapping[str, Any], changes: Mapping[str, Any]) -> int | None:
+        """Set top-level fields on the first matching document."""
+        found = self.find_one(query)
+        if found is None:
+            return None
+        doc_id = found["_id"]
+        doc = self._documents[doc_id]
+        self._unindex(doc_id)
+        for key, value in changes.items():
+            if key == "_id":
+                raise QueryError("_id is immutable")
+            doc[key] = copy.deepcopy(value)
+        self._index(doc_id, doc)
+        return doc_id
+
+    def delete_many(self, query: Mapping[str, Any]) -> int:
+        """Delete all matching documents; returns the count."""
+        doc_ids = [doc["_id"] for doc in self.find(query)]
+        for doc_id in doc_ids:
+            self._unindex(doc_id)
+            del self._documents[doc_id]
+        return len(doc_ids)
+
+    def clear(self) -> None:
+        self._documents.clear()
+        for path in list(self._hash_indexes):
+            self._hash_indexes[path] = HashIndex(path)
+        for path in list(self._sorted_indexes):
+            self._sorted_indexes[path] = SortedIndex(path)
+
+    def _unindex(self, doc_id: int) -> None:
+        for index in self._hash_indexes.values():
+            index.remove(doc_id)
+        for sindex in self._sorted_indexes.values():
+            sindex.remove(doc_id)
+
+    def _index(self, doc_id: int, doc: Mapping[str, Any]) -> None:
+        for index in self._hash_indexes.values():
+            index.insert(doc_id, doc)
+        for sindex in self._sorted_indexes.values():
+            sindex.insert(doc_id, doc)
+
+    # -- reads ----------------------------------------------------------------
+
+    def _candidate_ids(self, query: Mapping[str, Any]) -> Iterable[int] | None:
+        """Use an index to narrow the scan, if any equality/range term has one.
+
+        Returns ``None`` when no index applies (full scan).  Index results
+        are a superset-of-matches *for that term*, so the final predicate is
+        always re-applied.
+        """
+        for key, condition in query.items():
+            if not isinstance(key, str) or key.startswith("$"):
+                continue
+            is_plain = not (
+                isinstance(condition, Mapping)
+                and any(str(k).startswith("$") for k in condition)
+            )
+            if is_plain and key in self._hash_indexes:
+                index = self._hash_indexes[key]
+                # Documents missing the field are not in the index and can
+                # only equality-match None; scan those separately.
+                ids = index.lookup(condition)
+                uncovered = [d for d in self._documents if not index.covers(d)]
+                return list(ids) + uncovered
+            if isinstance(condition, Mapping) and key in self._sorted_indexes:
+                ops = set(condition)
+                if ops & {"$gt", "$gte", "$lt", "$lte"} and not ops - {
+                    "$gt", "$gte", "$lt", "$lte"
+                }:
+                    low = condition.get("$gte", condition.get("$gt"))
+                    high = condition.get("$lte", condition.get("$lt"))
+                    sindex = self._sorted_indexes[key]
+                    ids = list(
+                        sindex.range(
+                            low,
+                            high,
+                            include_low="$gte" in condition or "$gt" not in condition,
+                            include_high="$lte" in condition or "$lt" not in condition,
+                        )
+                    )
+                    return ids
+        return None
+
+    def find(
+        self,
+        query: Mapping[str, Any] | None = None,
+        sort: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """All matching documents (deep copies), optionally sorted/limited.
+
+        ``sort`` is a dotted field path; documents missing the field sort
+        last regardless of direction.
+        """
+        query = query or {}
+        predicate = compile_query(query)
+        candidates = self._candidate_ids(query)
+        if candidates is None:
+            candidates = list(self._documents)
+        results = [
+            self._documents[doc_id]
+            for doc_id in candidates
+            if doc_id in self._documents and predicate(self._documents[doc_id])
+        ]
+        if sort is not None:
+            present = [d for d in results if get_path(d, sort) is not _MISSING]
+            absent = [d for d in results if get_path(d, sort) is _MISSING]
+            present.sort(key=lambda d: get_path(d, sort), reverse=descending)
+            results = present + absent
+        else:
+            results.sort(key=lambda d: d["_id"])
+        if limit is not None:
+            if limit < 0:
+                raise ValueError(f"limit must be >= 0, got {limit}")
+            results = results[:limit]
+        return copy.deepcopy(results)
+
+    def find_one(self, query: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
+        found = self.find(query, limit=1)
+        return found[0] if found else None
+
+    def aggregate(self, pipeline: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        """Run an aggregation pipeline over the collection's documents."""
+        from .aggregate import aggregate as _aggregate
+
+        return _aggregate(self.find(), pipeline)
+
+    def count(self, query: Mapping[str, Any] | None = None) -> int:
+        if not query:
+            return len(self._documents)
+        predicate = compile_query(query)
+        candidates = self._candidate_ids(query)
+        if candidates is None:
+            candidates = list(self._documents)
+        return sum(
+            1
+            for doc_id in candidates
+            if doc_id in self._documents and predicate(self._documents[doc_id])
+        )
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.find())
+
+    # -- persistence hooks (used by Database) ----------------------------------
+
+    def dump(self) -> dict[str, Any]:
+        """Serialisable snapshot (documents + index definitions)."""
+        return {
+            "name": self.name,
+            "next_id": self._next_id,
+            "documents": [copy.deepcopy(d) for d in self._documents.values()],
+            "indexes": self.indexes(),
+        }
+
+    @classmethod
+    def load(cls, snapshot: Mapping[str, Any]) -> "Collection":
+        collection = cls(str(snapshot["name"]))
+        for path in snapshot.get("indexes", {}).get("hash", []):
+            collection.create_index(path, "hash")
+        for path in snapshot.get("indexes", {}).get("sorted", []):
+            collection.create_index(path, "sorted")
+        for document in snapshot.get("documents", []):
+            doc = copy.deepcopy(dict(document))
+            doc_id = int(doc["_id"])
+            collection._documents[doc_id] = doc
+            collection._index(doc_id, doc)
+        collection._next_id = int(snapshot.get("next_id", 1))
+        if collection._documents:
+            collection._next_id = max(
+                collection._next_id, max(collection._documents) + 1
+            )
+        return collection

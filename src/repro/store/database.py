@@ -1,0 +1,111 @@
+"""The database: named collections with optional JSON-file persistence.
+
+Plays the role MongoDB plays in the paper: one database holds the
+``datasets`` collection (uploaded data, so "we can use the dataset without
+re-uploading by specifying the dataset name") and the ``cap_results``
+collection (cached mining results keyed by dataset + parameters).
+
+Persistence is a whole-database JSON snapshot — crash-consistent via
+write-to-temp-then-rename — because the store's durability job here is to
+survive restarts of the demo server, not to be a WAL-grade engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from .collection import Collection
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A set of named collections, optionally bound to a snapshot file."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._collections: dict[str, Collection] = {}
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self._load_snapshot(self.path)
+
+    # -- collection management ------------------------------------------------
+
+    def collection(self, name: str) -> Collection:
+        """Get (creating on first use) a collection — Mongo's ``db[name]``."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._collections)
+
+    def collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> bool:
+        """Remove a collection entirely; returns whether it existed."""
+        return self._collections.pop(name, None) is not None
+
+    def stats(self) -> dict[str, Any]:
+        """Document counts per collection (the admin endpoint's payload)."""
+        return {
+            "collections": {
+                name: len(collection)
+                for name, collection in sorted(self._collections.items())
+            },
+            "path": str(self.path) if self.path else None,
+        }
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write a JSON snapshot atomically; returns the path written."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no snapshot path: pass one or construct Database(path=...)")
+        snapshot = {
+            "format": "repro-store-v1",
+            "collections": [c.dump() for c in self._collections.values()],
+        }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(snapshot, handle, separators=(",", ":"))
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        self.path = target
+        return target
+
+    def _load_snapshot(self, path: Path) -> None:
+        with open(path) as handle:
+            snapshot = json.load(handle)
+        if snapshot.get("format") != "repro-store-v1":
+            raise ValueError(
+                f"unrecognised snapshot format in {path}: {snapshot.get('format')!r}"
+            )
+        for dump in snapshot.get("collections", []):
+            collection = Collection.load(dump)
+            self._collections[collection.name] = collection
+
+    @classmethod
+    def open(cls, path: str | Path) -> "Database":
+        """Open (or create) a persistent database at ``path``."""
+        return cls(path=path)

@@ -1,0 +1,144 @@
+"""Secondary indexes for the document store.
+
+Two index kinds, mirroring what the system actually queries:
+
+* :class:`HashIndex` — exact-match lookup on one dotted field path.  Used by
+  the cache (lookup by parameter-hash) and by dataset-name queries.
+* :class:`SortedIndex` — order-preserving index supporting range scans
+  (``$gt``/``$lt`` style), used by support-ordered CAP queries.
+
+Indexes observe inserts/removes through the collection; they never own the
+documents.  Values that are missing or unorderable simply stay out of the
+index — queries fall back to a scan for those documents (the collection
+handles that).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Mapping
+
+from .query import MISSING as _MISSING
+from .query import get_path
+
+__all__ = ["HashIndex", "SortedIndex"]
+
+
+class HashIndex:
+    """Exact-match index: field value → set of document ids."""
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise ValueError("index path must be non-empty")
+        self.path = path
+        self._buckets: dict[Any, set[int]] = {}
+        self._indexed: dict[int, Any] = {}
+
+    def _key_for(self, document: Mapping[str, Any]) -> Any:
+        value = get_path(document, self.path)
+        if value is _MISSING or value is None:
+            return _MISSING
+        try:
+            hash(value)
+        except TypeError:
+            return _MISSING
+        return value
+
+    def insert(self, doc_id: int, document: Mapping[str, Any]) -> None:
+        key = self._key_for(document)
+        if key is _MISSING:
+            return
+        self._buckets.setdefault(key, set()).add(doc_id)
+        self._indexed[doc_id] = key
+
+    def remove(self, doc_id: int) -> None:
+        key = self._indexed.pop(doc_id, _MISSING)
+        if key is _MISSING:
+            return
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(doc_id)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, value: Any) -> set[int]:
+        """Document ids whose indexed field equals ``value``."""
+        try:
+            hash(value)
+        except TypeError:
+            return set()
+        return set(self._buckets.get(value, ()))
+
+    def covers(self, doc_id: int) -> bool:
+        """Whether the document's field was indexable at insert time."""
+        return doc_id in self._indexed
+
+    def __len__(self) -> int:
+        return len(self._indexed)
+
+
+class SortedIndex:
+    """Order-preserving index supporting range queries on one field."""
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise ValueError("index path must be non-empty")
+        self.path = path
+        self._entries: list[tuple[Any, int]] = []  # sorted by (value, doc_id)
+        self._indexed: dict[int, Any] = {}
+
+    def insert(self, doc_id: int, document: Mapping[str, Any]) -> None:
+        value = get_path(document, self.path)
+        if value is _MISSING or value is None:
+            return
+        try:
+            bisect.insort(self._entries, (value, doc_id))
+        except TypeError:
+            return
+        self._indexed[doc_id] = value
+
+    def remove(self, doc_id: int) -> None:
+        value = self._indexed.pop(doc_id, _MISSING)
+        if value is _MISSING:
+            return
+        pos = bisect.bisect_left(self._entries, (value, doc_id))
+        if pos < len(self._entries) and self._entries[pos] == (value, doc_id):
+            self._entries.pop(pos)
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[int]:
+        """Document ids with indexed value in the given (optional) bounds."""
+        entries = self._entries
+        if low is None:
+            start = 0
+        else:
+            key = (low, -1) if include_low else (low, float("inf"))
+            try:
+                start = bisect.bisect_left(entries, key)
+            except TypeError:
+                start = 0
+        for value, doc_id in entries[start:]:
+            if high is not None:
+                try:
+                    if value > high or (value == high and not include_high):
+                        break
+                except TypeError:
+                    continue
+            if low is not None and not include_low:
+                try:
+                    if value == low:
+                        continue
+                except TypeError:
+                    continue
+            yield doc_id
+
+    def covers(self, doc_id: int) -> bool:
+        return doc_id in self._indexed
+
+    def __len__(self) -> int:
+        return len(self._indexed)

@@ -1,0 +1,32 @@
+"""Visualization: SVG maps, time-series charts, HTML reports, JSON export."""
+
+from .charts import render_support_histogram, render_sweep_chart
+from .colors import ATTRIBUTE_COLORS, DIM_COLOR, HIGHLIGHT_COLOR, PALETTE, color_map
+from .export import caps_to_geojson, caps_to_json, result_to_json
+from .heatmap import render_coevolution_heatmap
+from .map_view import MapProjection, render_map
+from .report import CapReport, densest_window
+from .svg import SvgCanvas, escape
+from .timeseries_view import render_cap_timeseries, render_timeseries
+
+__all__ = [
+    "ATTRIBUTE_COLORS",
+    "CapReport",
+    "DIM_COLOR",
+    "HIGHLIGHT_COLOR",
+    "MapProjection",
+    "PALETTE",
+    "SvgCanvas",
+    "caps_to_geojson",
+    "caps_to_json",
+    "color_map",
+    "densest_window",
+    "escape",
+    "render_cap_timeseries",
+    "render_coevolution_heatmap",
+    "render_map",
+    "render_support_histogram",
+    "render_sweep_chart",
+    "render_timeseries",
+    "result_to_json",
+]

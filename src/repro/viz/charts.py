@@ -1,0 +1,113 @@
+"""Analytical charts: sensitivity curves and support distributions.
+
+Companions to the map/time-series views for the *analysis about the
+analysis*: how #CAPs reacts to a parameter (§2.1), and how pattern supports
+distribute.  Pure SVG like everything else in :mod:`repro.viz`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.sensitivity import SweepPoint
+from ..core.types import CAP
+from .colors import PALETTE
+from .svg import SvgCanvas
+
+__all__ = ["render_sweep_chart", "render_support_histogram"]
+
+
+def _axis_positions(lo: float, hi: float, length: float, pad: float):
+    span = hi - lo if hi > lo else 1.0
+
+    def place(value: float) -> float:
+        return pad + (value - lo) / span * length
+
+    return place
+
+
+def render_sweep_chart(
+    points: Sequence[SweepPoint],
+    width: float = 560.0,
+    height: float = 340.0,
+    title: str | None = None,
+) -> SvgCanvas:
+    """#CAPs vs parameter value, one marker per sweep point."""
+    if not points:
+        raise ValueError("points must be non-empty")
+    parameter = points[0].parameter
+    xs = [p.value for p in points]
+    ys = [p.num_caps for p in points]
+    pad = 55.0
+    plot_w, plot_h = width - 2 * pad, height - 2 * pad
+    place_x = _axis_positions(min(xs), max(xs), plot_w, pad)
+    place_y = _axis_positions(0.0, max(max(ys), 1), plot_h, pad)
+
+    canvas = SvgCanvas(width, height)
+    canvas.rect(pad, pad, plot_w, plot_h, fill="none", stroke="#999999")
+
+    # Gridlines + y labels at quarters.
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        value = frac * max(max(ys), 1)
+        y = height - place_y(value)
+        canvas.line(pad, y, pad + plot_w, y, stroke="#eeeeee")
+        canvas.text(pad - 6, y + 3, f"{value:.0f}", size=9, anchor="end", fill="#666666")
+
+    series = [(place_x(x), height - place_y(y)) for x, y in zip(xs, ys)]
+    canvas.polyline(series, stroke=PALETTE[0], stroke_width=2)
+    for (cx, cy), x, y in zip(series, xs, ys):
+        canvas.group_open()
+        canvas.circle(cx, cy, 3.5, fill=PALETTE[0])
+        canvas.title_tooltip(f"{parameter}={x:g} → {y} CAPs")
+        canvas.group_close()
+        canvas.text(cx, height - pad + 16, f"{x:g}", size=9, anchor="middle", fill="#555555")
+
+    canvas.text(width / 2, height - 12, parameter, size=11, anchor="middle", fill="#333333")
+    canvas.text(14, height / 2, "#CAPs", size=11, anchor="middle", fill="#333333")
+    canvas.text(width / 2, 20, title or f"#CAPs vs {parameter}", size=13,
+                anchor="middle", fill="#222222")
+    return canvas
+
+
+def render_support_histogram(
+    caps: Sequence[CAP],
+    bins: int = 12,
+    width: float = 560.0,
+    height: float = 300.0,
+    title: str = "CAP support distribution",
+) -> SvgCanvas:
+    """Histogram of pattern supports — how strong the discovered CAPs are."""
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    canvas = SvgCanvas(width, height)
+    pad = 50.0
+    plot_w, plot_h = width - 2 * pad, height - 2 * pad
+    canvas.rect(pad, pad, plot_w, plot_h, fill="none", stroke="#999999")
+    canvas.text(width / 2, 20, title, size=13, anchor="middle", fill="#222222")
+    if not caps:
+        canvas.text(width / 2, height / 2, "no CAPs", size=12, anchor="middle", fill="#888888")
+        return canvas
+
+    supports = [cap.support for cap in caps]
+    lo, hi = min(supports), max(supports)
+    span = max(hi - lo, 1)
+    counts = [0] * bins
+    for s in supports:
+        index = min(int((s - lo) / span * bins), bins - 1)
+        counts[index] += 1
+    top = max(counts)
+    bar_w = plot_w / bins
+    for i, count in enumerate(counts):
+        bar_h = (count / top) * (plot_h - 6) if top else 0.0
+        x = pad + i * bar_w
+        canvas.group_open()
+        canvas.rect(x + 1, pad + plot_h - bar_h, bar_w - 2, bar_h,
+                    fill=PALETTE[2], stroke="#336655", stroke_width=0.5)
+        bucket_lo = lo + span * i / bins
+        bucket_hi = lo + span * (i + 1) / bins
+        canvas.title_tooltip(f"support {bucket_lo:.0f}–{bucket_hi:.0f}: {count} CAPs")
+        canvas.group_close()
+    canvas.text(pad, height - 12, f"{lo}", size=9, fill="#555555")
+    canvas.text(pad + plot_w, height - 12, f"{hi}", size=9, anchor="end", fill="#555555")
+    canvas.text(width / 2, height - 12, "support", size=11, anchor="middle", fill="#333333")
+    return canvas

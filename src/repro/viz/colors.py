@@ -1,0 +1,70 @@
+"""Color assignment for attributes and highlight states.
+
+A fixed qualitative palette keyed by attribute order keeps colors stable
+across a session (the same attribute is the same color on the map and in
+every chart), with named overrides for the smart-city attributes the paper's
+datasets use so figures look domain-appropriate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = [
+    "PALETTE",
+    "ATTRIBUTE_COLORS",
+    "HIGHLIGHT_COLOR",
+    "DIM_COLOR",
+    "EDGE_COLOR",
+    "color_map",
+]
+
+#: Qualitative palette (colorblind-safe ordering, Okabe–Ito derived).
+PALETTE = (
+    "#0072B2",  # blue
+    "#E69F00",  # orange
+    "#009E73",  # green
+    "#D55E00",  # vermillion
+    "#CC79A7",  # purple-pink
+    "#56B4E9",  # sky blue
+    "#F0E442",  # yellow
+    "#8C510A",  # brown
+    "#5E3C99",  # violet
+    "#1B9E77",  # teal
+)
+
+#: Domain overrides for the paper's attributes.
+ATTRIBUTE_COLORS: Mapping[str, str] = {
+    "temperature": "#D55E00",
+    "traffic_volume": "#0072B2",
+    "light": "#E69F00",
+    "sound": "#5E3C99",
+    "humidity": "#009E73",
+    "pm25": "#555555",
+    "pm10": "#8C510A",
+    "so2": "#CC79A7",
+    "no2": "#0072B2",
+    "co": "#E69F00",
+    "o3": "#009E73",
+}
+
+HIGHLIGHT_COLOR = "#FF2D2D"
+DIM_COLOR = "#C8C8C8"
+EDGE_COLOR = "#B0C4DE"
+
+
+def color_map(attributes: Iterable[str]) -> dict[str, str]:
+    """A stable attribute → color mapping.
+
+    Named attributes get their domain color; everything else cycles through
+    the palette in attribute order.
+    """
+    mapping: dict[str, str] = {}
+    cursor = 0
+    for attribute in attributes:
+        if attribute in ATTRIBUTE_COLORS:
+            mapping[attribute] = ATTRIBUTE_COLORS[attribute]
+        else:
+            mapping[attribute] = PALETTE[cursor % len(PALETTE)]
+            cursor += 1
+    return mapping

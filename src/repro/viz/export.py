@@ -1,0 +1,73 @@
+"""JSON export of mining results.
+
+"Miscela returns a set of sets of sensors as CAPs ... and its format is
+JSON" (Section 3.4).  These helpers produce exactly that interchange shape
+— the payload the API returns and the front end consumes — plus a GeoJSON
+export so results drop into standard GIS tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from ..core.miner import MiningResult
+from ..core.types import CAP, SensorDataset
+
+__all__ = ["caps_to_json", "result_to_json", "caps_to_geojson"]
+
+
+def caps_to_json(caps: Sequence[CAP], indent: int | None = None) -> str:
+    """The paper's CAP interchange format: a JSON array of sensor-set objects."""
+    return json.dumps([cap.to_document() for cap in caps], indent=indent, sort_keys=True)
+
+
+def result_to_json(result: MiningResult, indent: int | None = None) -> str:
+    """A full mining result (dataset, parameters, CAPs) as JSON."""
+    return json.dumps(result.to_document(), indent=indent, sort_keys=True)
+
+
+def caps_to_geojson(
+    dataset: SensorDataset, caps: Sequence[CAP], indent: int | None = None
+) -> str:
+    """CAPs as a GeoJSON FeatureCollection.
+
+    Each CAP becomes one MultiPoint feature over its sensor locations with
+    the pattern's attributes and support as properties; each sensor also
+    appears once as a Point feature.  Coordinates are ``[lon, lat]`` per the
+    GeoJSON spec.
+    """
+    features: list[dict[str, Any]] = []
+    for sensor in dataset:
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {"type": "Point", "coordinates": [sensor.lon, sensor.lat]},
+                "properties": {
+                    "kind": "sensor",
+                    "id": sensor.sensor_id,
+                    "attribute": sensor.attribute,
+                },
+            }
+        )
+    for i, cap in enumerate(caps):
+        coordinates = []
+        for sid in sorted(cap.sensor_ids):
+            sensor = dataset.sensor(sid)
+            coordinates.append([sensor.lon, sensor.lat])
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {"type": "MultiPoint", "coordinates": coordinates},
+                "properties": {
+                    "kind": "cap",
+                    "index": i,
+                    "sensors": sorted(cap.sensor_ids),
+                    "attributes": sorted(cap.attributes),
+                    "support": cap.support,
+                },
+            }
+        )
+    return json.dumps(
+        {"type": "FeatureCollection", "features": features}, indent=indent, sort_keys=True
+    )

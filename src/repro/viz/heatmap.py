@@ -1,0 +1,101 @@
+"""Co-evolution heatmap.
+
+A matrix view of pairwise co-evolution rates between sensors — the "why are
+these correlated" question at a glance, complementing the map (where) and
+the time series (when).  Cells are shaded white→deep blue by rate; rows and
+columns carry sensor ids and attribute-colored markers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.types import EvolvingSet, SensorDataset
+from ..analysis.statistics import co_evolution_rate
+from .colors import color_map
+from .svg import SvgCanvas
+
+__all__ = ["render_coevolution_heatmap"]
+
+
+def _shade(rate: float) -> str:
+    """White (0.0) → deep blue (1.0)."""
+    rate = min(max(rate, 0.0), 1.0)
+    # Interpolate between #ffffff and #0b4f8a.
+    r = round(255 + (11 - 255) * rate)
+    g = round(255 + (79 - 255) * rate)
+    b = round(255 + (138 - 255) * rate)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def render_coevolution_heatmap(
+    dataset: SensorDataset,
+    evolving: Mapping[str, EvolvingSet],
+    sensor_ids: Sequence[str] | None = None,
+    cell: float = 22.0,
+    title: str = "pairwise co-evolution rate",
+) -> SvgCanvas:
+    """Draw the co-evolution rate matrix for the given sensors.
+
+    Parameters
+    ----------
+    sensor_ids:
+        Which sensors to include (rows == columns).  Defaults to the whole
+        dataset; keep it under ~40 for readability.
+    cell:
+        Cell edge length in pixels.
+    """
+    ids = list(sensor_ids) if sensor_ids is not None else list(dataset.sensor_ids)
+    if not ids:
+        raise ValueError("sensor_ids must be non-empty")
+    for sid in ids:
+        if sid not in dataset:
+            raise KeyError(f"unknown sensor id: {sid!r}")
+        if sid not in evolving:
+            raise KeyError(f"no evolving set for sensor {sid!r}")
+    n = len(ids)
+    label_w = 10 + max(len(sid) for sid in ids) * 6.2
+    pad_top = 36.0
+    width = label_w + n * cell + 80
+    height = pad_top + label_w + n * cell + 10
+    canvas = SvgCanvas(width, height)
+    colors = color_map(dataset.attributes)
+    canvas.text(width / 2, 20, title, size=13, anchor="middle", fill="#222222")
+
+    origin_x, origin_y = label_w, pad_top + label_w
+    for i, row_id in enumerate(ids):
+        for j, col_id in enumerate(ids):
+            if row_id == col_id:
+                rate = 1.0
+            else:
+                rate = co_evolution_rate(evolving[row_id], evolving[col_id])
+            canvas.group_open()
+            canvas.rect(
+                origin_x + j * cell, origin_y + i * cell, cell - 1, cell - 1,
+                fill=_shade(rate), stroke="#dddddd", stroke_width=0.5,
+            )
+            canvas.title_tooltip(f"{row_id} × {col_id}: {rate:.2f}")
+            canvas.group_close()
+
+    for i, sid in enumerate(ids):
+        attribute = dataset.sensor(sid).attribute
+        y = origin_y + i * cell + cell / 2
+        canvas.circle(origin_x - 8, y - 1, 3.5, fill=colors[attribute])
+        canvas.text(origin_x - 16, y + 3, sid, size=9, anchor="end", fill="#333333")
+        # Column labels, rotated via per-glyph positioning is overkill:
+        # draw them diagonally with a transform group.
+        x = origin_x + i * cell + cell / 2
+        canvas.raw(
+            f'<g transform="translate({x:.1f},{origin_y - 8:.1f}) rotate(-55)">'
+            f'<text font-size="9" font-family="sans-serif" fill="#333333">'
+            f"{sid}</text></g>"
+        )
+
+    # Scale legend.
+    legend_x = origin_x + n * cell + 16
+    for k in range(11):
+        rate = k / 10.0
+        canvas.rect(legend_x, origin_y + (10 - k) * 14, 16, 13, fill=_shade(rate))
+    canvas.text(legend_x + 20, origin_y + 12, "1.0", size=9, fill="#333333")
+    canvas.text(legend_x + 20, origin_y + 10 * 14 + 12, "0.0", size=9, fill="#333333")
+    return canvas

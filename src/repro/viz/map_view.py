@@ -1,0 +1,185 @@
+"""Sensor-location maps (panels A/B of the paper's Figure 3).
+
+Renders a dataset's sensors as colored dots on an equirectangular
+projection, optionally with:
+
+* η-proximity edges (which sensor pairs count as "spatially close"),
+* a highlighted sensor set (a CAP, or everything correlated with a clicked
+  sensor) drawn in the highlight color with halos — the paper's
+  "sensors are highlighted if their measurements are correlated to
+  measurements of the clicked sensor".
+
+The paper uses Google Maps tiles; offline we draw a light graticule instead.
+The projection, dot semantics, and highlight behaviour — the parts the
+analysis depends on — are faithful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.types import SensorDataset
+from .colors import DIM_COLOR, EDGE_COLOR, HIGHLIGHT_COLOR, color_map
+from .svg import SvgCanvas
+
+__all__ = ["MapProjection", "render_map"]
+
+
+@dataclass(frozen=True)
+class MapProjection:
+    """Equirectangular lat/lon → canvas mapping with padded bounds."""
+
+    min_lat: float
+    max_lat: float
+    min_lon: float
+    max_lon: float
+    width: float
+    height: float
+    padding: float = 40.0
+
+    @classmethod
+    def fit(
+        cls,
+        dataset: SensorDataset,
+        width: float = 720.0,
+        height: float = 520.0,
+        padding: float = 40.0,
+    ) -> "MapProjection":
+        lats = [s.lat for s in dataset]
+        lons = [s.lon for s in dataset]
+        min_lat, max_lat = min(lats), max(lats)
+        min_lon, max_lon = min(lons), max(lons)
+        # Avoid a degenerate projection for co-located sensors.
+        if max_lat - min_lat < 1e-6:
+            min_lat -= 0.005
+            max_lat += 0.005
+        if max_lon - min_lon < 1e-6:
+            min_lon -= 0.005
+            max_lon += 0.005
+        return cls(min_lat, max_lat, min_lon, max_lon, width, height, padding)
+
+    def to_xy(self, lat: float, lon: float) -> tuple[float, float]:
+        """Project a coordinate into canvas space (y grows downward)."""
+        usable_w = self.width - 2 * self.padding
+        usable_h = self.height - 2 * self.padding
+        x = self.padding + (lon - self.min_lon) / (self.max_lon - self.min_lon) * usable_w
+        y = self.padding + (self.max_lat - lat) / (self.max_lat - self.min_lat) * usable_h
+        return x, y
+
+    def graticule_steps(self) -> tuple[list[float], list[float]]:
+        """Grid-line positions: ~5 lines per axis at a round degree step."""
+
+        def steps(lo: float, hi: float) -> list[float]:
+            span = hi - lo
+            raw = span / 5.0
+            magnitude = 10.0 ** math.floor(math.log10(raw)) if raw > 0 else 1.0
+            for mult in (1.0, 2.0, 5.0, 10.0):
+                step = magnitude * mult
+                if span / step <= 6:
+                    break
+            first = math.ceil(lo / step) * step
+            values = []
+            v = first
+            while v <= hi + 1e-12:
+                values.append(round(v, 10))
+                v += step
+            return values
+
+        return steps(self.min_lat, self.max_lat), steps(self.min_lon, self.max_lon)
+
+
+def render_map(
+    dataset: SensorDataset,
+    highlighted_sensors: Iterable[str] = (),
+    adjacency: Mapping[str, set[str]] | None = None,
+    width: float = 720.0,
+    height: float = 520.0,
+    dim_unhighlighted: bool = False,
+    title: str | None = None,
+) -> SvgCanvas:
+    """Draw the sensor map.
+
+    Parameters
+    ----------
+    dataset:
+        The sensors to draw.
+    highlighted_sensors:
+        Sensor ids drawn in the highlight style (e.g. one CAP's members).
+    adjacency:
+        Optional η-proximity graph; edges are drawn beneath the dots.
+    dim_unhighlighted:
+        When highlighting, grey out everything else (the paper's panel (B)
+        look) instead of keeping attribute colors.
+    """
+    highlighted = set(highlighted_sensors)
+    unknown = highlighted - set(dataset.sensor_ids)
+    if unknown:
+        raise KeyError(f"highlighted sensors not in dataset: {sorted(unknown)}")
+    projection = MapProjection.fit(dataset, width, height)
+    canvas = SvgCanvas(width, height, background="#f4f8fb")
+    colors = color_map(dataset.attributes)
+
+    # Graticule (the offline stand-in for map tiles).
+    lat_lines, lon_lines = projection.graticule_steps()
+    for lat in lat_lines:
+        x1, y = projection.to_xy(lat, projection.min_lon)
+        x2, _ = projection.to_xy(lat, projection.max_lon)
+        canvas.line(x1, y, x2, y, stroke="#dde6ee", stroke_width=1)
+        canvas.text(4, y + 3, f"{lat:.3g}°", size=9, fill="#7a8a99")
+    for lon in lon_lines:
+        x, y1 = projection.to_xy(projection.max_lat, lon)
+        _, y2 = projection.to_xy(projection.min_lat, lon)
+        canvas.line(x, y1, x, y2, stroke="#dde6ee", stroke_width=1)
+        canvas.text(x, height - 6, f"{lon:.3g}°", size=9, fill="#7a8a99", anchor="middle")
+
+    # Proximity edges beneath the dots.
+    if adjacency:
+        drawn: set[tuple[str, str]] = set()
+        for sid, neighbours in adjacency.items():
+            if sid not in dataset:
+                continue
+            a = dataset.sensor(sid)
+            for other in neighbours:
+                edge = (min(sid, other), max(sid, other))
+                if edge in drawn or other not in dataset:
+                    continue
+                drawn.add(edge)
+                b = dataset.sensor(other)
+                x1, y1 = projection.to_xy(a.lat, a.lon)
+                x2, y2 = projection.to_xy(b.lat, b.lon)
+                canvas.line(x1, y1, x2, y2, stroke=EDGE_COLOR, stroke_width=1)
+
+    # Halos first so dots sit on top.
+    for sensor in dataset:
+        if sensor.sensor_id in highlighted:
+            x, y = projection.to_xy(sensor.lat, sensor.lon)
+            canvas.circle(x, y, 10, fill="none", stroke=HIGHLIGHT_COLOR, stroke_width=2)
+
+    for sensor in dataset:
+        x, y = projection.to_xy(sensor.lat, sensor.lon)
+        if sensor.sensor_id in highlighted:
+            fill = HIGHLIGHT_COLOR
+        elif highlighted and dim_unhighlighted:
+            fill = DIM_COLOR
+        else:
+            fill = colors[sensor.attribute]
+        canvas.group_open()
+        canvas.circle(x, y, 5, fill=fill, stroke="#333333", stroke_width=0.8)
+        canvas.title_tooltip(f"{sensor.sensor_id} ({sensor.attribute})")
+        canvas.group_close()
+
+    # Legend.
+    legend_y = 18.0
+    for attribute in dataset.attributes:
+        canvas.circle(width - 150, legend_y - 4, 5, fill=colors[attribute])
+        canvas.text(width - 140, legend_y, attribute, size=11, fill="#333333")
+        legend_y += 16
+    if highlighted:
+        canvas.circle(width - 150, legend_y - 4, 5, fill=HIGHLIGHT_COLOR)
+        canvas.text(width - 140, legend_y, "correlated (CAP)", size=11, fill="#333333")
+
+    if title:
+        canvas.text(width / 2, 20, title, size=14, anchor="middle", fill="#222222")
+    return canvas

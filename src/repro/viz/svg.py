@@ -1,0 +1,143 @@
+"""SVG primitives.
+
+The whole visualization layer draws through :class:`SvgCanvas`, a small
+element builder that produces standalone SVG documents or embeds them in a
+self-contained HTML page.  No JavaScript is required for the core renders;
+hover highlighting uses CSS (see :mod:`repro.viz.report` for the composed
+interactive page).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Iterable, Sequence
+
+__all__ = ["SvgCanvas", "escape"]
+
+
+def escape(text: str) -> str:
+    """Escape text for SVG/HTML content."""
+    return html.escape(str(text), quote=True)
+
+
+def _fmt(value: float) -> str:
+    """Compact coordinate formatting (2 decimals is sub-pixel)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+class SvgCanvas:
+    """An SVG document under construction."""
+
+    def __init__(self, width: float, height: float, background: str | None = "#ffffff") -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"canvas size must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+        self._defs: list[str] = []
+        self._styles: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # -- primitives ----------------------------------------------------------
+
+    def _attrs(self, **attributes: object) -> str:
+        parts: list[str] = []
+        for key, value in attributes.items():
+            if value is None:
+                continue
+            name = key.rstrip("_").replace("_", "-")
+            parts.append(f'{name}="{escape(value)}"')
+        return " ".join(parts)
+
+    def raw(self, element: str) -> None:
+        """Append a raw SVG fragment (trusted input only)."""
+        self._elements.append(element)
+
+    def add_style(self, css: str) -> None:
+        self._styles.append(css)
+
+    def circle(self, cx: float, cy: float, r: float, **attributes: object) -> None:
+        self._elements.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+            f"{self._attrs(**attributes)}/>"
+        )
+
+    def rect(
+        self, x: float, y: float, width: float, height: float, **attributes: object
+    ) -> None:
+        self._elements.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(width)}" '
+            f'height="{_fmt(height)}" {self._attrs(**attributes)}/>'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, **attributes: object) -> None:
+        self._elements.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" y2="{_fmt(y2)}" '
+            f"{self._attrs(**attributes)}/>"
+        )
+
+    def polyline(self, points: Sequence[tuple[float, float]], **attributes: object) -> None:
+        if len(points) < 2:
+            return
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" {self._attrs(**attributes)}/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 12.0,
+        anchor: str = "start",
+        **attributes: object,
+    ) -> None:
+        self._elements.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{_fmt(size)}" '
+            f'text-anchor="{escape(anchor)}" font-family="sans-serif" '
+            f"{self._attrs(**attributes)}>{escape(content)}</text>"
+        )
+
+    def group_open(self, **attributes: object) -> None:
+        self._elements.append(f"<g {self._attrs(**attributes)}>")
+
+    def group_close(self) -> None:
+        self._elements.append("</g>")
+
+    def title_tooltip(self, text: str) -> None:
+        """A <title> child for the previous element — browsers show a tooltip.
+
+        Must be called between :meth:`group_open`/:meth:`group_close` (the
+        tooltip attaches to the group).
+        """
+        self._elements.append(f"<title>{escape(text)}</title>")
+
+    # -- output ---------------------------------------------------------------
+
+    def to_string(self) -> str:
+        style = (
+            f"<style>{''.join(self._styles)}</style>" if self._styles else ""
+        )
+        defs = f"<defs>{''.join(self._defs)}</defs>" if self._defs else ""
+        body = "".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">'
+            f"{style}{defs}{body}</svg>"
+        )
+
+    def to_html_page(self, title: str = "Miscela-V") -> str:
+        """Wrap the SVG in a minimal standalone HTML page."""
+        return (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{escape(title)}</title></head>"
+            f"<body style='font-family:sans-serif;margin:16px'>"
+            f"<h2>{escape(title)}</h2>{self.to_string()}</body></html>"
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_string())

@@ -1,0 +1,178 @@
+"""Time-series charts (panels C/D of the paper's Figure 3).
+
+Draws the temporal behaviour of selected sensors' measurements so the
+analyst can "see that three measurements frequently increase/decrease
+together".  Features reproduced from the demo:
+
+* multiple sensors overlaid, one color per sensor (attribute-stable colors);
+* per-sensor normalisation so attributes with different units co-plot;
+* a zoom window (``window=(start_index, end_index)``) — the paper's
+  zoom-in/zoom-out over panels C → D;
+* optional markers on the pattern's co-evolving timestamps, which is what
+  makes the correlation visually obvious.
+
+NaN gaps break the polyline rather than interpolating across missing data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.types import CAP, SensorDataset
+from .colors import HIGHLIGHT_COLOR, PALETTE, color_map
+from .svg import SvgCanvas
+
+__all__ = ["render_timeseries", "render_cap_timeseries"]
+
+
+def _nice_ticks(n: int, max_ticks: int = 8) -> list[int]:
+    """Evenly spaced index ticks including the endpoints."""
+    if n <= 1:
+        return [0]
+    step = max(1, (n - 1) // max_ticks)
+    ticks = list(range(0, n, step))
+    if ticks[-1] != n - 1:
+        ticks.append(n - 1)
+    return ticks
+
+
+def render_timeseries(
+    dataset: SensorDataset,
+    sensor_ids: Sequence[str],
+    window: tuple[int, int] | None = None,
+    normalize: bool = True,
+    mark_indices: Iterable[int] = (),
+    width: float = 860.0,
+    height: float = 320.0,
+    title: str | None = None,
+) -> SvgCanvas:
+    """Chart the measurements of the given sensors.
+
+    Parameters
+    ----------
+    window:
+        ``(start, end)`` timeline-index bounds (end exclusive) — the zoom.
+    normalize:
+        Min-max scale each series inside the window so different units
+        share the canvas (the paper charts do the same visually by using
+        separate axes; normalisation is the single-axis equivalent).
+    mark_indices:
+        Timeline indices to mark with vertical ticks (a CAP's co-evolving
+        timestamps).
+    """
+    if not sensor_ids:
+        raise ValueError("sensor_ids must be non-empty")
+    for sid in sensor_ids:
+        if sid not in dataset:
+            raise KeyError(f"unknown sensor id: {sid!r}")
+    n = dataset.num_timestamps
+    if window is None:
+        lo, hi = 0, n
+    else:
+        lo, hi = window
+        if not (0 <= lo < hi <= n):
+            raise ValueError(f"window {window} out of range for {n} timestamps")
+    span = hi - lo
+
+    pad_left, pad_right, pad_top, pad_bottom = 55.0, 20.0, 30.0, 45.0
+    plot_w = width - pad_left - pad_right
+    plot_h = height - pad_top - pad_bottom
+    canvas = SvgCanvas(width, height)
+    colors = color_map(dataset.attributes)
+
+    def x_at(index: int) -> float:
+        if span == 1:
+            return pad_left + plot_w / 2
+        return pad_left + (index - lo) / (span - 1) * plot_w
+
+    # Axes frame.
+    canvas.rect(pad_left, pad_top, plot_w, plot_h, fill="none", stroke="#999999")
+
+    # Co-evolution markers under the curves.
+    marks = [i for i in mark_indices if lo <= i < hi]
+    for index in marks:
+        x = x_at(index)
+        canvas.line(x, pad_top, x, pad_top + plot_h, stroke="#ffd9d9", stroke_width=2)
+
+    # X tick labels from the timeline.
+    for tick in _nice_ticks(span):
+        index = lo + tick
+        x = x_at(index)
+        label = dataset.timeline[index].strftime("%m-%d %H:%M")
+        canvas.line(x, pad_top + plot_h, x, pad_top + plot_h + 4, stroke="#999999")
+        canvas.text(x, pad_top + plot_h + 16, label, size=9, anchor="middle", fill="#555555")
+
+    series_colors: dict[str, str] = {}
+    for k, sid in enumerate(sensor_ids):
+        sensor = dataset.sensor(sid)
+        base = colors.get(sensor.attribute, PALETTE[k % len(PALETTE)])
+        # Distinguish same-attribute sensors by cycling when colliding.
+        if base in series_colors.values():
+            base = PALETTE[(k + 3) % len(PALETTE)]
+        series_colors[sid] = base
+
+    for sid in sensor_ids:
+        values = dataset.values(sid)[lo:hi].astype(np.float64)
+        finite = values[~np.isnan(values)]
+        if finite.size == 0:
+            continue
+        if normalize:
+            vmin, vmax = float(finite.min()), float(finite.max())
+            scale = (vmax - vmin) if vmax > vmin else 1.0
+            norm = (values - vmin) / scale
+        else:
+            norm = values
+            vmin = float(finite.min())
+            vmax = float(finite.max())
+            scale = (vmax - vmin) if vmax > vmin else 1.0
+            norm = (values - vmin) / scale
+        # Build polyline runs broken at NaNs.
+        run: list[tuple[float, float]] = []
+        for offset, value in enumerate(norm):
+            if math.isnan(value):
+                canvas.polyline(run, stroke=series_colors[sid], stroke_width=1.6)
+                run = []
+                continue
+            y = pad_top + (1.0 - value) * plot_h
+            run.append((x_at(lo + offset), y))
+        canvas.polyline(run, stroke=series_colors[sid], stroke_width=1.6)
+
+    # Legend.
+    legend_x = pad_left
+    legend_y = height - 10
+    for sid in sensor_ids:
+        sensor = dataset.sensor(sid)
+        canvas.line(legend_x, legend_y - 4, legend_x + 18, legend_y - 4,
+                    stroke=series_colors[sid], stroke_width=3)
+        label = f"{sid} ({sensor.attribute})"
+        canvas.text(legend_x + 22, legend_y, label, size=10, fill="#333333")
+        legend_x += 30 + 6.2 * len(label)
+
+    if marks:
+        canvas.text(width - pad_right, pad_top - 8,
+                    f"{len(marks)} co-evolving timestamps marked",
+                    size=10, anchor="end", fill=HIGHLIGHT_COLOR)
+    if title:
+        canvas.text(width / 2, 16, title, size=13, anchor="middle", fill="#222222")
+    return canvas
+
+
+def render_cap_timeseries(
+    dataset: SensorDataset,
+    cap: CAP,
+    window: tuple[int, int] | None = None,
+    **kwargs: object,
+) -> SvgCanvas:
+    """Chart one CAP's sensors with its co-evolving timestamps marked."""
+    sensor_ids = sorted(cap.sensor_ids)
+    return render_timeseries(
+        dataset,
+        sensor_ids,
+        window=window,
+        mark_indices=cap.evolving_indices,
+        title=f"CAP over {{{', '.join(sorted(cap.attributes))}}} — support {cap.support}",
+        **kwargs,  # type: ignore[arg-type]
+    )

@@ -1,0 +1,77 @@
+"""Unit tests for before/after comparison (COVID-19, Figure 4)."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro.analysis.comparison import (
+    attribute_level_shift,
+    compare_periods,
+)
+from repro.data.datasets import recommended_parameters
+from repro.data.synthetic import generate_covid19
+
+LOCKDOWN = datetime(2020, 1, 23)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    ds = generate_covid19(seed=0)
+    return compare_periods(ds, LOCKDOWN, recommended_parameters("covid19"))
+
+
+class TestComparePeriods:
+    def test_halves_named(self, comparison):
+        assert comparison.before.dataset_name.endswith(":before")
+        assert comparison.after.dataset_name.endswith(":after")
+
+    def test_patterns_change(self, comparison):
+        assert comparison.before.num_caps != comparison.after.num_caps
+        assert comparison.vanished or comparison.appeared
+
+    def test_diff_partitions_before(self, comparison):
+        assert len(comparison.vanished) + len(comparison.survived) == comparison.before.num_caps
+
+    def test_traffic_patterns_vanish(self, comparison):
+        vanished_attrs = set()
+        for cap in comparison.vanished:
+            vanished_attrs |= cap.attributes
+        assert "no2" in vanished_attrs or "co" in vanished_attrs
+
+    def test_level_shifts_direction(self, comparison):
+        shifts = comparison.level_shifts()
+        # Traffic pollutants drop after lockdown by construction.
+        assert shifts["no2"] < 0
+        assert shifts["pm10"] < 0
+
+    def test_summary_shape(self, comparison):
+        summary = comparison.summary()
+        assert summary["caps_before"] == comparison.before.num_caps
+        assert summary["split_at"] == LOCKDOWN.isoformat()
+        assert isinstance(summary["level_shifts"], dict)
+
+    def test_split_outside_period_rejected(self):
+        ds = generate_covid19(seed=0)
+        with pytest.raises(ValueError, match="outside"):
+            compare_periods(ds, datetime(2021, 1, 1), recommended_parameters("covid19"))
+
+    def test_survived_keys_in_both(self, comparison):
+        after_keys = {cap.key() for cap in comparison.after.caps}
+        for cap in comparison.survived:
+            assert cap.key() in after_keys
+
+
+class TestAttributeLevels:
+    def test_levels_cover_attributes(self):
+        ds = generate_covid19(seed=0)
+        levels = attribute_level_shift(ds)
+        assert set(levels) == set(ds.attributes)
+
+    def test_levels_are_means(self, tiny_dataset):
+        levels = attribute_level_shift(tiny_dataset)
+        import numpy as np
+
+        expected = float(np.nanmean(tiny_dataset.values("d")))
+        assert levels["humidity"] == pytest.approx(expected)

@@ -1,0 +1,85 @@
+"""Unit tests for Markdown result summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import caps_to_table, result_to_markdown
+from repro.core.miner import MiningResult, MiscelaMiner
+from repro.core.types import CAP
+
+
+@pytest.fixture
+def result(tiny_dataset, tiny_params):
+    return MiscelaMiner(tiny_params).mine(tiny_dataset)
+
+
+class TestCapsToTable:
+    def test_markdown_table_shape(self, result):
+        table = caps_to_table(result.caps)
+        lines = table.splitlines()
+        assert lines[0].startswith("| support |")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 2 + len(result.caps)
+
+    def test_limit(self, result):
+        table = caps_to_table(result.caps, limit=1)
+        assert len(table.splitlines()) == 3
+
+    def test_bad_limit(self, result):
+        with pytest.raises(ValueError):
+            caps_to_table(result.caps, limit=0)
+
+    def test_delays_column(self, tiny_params):
+        cap = CAP(
+            sensor_ids=frozenset({"a", "b"}),
+            attributes=frozenset({"x", "y"}),
+            support=2,
+            evolving_indices=(1, 2),
+            delays={"a": 0, "b": 3},
+        )
+        table = caps_to_table([cap])
+        assert "b+3" in table
+
+    def test_empty(self):
+        table = caps_to_table([])
+        assert len(table.splitlines()) == 2  # header + separator only
+
+
+class TestResultToMarkdown:
+    def test_document_structure(self, tiny_dataset, result):
+        md = result_to_markdown(tiny_dataset, result)
+        assert md.startswith("# CAP mining report — tiny")
+        assert "## Parameters" in md
+        assert "## Findings" in md
+        assert "### Correlated attribute pairs" in md
+        assert "### Top" in md
+
+    def test_parameters_listed(self, tiny_dataset, result):
+        md = result_to_markdown(tiny_dataset, result)
+        assert "evolving rate ε" in md
+        assert "| min support ψ | 2 |" in md
+
+    def test_attribute_pairs_present(self, tiny_dataset, result):
+        md = result_to_markdown(tiny_dataset, result)
+        assert "temperature × traffic_volume" in md
+
+    def test_empty_result(self, tiny_dataset, tiny_params):
+        empty = MiningResult("tiny", tiny_params, caps=[])
+        md = result_to_markdown(tiny_dataset, empty)
+        assert "no patterns" in md
+
+    def test_cache_flag_rendered(self, tiny_dataset, tiny_params, result):
+        cached = MiningResult(
+            "tiny", tiny_params, caps=result.caps, from_cache=True
+        )
+        md = result_to_markdown(tiny_dataset, cached)
+        assert "(from cache)" in md
+
+    def test_axis_report_optional(self, tiny_dataset, result):
+        with_axis = result_to_markdown(tiny_dataset, result, include_axis_report=True)
+        without = result_to_markdown(tiny_dataset, result, include_axis_report=False)
+        assert "geographic axis" not in without
+        # tiny_dataset has no pairs >= 1 km inside a CAP, so even with the
+        # flag the section may be absent; both must render.
+        assert with_axis.startswith("#") and without.startswith("#")

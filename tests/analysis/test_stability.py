@@ -1,0 +1,112 @@
+"""Unit tests for pattern stability analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stability import (
+    core_patterns,
+    mine_settings,
+    pattern_overlap,
+    stability_matrix,
+)
+from repro.core.miner import MiningResult
+from repro.core.types import CAP
+
+
+def cap(ids, support=5):
+    return CAP(
+        sensor_ids=frozenset(ids), attributes=frozenset({"x", "y"}), support=support
+    )
+
+
+class TestPatternOverlap:
+    def test_identical(self):
+        caps = [cap({"a", "b"}), cap({"c", "d"})]
+        assert pattern_overlap(caps, caps) == 1.0
+
+    def test_disjoint(self):
+        assert pattern_overlap([cap({"a", "b"})], [cap({"c", "d"})]) == 0.0
+
+    def test_partial(self):
+        a = [cap({"a", "b"}), cap({"c", "d"})]
+        b = [cap({"a", "b"}), cap({"e", "f"})]
+        assert pattern_overlap(a, b) == pytest.approx(1.0 / 3.0)
+
+    def test_both_empty_is_agreement(self):
+        assert pattern_overlap([], []) == 1.0
+
+    def test_one_empty(self):
+        assert pattern_overlap([cap({"a", "b"})], []) == 0.0
+
+    def test_support_is_ignored_for_identity(self):
+        assert pattern_overlap([cap({"a", "b"}, 5)], [cap({"a", "b"}, 99)]) == 1.0
+
+
+class TestMineSettings:
+    def test_one_result_per_setting(self, tiny_dataset, tiny_params):
+        settings = [tiny_params, tiny_params.with_updates(min_support=3)]
+        results = mine_settings(tiny_dataset, settings)
+        assert len(results) == 2
+        assert results[0].parameters == settings[0]
+
+    def test_empty_settings_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            mine_settings(tiny_dataset, [])
+
+
+class TestStabilityMatrix:
+    def _result(self, caps):
+        from repro.core.parameters import MiningParameters
+
+        params = MiningParameters(
+            evolving_rate=1.0, distance_threshold=1.0, max_attributes=2, min_support=1
+        )
+        return MiningResult("d", params, caps=list(caps))
+
+    def test_diagonal_ones_symmetric(self):
+        results = [
+            self._result([cap({"a", "b"})]),
+            self._result([cap({"a", "b"}), cap({"c", "d"})]),
+            self._result([]),
+        ]
+        matrix = stability_matrix(results)
+        assert all(matrix[i][i] == 1.0 for i in range(3))
+        assert matrix[0][1] == matrix[1][0] == 0.5
+        assert matrix[0][2] == 0.0
+
+    def test_real_sweep_neighbours_overlap_more(self, tiny_dataset, tiny_params):
+        settings = [
+            tiny_params.with_updates(min_support=1),
+            tiny_params.with_updates(min_support=2),
+            tiny_params.with_updates(min_support=3),
+        ]
+        matrix = stability_matrix(mine_settings(tiny_dataset, settings))
+        # ψ=1 and ψ=2 both keep {a,b} and {c,d}; ψ=3 keeps only {a,b}.
+        assert matrix[0][1] == 1.0
+        assert matrix[1][2] == 0.5
+
+
+class TestCorePatterns:
+    def test_intersection_across_settings(self, tiny_dataset, tiny_params):
+        results = mine_settings(
+            tiny_dataset,
+            [tiny_params, tiny_params.with_updates(min_support=3)],
+        )
+        core = core_patterns(results)
+        assert [c.key() for c in core] == [("a", "b")]
+        # Supports come from the first setting's result.
+        assert core[0].support == 3
+
+    def test_empty_results_list(self):
+        assert core_patterns([]) == []
+
+    def test_no_common_patterns(self):
+        from repro.core.parameters import MiningParameters
+
+        params = MiningParameters(
+            evolving_rate=1.0, distance_threshold=1.0, max_attributes=2, min_support=1
+        )
+        a = MiningResult("d", params, caps=[cap({"a", "b"})])
+        b = MiningResult("d", params, caps=[cap({"c", "d"})])
+        assert core_patterns([a, b]) == []

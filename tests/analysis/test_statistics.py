@@ -1,0 +1,132 @@
+"""Unit tests for correlation statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    attribute_pair_counts,
+    axis_alignment,
+    axis_correlation_report,
+    cap_summary,
+    co_evolution_rate,
+    pairwise_co_evolution,
+)
+from repro.core.evolving import extract_all_evolving
+from repro.core.miner import MiscelaMiner
+from repro.core.types import CAP, EvolvingSet, Sensor
+
+
+def ev(*indices):
+    arr = np.array(indices, dtype=np.int64)
+    return EvolvingSet(arr, np.ones(len(indices), dtype=np.int8))
+
+
+class TestCoEvolutionRate:
+    def test_identical(self):
+        assert co_evolution_rate(ev(1, 2, 3), ev(1, 2, 3)) == 1.0
+
+    def test_disjoint(self):
+        assert co_evolution_rate(ev(1, 2), ev(3, 4)) == 0.0
+
+    def test_partial(self):
+        assert co_evolution_rate(ev(1, 2, 3), ev(2, 3, 4)) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert co_evolution_rate(ev(), ev()) == 0.0
+
+
+class TestPairwise:
+    def test_all_pairs(self, tiny_dataset, tiny_params):
+        evolving = extract_all_evolving(tiny_dataset, tiny_params)
+        rates = pairwise_co_evolution(tiny_dataset, evolving)
+        assert len(rates) == 6  # C(4,2)
+        assert rates[("a", "b")] == 1.0
+        assert rates[("a", "c")] == 0.0
+
+    def test_subset(self, tiny_dataset, tiny_params):
+        evolving = extract_all_evolving(tiny_dataset, tiny_params)
+        rates = pairwise_co_evolution(tiny_dataset, evolving, ["a", "b"])
+        assert list(rates) == [("a", "b")]
+
+
+def _cap(ids, attrs, support=5):
+    return CAP(sensor_ids=frozenset(ids), attributes=frozenset(attrs), support=support)
+
+
+class TestAttributePairCounts:
+    def test_counts(self):
+        caps = [
+            _cap({"a", "b"}, {"temperature", "traffic_volume"}),
+            _cap({"c", "d"}, {"temperature", "traffic_volume"}),
+            _cap({"e", "f"}, {"temperature", "light"}),
+        ]
+        counts = attribute_pair_counts(caps)
+        assert counts[("temperature", "traffic_volume")] == 2
+        assert counts[("light", "temperature")] == 1
+
+    def test_triple_attribute_counts_all_pairs(self):
+        caps = [_cap({"a", "b", "c"}, {"x", "y", "z"})]
+        counts = attribute_pair_counts(caps)
+        assert len(counts) == 3
+
+    def test_empty(self):
+        assert attribute_pair_counts([]) == {}
+
+
+class TestCapSummary:
+    def test_empty(self):
+        summary = cap_summary([])
+        assert summary["num_caps"] == 0
+        assert summary["max_support"] == 0
+
+    def test_aggregates(self):
+        caps = [
+            _cap({"a", "b"}, {"x", "y"}, support=10),
+            _cap({"a", "b", "c"}, {"x", "y"}, support=4),
+        ]
+        summary = cap_summary(caps)
+        assert summary["num_caps"] == 2
+        assert summary["max_support"] == 10
+        assert summary["mean_support"] == 7.0
+        assert summary["size_histogram"] == {2: 1, 3: 1}
+
+
+class TestAxis:
+    def test_east_west(self):
+        a = Sensor("a", "t", 30.0, 110.0)
+        b = Sensor("b", "t", 30.01, 111.0)
+        assert axis_alignment(a, b) == "east-west"
+
+    def test_north_south(self):
+        a = Sensor("a", "t", 30.0, 110.0)
+        b = Sensor("b", "t", 31.0, 110.01)
+        assert axis_alignment(a, b) == "north-south"
+
+    def test_mixed(self):
+        a = Sensor("a", "t", 30.0, 110.0)
+        b = Sensor("b", "t", 31.0, 111.2)  # comparable lat/lon separation
+        assert axis_alignment(a, b) == "mixed"
+
+    def test_high_latitude_cosine_correction(self):
+        # At 70°N one lon degree is ~38 km but one lat degree ~111 km: equal
+        # degree offsets are north-south dominated.
+        a = Sensor("a", "t", 70.0, 20.0)
+        b = Sensor("b", "t", 70.5, 20.5)
+        assert axis_alignment(a, b) == "north-south"
+
+    def test_report_on_china(self):
+        from repro.data.datasets import recommended_parameters
+        from repro.data.synthetic import generate_china6
+
+        ds = generate_china6(seed=0)
+        result = MiscelaMiner(recommended_parameters("china6")).mine(ds)
+        report = axis_correlation_report(ds, result.caps, min_km=10.0)
+        assert set(report) == {"east-west", "north-south", "mixed"}
+        assert report["east-west"] > 0
+
+    def test_min_km_excludes_co_located(self, tiny_dataset, tiny_params):
+        result = MiscelaMiner(tiny_params).mine(tiny_dataset)
+        report = axis_correlation_report(tiny_dataset, result.caps, min_km=500.0)
+        assert sum(report.values()) == 0

@@ -1,0 +1,81 @@
+"""Unit tests for cache eviction policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.eviction import LRUPolicy, NoEviction, TTLPolicy
+
+
+class TestNoEviction:
+    def test_never_evicts(self):
+        policy = NoEviction()
+        for i in range(100):
+            assert policy.on_store(f"k{i}") == []
+        assert policy.on_hit("k0")
+
+
+class TestLRU:
+    def test_capacity_enforced(self):
+        policy = LRUPolicy(2)
+        assert policy.on_store("a") == []
+        assert policy.on_store("b") == []
+        assert policy.on_store("c") == ["a"]
+
+    def test_hit_refreshes_recency(self):
+        policy = LRUPolicy(2)
+        policy.on_store("a")
+        policy.on_store("b")
+        policy.on_hit("a")          # a is now most recent
+        assert policy.on_store("c") == ["b"]
+
+    def test_restore_existing_refreshes(self):
+        policy = LRUPolicy(2)
+        policy.on_store("a")
+        policy.on_store("b")
+        policy.on_store("a")        # refresh, no eviction
+        assert policy.on_store("c") == ["b"]
+
+    def test_external_evict(self):
+        policy = LRUPolicy(2)
+        policy.on_store("a")
+        policy.on_evict("a")
+        assert len(policy) == 0
+        policy.on_evict("ghost")    # idempotent
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0)
+
+
+class TestTTL:
+    def test_entries_expire(self):
+        now = [0.0]
+        policy = TTLPolicy(10.0, clock=lambda: now[0])
+        policy.on_store("a")
+        assert policy.on_hit("a")
+        now[0] = 11.0
+        assert not policy.on_hit("a")
+
+    def test_hit_within_ttl(self):
+        now = [0.0]
+        policy = TTLPolicy(10.0, clock=lambda: now[0])
+        policy.on_store("a")
+        now[0] = 9.9
+        assert policy.on_hit("a")
+
+    def test_store_reports_expired_entries(self):
+        now = [0.0]
+        policy = TTLPolicy(10.0, clock=lambda: now[0])
+        policy.on_store("old")
+        now[0] = 20.0
+        expired = policy.on_store("new")
+        assert expired == ["old"]
+
+    def test_unknown_key_is_miss(self):
+        policy = TTLPolicy(10.0)
+        assert not policy.on_hit("ghost")
+
+    def test_bad_ttl(self):
+        with pytest.raises(ValueError):
+            TTLPolicy(0.0)

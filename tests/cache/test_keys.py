@@ -1,0 +1,50 @@
+"""Unit tests for canonical cache keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.keys import cache_key, canonical_payload
+from repro.core.parameters import MiningParameters
+
+
+def params(**overrides):
+    defaults = dict(
+        evolving_rate=1.0, distance_threshold=2.0, max_attributes=3, min_support=5
+    )
+    defaults.update(overrides)
+    return MiningParameters(**defaults)
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key("d", params()) == cache_key("d", params())
+
+    def test_differs_by_dataset(self):
+        assert cache_key("a", params()) != cache_key("b", params())
+
+    def test_differs_by_any_parameter(self):
+        base = cache_key("d", params())
+        assert cache_key("d", params(min_support=6)) != base
+        assert cache_key("d", params(evolving_rate=1.5)) != base
+        assert cache_key("d", params(direction_aware=True)) != base
+        assert cache_key("d", params(max_delay=1)) != base
+
+    def test_per_attribute_rates_order_independent(self):
+        a = params(evolving_rate_per_attribute={"x": 1.0, "y": 2.0})
+        b = params(evolving_rate_per_attribute={"y": 2.0, "x": 1.0})
+        assert cache_key("d", a) == cache_key("d", b)
+
+    def test_key_is_hex_sha256(self):
+        key = cache_key("d", params())
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+    def test_empty_dataset_name_rejected(self):
+        with pytest.raises(ValueError):
+            cache_key("", params())
+
+    def test_payload_reconstructs_parameters(self):
+        payload = canonical_payload("d", params(max_delay=2))
+        assert payload["dataset"] == "d"
+        assert MiningParameters.from_document(payload["parameters"]) == params(max_delay=2)

@@ -1,0 +1,123 @@
+"""Unit tests for evolving-timestamp extraction (MISCELA step 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evolving import co_evolution_count, extract_all_evolving, extract_evolving
+from repro.core.parameters import MiningParameters
+from repro.core.types import DECREASING, INCREASING, Sensor, SensorDataset
+from tests.conftest import make_timeline
+
+
+class TestExtractEvolving:
+    def test_simple_steps(self):
+        values = np.array([10.0, 10.0, 15.0, 15.0, 9.0])
+        ev = extract_evolving(values, evolving_rate=2.0)
+        np.testing.assert_array_equal(ev.indices, [2, 4])
+        assert ev.direction_at(2) == INCREASING
+        assert ev.direction_at(4) == DECREASING
+
+    def test_changes_below_epsilon_filtered(self):
+        values = np.array([10.0, 11.0, 12.0, 13.0])
+        ev = extract_evolving(values, evolving_rate=2.0)
+        assert len(ev) == 0
+
+    def test_change_exactly_epsilon_counts(self):
+        values = np.array([0.0, 2.0])
+        ev = extract_evolving(values, evolving_rate=2.0)
+        np.testing.assert_array_equal(ev.indices, [1])
+
+    def test_zero_epsilon_catches_every_strict_change(self):
+        values = np.array([1.0, 1.0, 1.5, 1.5, 1.2])
+        ev = extract_evolving(values, evolving_rate=0.0)
+        np.testing.assert_array_equal(ev.indices, [2, 4])
+
+    def test_nan_endpoints_do_not_evolve(self):
+        values = np.array([1.0, np.nan, 9.0, 9.0, np.nan])
+        ev = extract_evolving(values, evolving_rate=1.0)
+        # 1: nan after 1.0; 2: nan before 9.0; 4: nan after 9.0 — none evolve.
+        assert len(ev) == 0
+
+    def test_short_series(self):
+        assert len(extract_evolving(np.array([5.0]), 1.0)) == 0
+        assert len(extract_evolving(np.array([]), 1.0)) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="evolving_rate"):
+            extract_evolving(np.zeros(3), -1.0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            extract_evolving(np.zeros((3, 2)), 1.0)
+
+    def test_monotone_in_epsilon(self):
+        rng = np.random.default_rng(0)
+        values = np.cumsum(rng.normal(0, 2, 100))
+        sizes = [len(extract_evolving(values, e)) for e in (0.5, 1.0, 2.0, 4.0)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_segmentation_removes_jitter_evolutions(self):
+        # Jitter of ±0.6 around a flat line with one real +5 jump: with
+        # ε=0.5 the raw series "evolves" everywhere, the smoothed one only
+        # at (or near) the jump.
+        n = 60
+        rng = np.random.default_rng(3)
+        values = np.where(np.arange(n) >= 30, 5.0, 0.0) + 0.3 * rng.choice([-1.0, 1.0], n)
+        raw = extract_evolving(values, evolving_rate=0.5)
+        smoothed = extract_evolving(
+            values, evolving_rate=0.5, segmentation="bottom_up", segmentation_error=0.7
+        )
+        assert len(smoothed) < len(raw)
+
+
+class TestExtractAllEvolving:
+    def _dataset(self):
+        timeline = make_timeline(6)
+        sensors = [
+            Sensor("t1", "temperature", 0.0, 0.0),
+            Sensor("p1", "pm25", 0.0, 0.001),
+        ]
+        measurements = {
+            "t1": np.array([0.0, 3.0, 3.0, 6.0, 6.0, 6.0]),
+            "p1": np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0]),
+        }
+        return SensorDataset("d", timeline, sensors, measurements)
+
+    def test_respects_per_attribute_rates(self):
+        ds = self._dataset()
+        params = MiningParameters(
+            evolving_rate=2.0,
+            distance_threshold=1.0,
+            max_attributes=2,
+            min_support=1,
+            evolving_rate_per_attribute={"pm25": 0.5},
+        )
+        evolving = extract_all_evolving(ds, params)
+        np.testing.assert_array_equal(evolving["t1"].indices, [1, 3])
+        np.testing.assert_array_equal(evolving["p1"].indices, [1, 2, 3, 4, 5])
+
+    def test_covers_every_sensor(self):
+        ds = self._dataset()
+        params = MiningParameters(
+            evolving_rate=1.0, distance_threshold=1.0, max_attributes=2, min_support=1
+        )
+        evolving = extract_all_evolving(ds, params)
+        assert set(evolving) == {"t1", "p1"}
+
+
+class TestCoEvolutionCount:
+    def test_counts_shared_timestamps(self, tiny_dataset, tiny_params):
+        evolving = extract_all_evolving(tiny_dataset, tiny_params)
+        assert co_evolution_count(evolving, ("a", "b")) == 3
+        assert co_evolution_count(evolving, ("c", "d")) == 2
+        assert co_evolution_count(evolving, ("a", "c")) == 0
+
+    def test_empty_ids(self, tiny_dataset, tiny_params):
+        evolving = extract_all_evolving(tiny_dataset, tiny_params)
+        assert co_evolution_count(evolving, ()) == 0
+
+    def test_triple_intersection(self, tiny_dataset, tiny_params):
+        evolving = extract_all_evolving(tiny_dataset, tiny_params)
+        assert co_evolution_count(evolving, ("a", "b", "c")) == 0

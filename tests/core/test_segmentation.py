@@ -1,0 +1,164 @@
+"""Unit tests for the linear-segmentation algorithms (MISCELA step 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.segmentation import (
+    Segment,
+    bottom_up_segmentation,
+    reconstruct,
+    segment_series,
+    sliding_window_segmentation,
+    smooth_series,
+    top_down_segmentation,
+)
+
+ALGORITHMS = [
+    sliding_window_segmentation,
+    bottom_up_segmentation,
+    top_down_segmentation,
+]
+METHOD_NAMES = ["sliding_window", "bottom_up", "top_down"]
+
+
+class TestSegment:
+    def test_slope_and_interpolate(self):
+        seg = Segment(2, 6, 10.0, 18.0)
+        assert seg.slope == pytest.approx(2.0)
+        assert seg.interpolate(4) == pytest.approx(14.0)
+        assert seg.length == 5
+
+    def test_point_segment(self):
+        seg = Segment(3, 3, 5.0, 5.0)
+        assert seg.slope == 0.0
+        assert seg.interpolate(3) == 5.0
+
+    def test_reversed_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(5, 3, 0.0, 0.0)
+
+    def test_interpolate_out_of_range(self):
+        with pytest.raises(ValueError):
+            Segment(0, 2, 0.0, 1.0).interpolate(5)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestAlgorithmsCommon:
+    def test_empty_series(self, algorithm):
+        assert algorithm(np.array([]), 1.0) == []
+
+    def test_single_point(self, algorithm):
+        segs = algorithm(np.array([7.0]), 1.0)
+        assert len(segs) == 1
+        assert segs[0].start == segs[0].end == 0
+
+    def test_two_points(self, algorithm):
+        segs = algorithm(np.array([1.0, 3.0]), 0.0)
+        assert segs[0].start == 0 and segs[-1].end == 1
+
+    def test_straight_line_one_segment(self, algorithm):
+        values = np.arange(20, dtype=float) * 2.5
+        segs = algorithm(values, 0.01)
+        assert len(segs) == 1
+        assert segs[0].value_start == 0.0
+        assert segs[0].value_end == pytest.approx(47.5)
+
+    def test_segments_tile_the_range(self, algorithm):
+        rng = np.random.default_rng(5)
+        values = np.cumsum(rng.normal(0, 1, 60))
+        segs = algorithm(values, 0.8)
+        assert segs[0].start == 0
+        assert segs[-1].end == 59
+        for prev, nxt in zip(segs, segs[1:]):
+            # Adjacent segments share their boundary index (connected PLA)
+            # or abut exactly.
+            assert nxt.start in (prev.end, prev.end + 1)
+
+    def test_error_bound_respected(self, algorithm):
+        rng = np.random.default_rng(11)
+        values = np.cumsum(rng.normal(0, 1, 80))
+        max_error = 1.5
+        segs = algorithm(values, max_error)
+        for seg in segs:
+            idx = np.arange(seg.start, seg.end + 1)
+            approx = seg.value_start + seg.slope * (idx - seg.start)
+            assert np.max(np.abs(values[idx] - approx)) <= max_error + 1e-9
+
+    def test_offset_shifts_indices(self, algorithm):
+        values = np.array([1.0, 2.0, 3.0])
+        segs = algorithm(values, 0.5, offset=10)
+        assert segs[0].start == 10
+        assert segs[-1].end == 12
+
+    def test_zero_budget_vee_splits(self, algorithm):
+        values = np.array([0.0, 1.0, 2.0, 1.0, 0.0])
+        segs = algorithm(values, 0.0)
+        assert len(segs) >= 2  # the peak cannot be one straight line
+
+
+class TestSegmentSeries:
+    def test_rejects_none_method(self):
+        with pytest.raises(ValueError, match="real method"):
+            segment_series(np.arange(5.0), "none", 1.0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown segmentation"):
+            segment_series(np.arange(5.0), "magic", 1.0)
+
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_nan_gaps_split_runs(self, method):
+        values = np.array([1.0, 2.0, np.nan, 5.0, 6.0, 7.0])
+        segs = segment_series(values, method, 0.5)
+        covered = set()
+        for seg in segs:
+            covered.update(range(seg.start, seg.end + 1))
+        assert 2 not in covered
+        assert {0, 1, 3, 4, 5} <= covered
+
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_all_nan(self, method):
+        values = np.full(5, np.nan)
+        assert segment_series(values, method, 0.5) == []
+
+
+class TestReconstruct:
+    def test_round_trip_straight_line(self):
+        values = np.linspace(0, 10, 11)
+        segs = sliding_window_segmentation(values, 0.01)
+        rebuilt = reconstruct(segs, len(values))
+        np.testing.assert_allclose(rebuilt, values, atol=1e-9)
+
+    def test_uncovered_is_nan(self):
+        out = reconstruct([Segment(2, 4, 1.0, 3.0)], 7)
+        assert np.isnan(out[0]) and np.isnan(out[5])
+        assert out[3] == pytest.approx(2.0)
+
+    def test_segment_past_length_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            reconstruct([Segment(0, 9, 0.0, 1.0)], 5)
+
+
+class TestSmoothSeries:
+    def test_none_is_identity(self):
+        values = np.array([1.0, 5.0, 2.0])
+        out = smooth_series(values, "none", 1.0)
+        np.testing.assert_array_equal(out, values)
+
+    def test_smoothing_removes_small_jitter(self):
+        # A ramp with tiny alternating jitter: smoothing with budget above
+        # the jitter amplitude must yield a (near) straight line.
+        n = 40
+        ramp = np.linspace(0, 10, n)
+        jitter = 0.05 * np.where(np.arange(n) % 2 == 0, 1.0, -1.0)
+        smoothed = smooth_series(ramp + jitter, "bottom_up", 0.2)
+        deltas = np.abs(np.diff(smoothed))
+        # Raw jitter flips sign each step; the smoothed line's step is ~10/39.
+        assert np.all(deltas < 0.45)
+
+    def test_preserves_nan_positions(self):
+        values = np.array([1.0, np.nan, 3.0, 4.0, 5.0])
+        out = smooth_series(values, "sliding_window", 0.5)
+        assert np.isnan(out[1])
+        assert not np.isnan(out[2])

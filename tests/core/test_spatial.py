@@ -1,0 +1,158 @@
+"""Unit tests for the spatial substrate (MISCELA step 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spatial import (
+    GridIndex,
+    build_proximity_graph,
+    connected_components,
+    component_of,
+    haversine_matrix,
+    is_connected,
+    subgraph,
+)
+from repro.core.types import Sensor
+
+
+def line_of_sensors(n: int, spacing_deg: float = 0.01, lat: float = 40.0) -> list[Sensor]:
+    """Sensors spaced ``spacing_deg`` of longitude apart along one parallel."""
+    return [Sensor(f"s{i}", "t", lat, i * spacing_deg) for i in range(n)]
+
+
+class TestHaversineMatrix:
+    def test_diagonal_zero_and_symmetric(self):
+        sensors = line_of_sensors(4)
+        m = haversine_matrix(sensors)
+        np.testing.assert_allclose(np.diag(m), 0.0, atol=1e-9)
+        np.testing.assert_allclose(m, m.T, atol=1e-9)
+
+    def test_matches_pairwise_distance(self):
+        sensors = line_of_sensors(3)
+        m = haversine_matrix(sensors)
+        assert m[0, 2] == pytest.approx(sensors[0].distance_km(sensors[2]), rel=1e-9)
+
+
+class TestGridIndex:
+    def test_neighbours_match_brute_force(self):
+        rng = np.random.default_rng(7)
+        sensors = [
+            Sensor(f"s{i}", "t", 40.0 + rng.uniform(-0.1, 0.1), 3.0 + rng.uniform(-0.1, 0.1))
+            for i in range(60)
+        ]
+        eta = 3.0
+        index = GridIndex(sensors, eta)
+        for i, probe in enumerate(sensors):
+            expected = {
+                j for j, other in enumerate(sensors)
+                if j != i and probe.distance_km(other) <= eta
+            }
+            assert set(index.neighbours_within(i)) == expected
+
+    def test_query_point(self):
+        sensors = line_of_sensors(5, spacing_deg=0.05)
+        index = GridIndex(sensors, 2.0)
+        found = index.query_point(40.0, 0.0)
+        assert 0 in found
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            GridIndex(line_of_sensors(2), 0.0)
+
+    def test_high_latitude_correctness(self):
+        # cos(lat) shrinks longitude degrees; the index must stay correct.
+        sensors = [Sensor(f"s{i}", "t", 69.9 + 0.001 * i, 20.0 + 0.01 * i) for i in range(20)]
+        eta = 1.0
+        index = GridIndex(sensors, eta)
+        for i, probe in enumerate(sensors):
+            expected = {
+                j for j, other in enumerate(sensors)
+                if j != i and probe.distance_km(other) <= eta
+            }
+            assert set(index.neighbours_within(i)) == expected
+
+
+class TestProximityGraph:
+    def test_grid_equals_brute(self):
+        rng = np.random.default_rng(42)
+        sensors = [
+            Sensor(f"s{i}", "t", 43.0 + rng.uniform(0, 0.05), -3.8 + rng.uniform(0, 0.05))
+            for i in range(40)
+        ]
+        grid = build_proximity_graph(sensors, 1.2, "grid")
+        brute = build_proximity_graph(sensors, 1.2, "brute")
+        assert grid == brute
+
+    def test_chain_adjacency(self):
+        # ~0.85 km spacing; eta=1 connects only consecutive sensors.
+        sensors = line_of_sensors(4, spacing_deg=0.01)
+        graph = build_proximity_graph(sensors, 1.0)
+        assert graph["s0"] == {"s1"}
+        assert graph["s1"] == {"s0", "s2"}
+
+    def test_isolated_sensor_present(self):
+        sensors = [Sensor("a", "t", 0.0, 0.0), Sensor("b", "t", 50.0, 50.0)]
+        graph = build_proximity_graph(sensors, 1.0)
+        assert graph == {"a": set(), "b": set()}
+
+    def test_duplicate_ids_rejected(self):
+        sensors = [Sensor("a", "t", 0.0, 0.0), Sensor("a", "h", 0.0, 0.1)]
+        with pytest.raises(ValueError, match="unique"):
+            build_proximity_graph(sensors, 1.0)
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            build_proximity_graph(line_of_sensors(2), 1.0, "kdtree")
+
+    def test_bad_eta(self):
+        with pytest.raises(ValueError, match="eta"):
+            build_proximity_graph(line_of_sensors(2), -1.0)
+
+
+class TestComponents:
+    def test_two_components(self):
+        graph = {"a": {"b"}, "b": {"a"}, "c": {"d"}, "d": {"c"}, "e": set()}
+        comps = connected_components(graph)
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+        assert comps[0] in ({"a", "b"}, {"c", "d"})  # largest first (ties)
+
+    def test_component_of(self):
+        graph = {"a": {"b"}, "b": {"a", "c"}, "c": {"b"}, "x": set()}
+        assert component_of(graph, "a") == {"a", "b", "c"}
+        assert component_of(graph, "x") == {"x"}
+        with pytest.raises(KeyError):
+            component_of(graph, "ghost")
+
+    def test_components_partition_nodes(self):
+        rng = np.random.default_rng(1)
+        sensors = [
+            Sensor(f"s{i}", "t", rng.uniform(0, 1), rng.uniform(0, 1)) for i in range(30)
+        ]
+        graph = build_proximity_graph(sensors, 20.0)
+        comps = connected_components(graph)
+        all_nodes = set().union(*comps) if comps else set()
+        assert all_nodes == set(graph)
+        assert sum(len(c) for c in comps) == len(graph)
+
+
+class TestSubgraphConnectivity:
+    GRAPH = {"a": {"b", "c"}, "b": {"a"}, "c": {"a", "d"}, "d": {"c"}, "e": set()}
+
+    def test_is_connected_true(self):
+        assert is_connected(self.GRAPH, {"a", "b", "c", "d"})
+        assert is_connected(self.GRAPH, {"a"})
+
+    def test_is_connected_false(self):
+        assert not is_connected(self.GRAPH, {"b", "d"})
+        assert not is_connected(self.GRAPH, {"a", "e"})
+        assert not is_connected(self.GRAPH, set())
+
+    def test_subgraph_restricts_edges(self):
+        sub = subgraph(self.GRAPH, {"a", "b", "d"})
+        assert sub == {"a": {"b"}, "b": {"a"}, "d": set()}
+
+    def test_subgraph_unknown_node(self):
+        with pytest.raises(KeyError):
+            subgraph(self.GRAPH, {"ghost"})

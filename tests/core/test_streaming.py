@@ -1,0 +1,186 @@
+"""Tests for streaming/incremental mining.
+
+The central contract: a StreamingMiner fed any batch split of a dataset
+produces exactly what the batch miner produces on the whole dataset.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.miner import MiscelaMiner
+from repro.core.parameters import MiningParameters
+from repro.core.streaming import StreamingMiner
+from repro.core.types import SensorDataset
+from repro.data.synthetic import generate_santander
+from tests.conftest import make_timeline
+
+
+def split_dataset(dataset: SensorDataset, cut: int):
+    """(prefix dataset, tail timeline, tail measurements)."""
+    prefix = dataset.slice_time(
+        dataset.timeline[0], dataset.timeline[cut], name=dataset.name
+    )
+    tail_timeline = list(dataset.timeline[cut:])
+    tail_values = {
+        sid: dataset.values(sid)[cut:] for sid in dataset.sensor_ids
+    }
+    return prefix, tail_timeline, tail_values
+
+
+def signature(result):
+    return {(c.key(), c.support, c.evolving_indices) for c in result.caps}
+
+
+@pytest.fixture(scope="module")
+def full_dataset():
+    return generate_santander(seed=13, neighbourhoods=3, steps=200)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MiningParameters(
+        evolving_rate=3.0, distance_threshold=0.35, max_attributes=3, min_support=5
+    )
+
+
+class TestIncrementalEqualsBatch:
+    def test_single_append(self, full_dataset, params):
+        prefix, tail_t, tail_v = split_dataset(full_dataset, 120)
+        miner = StreamingMiner(params, prefix)
+        miner.extend(tail_t, tail_v)
+        batch = MiscelaMiner(params).mine(full_dataset)
+        assert signature(miner.mine()) == signature(batch)
+
+    def test_many_small_appends(self, full_dataset, params):
+        prefix, tail_t, tail_v = split_dataset(full_dataset, 50)
+        miner = StreamingMiner(params, prefix)
+        step = 30
+        for start in range(0, len(tail_t), step):
+            miner.extend(
+                tail_t[start : start + step],
+                {sid: v[start : start + step] for sid, v in tail_v.items()},
+            )
+        batch = MiscelaMiner(params).mine(full_dataset)
+        assert signature(miner.mine()) == signature(batch)
+        assert miner.appends == 5
+        assert miner.num_timestamps == full_dataset.num_timestamps
+
+    def test_mine_between_appends(self, full_dataset, params):
+        """Interleaved mining must match the batch result at each point."""
+        prefix, tail_t, tail_v = split_dataset(full_dataset, 100)
+        miner = StreamingMiner(params, prefix)
+        assert signature(miner.mine()) == signature(MiscelaMiner(params).mine(prefix))
+        miner.extend(tail_t, tail_v)
+        assert signature(miner.mine()) == signature(
+            MiscelaMiner(params).mine(full_dataset)
+        )
+
+    def test_delayed_mode(self, full_dataset):
+        delayed = MiningParameters(
+            evolving_rate=3.0, distance_threshold=0.35, max_attributes=3,
+            min_support=5, max_delay=1, max_sensors=3,
+        )
+        prefix, tail_t, tail_v = split_dataset(full_dataset, 120)
+        miner = StreamingMiner(delayed, prefix)
+        miner.extend(tail_t, tail_v)
+        batch = MiscelaMiner(delayed).mine(full_dataset)
+        assert {(c.key(), c.support) for c in miner.mine().caps} == {
+            (c.key(), c.support) for c in batch.caps
+        }
+
+
+class TestValidation:
+    def test_segmentation_rejected(self, full_dataset):
+        params = MiningParameters(
+            evolving_rate=3.0, distance_threshold=0.35, max_attributes=3,
+            min_support=5, segmentation="bottom_up", segmentation_error=0.5,
+        )
+        with pytest.raises(ValueError, match="segmentation"):
+            StreamingMiner(params, full_dataset)
+
+    def test_off_grid_batch_rejected(self, full_dataset, params):
+        prefix, tail_t, tail_v = split_dataset(full_dataset, 150)
+        miner = StreamingMiner(params, prefix)
+        bad_t = [tail_t[0] + timedelta(minutes=7)] + tail_t[1:]
+        with pytest.raises(ValueError, match="grid"):
+            miner.extend(bad_t, tail_v)
+
+    def test_missing_sensor_rejected(self, full_dataset, params):
+        prefix, tail_t, tail_v = split_dataset(full_dataset, 150)
+        miner = StreamingMiner(params, prefix)
+        del tail_v[next(iter(tail_v))]
+        with pytest.raises(ValueError, match="lacks measurements"):
+            miner.extend(tail_t, tail_v)
+
+    def test_wrong_length_batch_rejected(self, full_dataset, params):
+        prefix, tail_t, tail_v = split_dataset(full_dataset, 150)
+        miner = StreamingMiner(params, prefix)
+        tail_v = dict(tail_v)
+        first = next(iter(tail_v))
+        tail_v[first] = tail_v[first][:-1]
+        with pytest.raises(ValueError, match="length"):
+            miner.extend(tail_t, tail_v)
+
+    def test_empty_batch_rejected(self, full_dataset, params):
+        miner = StreamingMiner(params, full_dataset)
+        with pytest.raises(ValueError, match="non-empty"):
+            miner.extend([], {})
+
+    def test_dataset_snapshot_is_copy(self, full_dataset, params):
+        miner = StreamingMiner(params, full_dataset)
+        snap = miner.dataset()
+        snap.values(snap.sensor_ids[0])[:] = 0.0
+        assert signature(miner.mine()) == signature(
+            MiscelaMiner(params).mine(full_dataset)
+        )
+
+
+@given(
+    cut=st.integers(min_value=2, max_value=58),
+    second_cut=st.integers(min_value=0, max_value=30),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_any_split_equals_batch(cut, second_cut, seed):
+    """Random dataset, random 2-batch split: incremental == batch."""
+    rng = np.random.default_rng(seed)
+    n = 60
+    timeline = make_timeline(n)
+    from repro.core.types import Sensor
+
+    sensors = [
+        Sensor("p", "temperature", 43.0, -3.0),
+        Sensor("q", "humidity", 43.0005, -3.0),
+        Sensor("r", "light", 43.0, -3.0006),
+    ]
+    measurements = {}
+    for sid in ("p", "q", "r"):
+        steps = np.where(rng.random(n) < 0.3, rng.choice([-4.0, 4.0], n), 0.0)
+        steps[0] = 0.0
+        values = np.cumsum(steps)
+        # Sprinkle NaNs: incremental extraction must handle gaps at the
+        # append boundary too.
+        nan_mask = rng.random(n) < 0.05
+        values[nan_mask] = np.nan
+        measurements[sid] = values
+    dataset = SensorDataset("prop-stream", timeline, sensors, measurements)
+    params = MiningParameters(
+        evolving_rate=2.0, distance_threshold=1.0, max_attributes=3, min_support=1
+    )
+
+    prefix, tail_t, tail_v = split_dataset(dataset, cut)
+    miner = StreamingMiner(params, prefix)
+    mid = min(second_cut, len(tail_t) - 1)
+    if mid > 0:
+        miner.extend(tail_t[:mid], {sid: v[:mid] for sid, v in tail_v.items()})
+        miner.extend(tail_t[mid:], {sid: v[mid:] for sid, v in tail_v.items()})
+    else:
+        miner.extend(tail_t, tail_v)
+    batch = MiscelaMiner(params).mine(dataset)
+    assert signature(miner.mine()) == signature(batch)

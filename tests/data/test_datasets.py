@@ -1,0 +1,66 @@
+"""Tests for the dataset registry and the Section-4 inventory table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import (
+    DATASET_NAMES,
+    dataset_table,
+    generate,
+    recommended_parameters,
+)
+
+
+class TestRegistry:
+    def test_all_four_paper_datasets(self):
+        assert set(DATASET_NAMES) == {"santander", "china6", "china13", "covid19"}
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generate_by_name(self, name):
+        ds = generate(name, seed=0)
+        assert ds.name == name
+        assert len(ds) >= 2
+
+    def test_generate_unknown(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            generate("tokyo")
+
+    def test_generate_forwards_overrides(self):
+        ds = generate("santander", seed=0, neighbourhoods=3)
+        assert len(ds) == 15
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_recommended_parameters_exist(self, name):
+        params = recommended_parameters(name)
+        assert params.min_support >= 1
+
+    def test_recommended_parameters_unknown(self):
+        with pytest.raises(KeyError):
+            recommended_parameters("tokyo")
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_recommended_parameters_find_patterns(self, name):
+        from repro.core.miner import MiscelaMiner
+
+        ds = generate(name, seed=0)
+        result = MiscelaMiner(recommended_parameters(name)).mine(ds)
+        assert result.num_caps > 0
+
+
+class TestDatasetTable:
+    def test_one_row_per_dataset(self):
+        rows = dataset_table(seed=0)
+        assert [r["dataset"] for r in rows] == list(DATASET_NAMES)
+
+    def test_paper_columns_present(self):
+        row = dataset_table(seed=0)[0]
+        assert row["paper_sensors"] == 552
+        assert row["paper_records"] == 2_329_936
+        assert row["generated_sensors"] > 0
+        assert row["generated_records"] > 0
+
+    def test_covid_generated_sensor_count_matches_paper(self):
+        rows = {r["dataset"]: r for r in dataset_table(seed=0)}
+        # COVID-19 is small enough to generate at full published scale.
+        assert rows["covid19"]["generated_sensors"] == rows["covid19"]["paper_sensors"]

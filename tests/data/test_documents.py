@@ -1,0 +1,56 @@
+"""Tests for dataset ⇄ document conversion (store persistence)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.documents import dataset_from_document, dataset_to_document
+from repro.data.synthetic import generate_covid19
+
+
+class TestRoundTrip:
+    def test_tiny_round_trip(self, tiny_dataset):
+        doc = dataset_to_document(tiny_dataset)
+        restored = dataset_from_document(doc)
+        assert restored.name == tiny_dataset.name
+        assert restored.sensor_ids == tiny_dataset.sensor_ids
+        assert restored.timeline == tiny_dataset.timeline
+        assert restored.attributes == tiny_dataset.attributes
+        for sid in tiny_dataset.sensor_ids:
+            np.testing.assert_allclose(
+                restored.values(sid), tiny_dataset.values(sid), equal_nan=True
+            )
+
+    def test_nan_becomes_none_and_back(self, tiny_dataset):
+        values = tiny_dataset.values("a").copy()
+        values[0] = np.nan
+        ds = tiny_dataset.subset(tiny_dataset.sensor_ids)
+        ds._measurements["a"] = values  # type: ignore[attr-defined]
+        doc = dataset_to_document(ds)
+        assert doc["series"]["a"][0] is None
+        restored = dataset_from_document(doc)
+        assert np.isnan(restored.values("a")[0])
+
+    def test_document_is_pure_json(self, tiny_dataset):
+        doc = dataset_to_document(tiny_dataset)
+        rebuilt = json.loads(json.dumps(doc))
+        restored = dataset_from_document(rebuilt)
+        assert restored.sensor_ids == tiny_dataset.sensor_ids
+
+    def test_generated_dataset_round_trip(self):
+        ds = generate_covid19(seed=0, steps=50)
+        restored = dataset_from_document(dataset_to_document(ds))
+        assert restored.num_records == ds.num_records
+        assert restored.describe() == ds.describe()
+
+    def test_sensor_metadata_preserved(self, tiny_dataset):
+        restored = dataset_from_document(dataset_to_document(tiny_dataset))
+        for sid in tiny_dataset.sensor_ids:
+            original = tiny_dataset.sensor(sid)
+            copy = restored.sensor(sid)
+            assert (copy.attribute, copy.lat, copy.lon) == (
+                original.attribute, original.lat, original.lon,
+            )

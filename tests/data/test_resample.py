@@ -1,0 +1,141 @@
+"""Unit tests for timeline assembly and gap handling."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.types import Sensor, SensorDataset
+from repro.data.resample import assemble_dataset, downsample, fill_gaps
+from repro.data.schema import DataRow, LocationRow
+from tests.conftest import make_timeline
+
+T0 = datetime(2016, 3, 1)
+
+
+def t(hours: int) -> datetime:
+    return T0 + timedelta(hours=hours)
+
+
+class TestAssembleDataset:
+    def test_dense_assembly(self):
+        rows = [DataRow("s1", "t", t(i), float(i)) for i in range(4)]
+        locations = [LocationRow("s1", "t", 43.0, -3.0)]
+        ds = assemble_dataset("d", rows, locations)
+        np.testing.assert_array_equal(ds.values("s1"), [0.0, 1.0, 2.0, 3.0])
+
+    def test_skipped_grid_points_become_nan(self):
+        rows = [DataRow("s1", "t", t(i), float(i)) for i in (0, 1, 3)]
+        locations = [LocationRow("s1", "t", 43.0, -3.0)]
+        ds = assemble_dataset("d", rows, locations)
+        assert ds.num_timestamps == 4
+        assert np.isnan(ds.values("s1")[2])
+
+    def test_sensor_with_no_rows_is_all_nan(self):
+        rows = [DataRow("s1", "t", t(i), 1.0) for i in range(3)]
+        locations = [
+            LocationRow("s1", "t", 43.0, -3.0),
+            LocationRow("s2", "h", 43.0, -3.0),
+        ]
+        ds = assemble_dataset("d", rows, locations)
+        assert np.all(np.isnan(ds.values("s2")))
+
+    def test_off_grid_timestamp_rejected(self):
+        rows = [
+            DataRow("s1", "t", t(0), 1.0),
+            DataRow("s1", "t", t(2), 1.0),
+            DataRow("s1", "t", t(2) + timedelta(minutes=61), 1.0),
+        ]
+        with pytest.raises(ValueError, match="grid"):
+            assemble_dataset("d", rows, [LocationRow("s1", "t", 0.0, 0.0)])
+
+    def test_undeclared_sensor_rejected(self):
+        rows = [DataRow("ghost", "t", t(i), 1.0) for i in range(2)]
+        with pytest.raises(ValueError, match="undeclared"):
+            assemble_dataset("d", rows, [LocationRow("s1", "t", 0.0, 0.0)])
+
+    def test_too_few_timestamps(self):
+        rows = [DataRow("s1", "t", t(0), 1.0)]
+        with pytest.raises(ValueError, match="fewer than two"):
+            assemble_dataset("d", rows, [LocationRow("s1", "t", 0.0, 0.0)])
+
+
+def dataset_with_gaps() -> SensorDataset:
+    timeline = make_timeline(8)
+    values = np.array([1.0, np.nan, 3.0, np.nan, np.nan, 6.0, np.nan, np.nan])
+    return SensorDataset(
+        "g", timeline, [Sensor("x", "t", 0.0, 0.0)], {"x": values}
+    )
+
+
+class TestFillGaps:
+    def test_interpolate_short_runs(self):
+        ds = fill_gaps(dataset_with_gaps(), method="interpolate", max_gap=2)
+        v = ds.values("x")
+        assert v[1] == pytest.approx(2.0)           # single gap midway 1→3
+        assert v[3] == pytest.approx(4.0)           # double gap 3→6
+        assert v[4] == pytest.approx(5.0)
+
+    def test_trailing_gap_extends_last_value_interpolate(self):
+        ds = fill_gaps(dataset_with_gaps(), method="interpolate", max_gap=2)
+        v = ds.values("x")
+        assert v[6] == pytest.approx(6.0)
+        assert v[7] == pytest.approx(6.0)
+
+    def test_ffill(self):
+        ds = fill_gaps(dataset_with_gaps(), method="ffill", max_gap=2)
+        v = ds.values("x")
+        assert v[1] == 1.0
+        assert v[3] == 3.0 and v[4] == 3.0
+
+    def test_long_runs_stay_nan(self):
+        ds = fill_gaps(dataset_with_gaps(), method="interpolate", max_gap=1)
+        v = ds.values("x")
+        assert v[1] == pytest.approx(2.0)
+        assert np.isnan(v[3]) and np.isnan(v[4])
+
+    def test_leading_gap_stays_nan(self):
+        timeline = make_timeline(4)
+        values = np.array([np.nan, 2.0, 3.0, 4.0])
+        ds = SensorDataset("g", timeline, [Sensor("x", "t", 0, 0)], {"x": values})
+        filled = fill_gaps(ds, method="ffill", max_gap=3)
+        assert np.isnan(filled.values("x")[0])
+
+    def test_original_untouched(self):
+        ds = dataset_with_gaps()
+        fill_gaps(ds)
+        assert np.isnan(ds.values("x")[1])
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            fill_gaps(dataset_with_gaps(), method="magic")
+
+    def test_bad_max_gap(self):
+        with pytest.raises(ValueError, match="max_gap"):
+            fill_gaps(dataset_with_gaps(), max_gap=0)
+
+
+class TestDownsample:
+    def test_every_second(self):
+        timeline = make_timeline(10)
+        values = np.arange(10, dtype=float)
+        ds = SensorDataset("d", timeline, [Sensor("x", "t", 0, 0)], {"x": values})
+        thin = downsample(ds, 2)
+        assert thin.num_timestamps == 5
+        np.testing.assert_array_equal(thin.values("x"), [0, 2, 4, 6, 8])
+        assert thin.interval == timedelta(hours=2)
+
+    def test_identity(self):
+        ds = dataset_with_gaps()
+        assert downsample(ds, 1) is ds
+
+    def test_too_aggressive(self):
+        ds = dataset_with_gaps()
+        with pytest.raises(ValueError, match="fewer than two"):
+            downsample(ds, 8)
+
+    def test_bad_every(self):
+        with pytest.raises(ValueError, match="every"):
+            downsample(dataset_with_gaps(), 0)

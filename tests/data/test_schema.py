@@ -1,0 +1,77 @@
+"""Unit tests for the three-file schema helpers."""
+
+from __future__ import annotations
+
+import math
+from datetime import datetime
+
+import pytest
+
+from repro.data.schema import (
+    DATA_COLUMNS,
+    DEFAULT_CHUNK_LINES,
+    LOCATION_COLUMNS,
+    NULL_TOKEN,
+    DataRow,
+    format_time,
+    format_value,
+    parse_time,
+    parse_value,
+)
+
+
+class TestConstants:
+    def test_columns_match_paper(self):
+        assert DATA_COLUMNS == ("id", "attribute", "time", "data")
+        assert LOCATION_COLUMNS == ("id", "attribute", "lat", "lon")
+
+    def test_chunk_size_matches_paper(self):
+        assert DEFAULT_CHUNK_LINES == 10_000
+
+    def test_null_token(self):
+        assert NULL_TOKEN == "null"
+
+
+class TestTimeParsing:
+    def test_round_trip(self):
+        t = datetime(2016, 3, 1, 13, 30, 0)
+        assert parse_time(format_time(t)) == t
+
+    def test_paper_example(self):
+        assert parse_time("2016-03-01 00:00:00") == datetime(2016, 3, 1)
+
+    def test_bad_format(self):
+        with pytest.raises(ValueError):
+            parse_time("2016/03/01")
+
+
+class TestValueParsing:
+    def test_float(self):
+        assert parse_value("9.87") == pytest.approx(9.87)
+
+    def test_null_token(self):
+        assert math.isnan(parse_value("null"))
+
+    def test_empty_is_null(self):
+        assert math.isnan(parse_value(""))
+        assert math.isnan(parse_value("  "))
+
+    def test_whitespace_tolerated(self):
+        assert parse_value(" 5.0 ") == 5.0
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+
+    def test_format_round_trip(self):
+        assert parse_value(format_value(3.25)) == 3.25
+        assert format_value(float("nan")) == NULL_TOKEN
+        assert format_value(7.0) == "7"
+
+
+class TestDataRow:
+    def test_is_null(self):
+        row = DataRow("s", "t", datetime(2016, 3, 1), float("nan"))
+        assert row.is_null
+        row2 = DataRow("s", "t", datetime(2016, 3, 1), 1.0)
+        assert not row2.is_null

@@ -1,0 +1,182 @@
+"""Tests for the synthetic dataset generators.
+
+Beyond shape checks, these verify that each generator *embeds the structure
+the paper's scenarios need* — that is the whole point of the substitution
+(see DESIGN.md): Santander's traffic↔temperature correlation, China's
+east–west wind corridors, COVID's before/after pattern change.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.evolving import extract_all_evolving
+from repro.core.miner import MiscelaMiner
+from repro.data.datasets import recommended_parameters
+from repro.data.synthetic import (
+    PAPER_SHAPES,
+    generate_china6,
+    generate_china13,
+    generate_covid19,
+    generate_santander,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_santander, generate_china6, generate_china13, generate_covid19],
+    )
+    def test_same_seed_same_data(self, generator):
+        a = generator(seed=5)
+        b = generator(seed=5)
+        assert a.sensor_ids == b.sensor_ids
+        for sid in a.sensor_ids:
+            np.testing.assert_array_equal(a.values(sid), b.values(sid))
+
+    def test_different_seed_different_data(self):
+        a = generate_santander(seed=1)
+        b = generate_santander(seed=2)
+        assert any(
+            not np.array_equal(a.values(sid), b.values(sid), equal_nan=True)
+            for sid in a.sensor_ids
+        )
+
+
+class TestPaperShapes:
+    def test_all_datasets_registered(self):
+        assert set(PAPER_SHAPES) == {"santander", "china6", "china13", "covid19"}
+
+    def test_published_counts(self):
+        assert PAPER_SHAPES["santander"]["sensors"] == 552
+        assert PAPER_SHAPES["santander"]["records"] == 2_329_936
+        assert PAPER_SHAPES["china6"]["sensors"] == 9_438
+        assert PAPER_SHAPES["china6"]["records"] == 6_889_740
+        assert PAPER_SHAPES["china13"]["sensors"] == 4_810
+        assert PAPER_SHAPES["covid19"]["sensors"] == 12
+        assert PAPER_SHAPES["covid19"]["records"] == 52_261
+
+    def test_attribute_sets_match_names(self):
+        assert len(PAPER_SHAPES["china13"]["attributes"]) == 13
+        assert len(PAPER_SHAPES["china6"]["attributes"]) == 6
+
+
+class TestSantander:
+    def test_default_shape(self):
+        ds = generate_santander(seed=0)
+        assert ds.name == "santander"
+        assert len(ds) == 60  # 12 neighbourhoods × 5 attributes
+        assert set(ds.attributes) == {
+            "temperature", "traffic_volume", "light", "sound", "humidity"
+        }
+
+    def test_period_starts_march_2016(self):
+        ds = generate_santander(seed=0)
+        assert ds.timeline[0] == datetime(2016, 3, 1)
+
+    def test_missing_rate_produces_nans(self):
+        ds = generate_santander(seed=0, missing_rate=0.2)
+        total = sum(np.isnan(ds.values(sid)).sum() for sid in ds.sensor_ids)
+        assert total > 0
+
+    def test_correlated_neighbourhood_mines_traffic_temperature_cap(self):
+        ds = generate_santander(seed=0)
+        result = MiscelaMiner(recommended_parameters("santander")).mine(ds)
+        pairs = {frozenset(c.attributes) for c in result.caps}
+        assert frozenset({"traffic_volume", "temperature"}) in pairs
+
+    def test_uncorrelated_neighbourhood_has_weaker_traffic_temp_support(self):
+        ds = generate_santander(seed=0, neighbourhoods=8, correlated_fraction=0.5)
+        params = recommended_parameters("santander")
+        evolving = extract_all_evolving(ds, params)
+        from repro.core.evolving import co_evolution_count
+
+        # hoods 0..3 correlated, 4..7 not.
+        corr = co_evolution_count(evolving, ("san-000-temperature", "san-000-traffic_volume"))
+        uncorr = co_evolution_count(evolving, ("san-004-temperature", "san-004-traffic_volume"))
+        assert corr > uncorr
+
+    def test_sensor_count_parameterisation(self):
+        ds = generate_santander(seed=0, neighbourhoods=3, sensors_per_neighbourhood=2)
+        assert len(ds) == 6
+
+    def test_bad_sensor_count(self):
+        with pytest.raises(ValueError):
+            generate_santander(sensors_per_neighbourhood=9)
+
+
+class TestChina:
+    def test_china6_shape(self):
+        ds = generate_china6(seed=0)
+        assert len(ds) == 3 * 5 * 6
+        assert len(ds.attributes) == 6
+
+    def test_china13_shape(self):
+        ds = generate_china13(seed=0)
+        assert len(ds) == 2 * 3 * 13
+        assert len(ds.attributes) == 13
+
+    def test_same_row_stations_co_evolve(self):
+        ds = generate_china6(seed=0)
+        params = recommended_parameters("china6")
+        from repro.core.evolving import co_evolution_count
+
+        evolving = extract_all_evolving(ds, params)
+        same_row = co_evolution_count(
+            evolving, ("china6-r0c0-pm25", "china6-r0c1-pm25")
+        )
+        cross_row = co_evolution_count(
+            evolving, ("china6-r0c0-pm25", "china6-r1c0-pm25")
+        )
+        assert same_row > 3 * max(cross_row, 1)
+
+    def test_mined_pairs_skew_east_west(self):
+        from repro.analysis.statistics import axis_correlation_report
+
+        ds = generate_china6(seed=1)
+        result = MiscelaMiner(recommended_parameters("china6")).mine(ds)
+        report = axis_correlation_report(ds, result.caps, min_km=10.0)
+        assert report["east-west"] > report["north-south"]
+
+
+class TestCovid19:
+    def test_exactly_twelve_sensors(self):
+        ds = generate_covid19(seed=0)
+        assert len(ds) == 12  # two cities × six pollutants, like the paper
+
+    def test_two_cities(self):
+        ds = generate_covid19(seed=0)
+        cities = {sid.split("-")[1] for sid in ds.sensor_ids}
+        assert cities == {"shanghai", "guangzhou"}
+
+    def test_traffic_pollutants_flatten_after_lockdown(self):
+        lockdown = datetime(2020, 1, 23)
+        ds = generate_covid19(seed=0, lockdown=lockdown)
+        params = recommended_parameters("covid19")
+        split = sum(1 for t in ds.timeline if t < lockdown)
+        evolving = extract_all_evolving(ds, params)
+        no2 = evolving["covid-shanghai-no2"]
+        before = int((no2.indices < split).sum())
+        after = int((no2.indices > split + 1).sum())
+        assert before > 3 * max(after, 1)
+
+    def test_background_pollutants_keep_evolving(self):
+        lockdown = datetime(2020, 1, 23)
+        ds = generate_covid19(seed=0, lockdown=lockdown)
+        params = recommended_parameters("covid19")
+        split = sum(1 for t in ds.timeline if t < lockdown)
+        evolving = extract_all_evolving(ds, params)
+        so2 = evolving["covid-shanghai-so2"]
+        after = int((so2.indices > split).sum())
+        assert after > 5
+
+    def test_pattern_sets_differ_before_after(self):
+        from repro.analysis.comparison import compare_periods
+
+        ds = generate_covid19(seed=0)
+        comp = compare_periods(ds, datetime(2020, 1, 23), recommended_parameters("covid19"))
+        assert comp.before.num_caps > comp.after.num_caps
+        assert len(comp.vanished) > 0

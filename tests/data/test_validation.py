@@ -1,0 +1,140 @@
+"""Unit tests for upload validation."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.data.schema import DataRow, LocationRow
+from repro.data.validation import (
+    DatasetValidationError,
+    validate_attributes,
+    validate_data_rows,
+    validate_locations,
+    validate_timeline,
+)
+
+T0 = datetime(2016, 3, 1)
+
+
+def t(hours: int) -> datetime:
+    return T0 + timedelta(hours=hours)
+
+
+GOOD_LOCATIONS = [
+    LocationRow("s1", "temperature", 43.46, -3.80),
+    LocationRow("s2", "light", 43.47, -3.81),
+]
+
+
+class TestAttributes:
+    def test_good(self):
+        assert validate_attributes(["temperature", "light"]) == []
+
+    def test_empty_registry(self):
+        assert any("no attributes" in e for e in validate_attributes([]))
+
+    def test_duplicate(self):
+        errors = validate_attributes(["a", "a"])
+        assert any("duplicate" in e for e in errors)
+
+    def test_whitespace_name(self):
+        errors = validate_attributes([" temp"])
+        assert any("invalid" in e for e in errors)
+
+
+class TestLocations:
+    def test_good(self):
+        assert validate_locations(GOOD_LOCATIONS, ["temperature", "light"]) == []
+
+    def test_duplicate_id(self):
+        rows = [GOOD_LOCATIONS[0], LocationRow("s1", "light", 43.0, -3.0)]
+        errors = validate_locations(rows, ["temperature", "light"])
+        assert any("duplicate sensor id" in e for e in errors)
+
+    def test_unregistered_attribute(self):
+        errors = validate_locations(GOOD_LOCATIONS, ["temperature"])
+        assert any("not in attribute.csv" in e for e in errors)
+
+    def test_out_of_range_coordinates(self):
+        rows = [LocationRow("s1", "t", 95.0, -200.0)]
+        errors = validate_locations(rows, ["t"])
+        assert any("latitude" in e for e in errors)
+        assert any("longitude" in e for e in errors)
+
+    def test_empty(self):
+        assert any("no sensors" in e for e in validate_locations([], ["t"]))
+
+    def test_errors_carry_line_numbers(self):
+        rows = [GOOD_LOCATIONS[0], LocationRow("s2", "ghost", 0.0, 0.0)]
+        errors = validate_locations(rows, ["temperature"])
+        assert any("line 3" in e for e in errors)  # header is line 1
+
+
+class TestDataRows:
+    def test_good(self):
+        rows = [
+            DataRow("s1", "temperature", t(0), 1.0),
+            DataRow("s1", "temperature", t(1), 2.0),
+        ]
+        assert validate_data_rows(rows, GOOD_LOCATIONS) == []
+
+    def test_undeclared_sensor(self):
+        rows = [DataRow("ghost", "temperature", t(0), 1.0)]
+        errors = validate_data_rows(rows, GOOD_LOCATIONS)
+        assert any("not declared" in e for e in errors)
+
+    def test_attribute_mismatch_is_undeclared(self):
+        rows = [DataRow("s1", "light", t(0), 1.0)]  # s1 is temperature
+        errors = validate_data_rows(rows, GOOD_LOCATIONS)
+        assert any("not declared" in e for e in errors)
+
+    def test_duplicate_measurement(self):
+        rows = [
+            DataRow("s1", "temperature", t(0), 1.0),
+            DataRow("s1", "temperature", t(0), 2.0),
+        ]
+        errors = validate_data_rows(rows, GOOD_LOCATIONS)
+        assert any("duplicate measurement" in e for e in errors)
+
+    def test_empty(self):
+        assert any("no measurements" in e for e in validate_data_rows([], GOOD_LOCATIONS))
+
+
+class TestTimeline:
+    def test_even_grid_ok(self):
+        rows = [DataRow("s1", "t", t(i), 1.0) for i in range(4)]
+        assert validate_timeline(rows) == []
+
+    def test_uneven_grid_rejected(self):
+        rows = [
+            DataRow("s1", "t", t(0), 1.0),
+            DataRow("s1", "t", t(1), 1.0),
+            DataRow("s1", "t", t(1) + timedelta(minutes=30), 1.0),
+        ]
+        errors = validate_timeline(rows)
+        assert any("not evenly spaced" in e for e in errors)
+
+    def test_single_timestamp(self):
+        rows = [DataRow("s1", "t", t(0), 1.0)]
+        errors = validate_timeline(rows)
+        assert any("fewer than two" in e for e in errors)
+
+    def test_missing_rows_on_grid_ok(self):
+        # A sensor can skip grid points entirely; resample fills NaN.
+        rows = [DataRow("s1", "t", t(i), 1.0) for i in (0, 1, 2, 3)]
+        rows += [DataRow("s2", "t", t(i), 1.0) for i in (0, 2)]
+        assert validate_timeline(rows) == []
+
+
+class TestValidationError:
+    def test_requires_errors(self):
+        with pytest.raises(ValueError):
+            DatasetValidationError([])
+
+    def test_message_previews_errors(self):
+        exc = DatasetValidationError([f"error {i}" for i in range(8)])
+        assert "8 validation error(s)" in str(exc)
+        assert "+3 more" in str(exc)
+        assert len(exc.errors) == 8

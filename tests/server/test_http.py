@@ -1,0 +1,120 @@
+"""Unit tests for the HTTP primitives and WSGI adapter."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.server.http import (
+    HTTPError,
+    Request,
+    Response,
+    html_response,
+    json_response,
+    wsgi_adapter,
+)
+
+
+class TestRequest:
+    def test_json_parsing(self):
+        req = Request("POST", "/x", body=json.dumps({"a": 1}).encode())
+        assert req.json() == {"a": 1}
+
+    def test_json_empty_body(self):
+        with pytest.raises(HTTPError) as exc:
+            Request("POST", "/x").json()
+        assert exc.value.status == 400
+
+    def test_json_malformed(self):
+        with pytest.raises(HTTPError, match="malformed"):
+            Request("POST", "/x", body=b"{nope").json()
+
+    def test_text(self):
+        assert Request("POST", "/x", body="héllo".encode()).text() == "héllo"
+
+    def test_text_bad_utf8(self):
+        with pytest.raises(HTTPError, match="UTF-8"):
+            Request("POST", "/x", body=b"\xff\xfe").text()
+
+    def test_param(self):
+        req = Request("GET", "/x", query={"a": ["1", "2"], "b": ["z"]})
+        assert req.param("a") == "1"
+        assert req.param("missing") is None
+        assert req.param("missing", "default") == "default"
+
+
+class TestResponse:
+    def test_status_line(self):
+        assert Response(status=404).status_line == "404 Not Found"
+        assert Response(status=299).status_line == "299 Unknown"
+
+    def test_json_response(self):
+        resp = json_response({"x": 1}, status=201)
+        assert resp.status == 201
+        assert resp.json() == {"x": 1}
+        assert "application/json" in resp.headers["Content-Type"]
+
+    def test_html_response(self):
+        resp = html_response("<h1>hi</h1>")
+        assert "text/html" in resp.headers["Content-Type"]
+        assert resp.body == b"<h1>hi</h1>"
+
+
+class TestWsgiAdapter:
+    def _call(self, handler, method="GET", path="/", qs="", body=b"", content_type=None):
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": qs,
+            "CONTENT_LENGTH": str(len(body)),
+            "wsgi.input": io.BytesIO(body),
+            "HTTP_X_CUSTOM": "abc",
+        }
+        if content_type:
+            environ["CONTENT_TYPE"] = content_type
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+            captured["headers"] = dict(headers)
+
+        chunks = wsgi_adapter(handler)(environ, start_response)
+        return captured, b"".join(chunks)
+
+    def test_round_trip(self):
+        def handler(request: Request) -> Response:
+            assert request.method == "GET"
+            assert request.path == "/hello"
+            assert request.param("q") == "1"
+            assert request.headers["x-custom"] == "abc"
+            return json_response({"ok": True})
+
+        captured, body = self._call(handler, path="/hello", qs="q=1")
+        assert captured["status"].startswith("200")
+        assert json.loads(body) == {"ok": True}
+
+    def test_body_forwarded(self):
+        def handler(request: Request) -> Response:
+            return json_response(request.json())
+
+        captured, body = self._call(
+            handler, method="POST", body=b'{"n": 5}', content_type="application/json"
+        )
+        assert json.loads(body) == {"n": 5}
+
+    def test_bad_content_length_treated_as_zero(self):
+        def handler(request: Request) -> Response:
+            return json_response({"len": len(request.body)})
+
+        environ = {
+            "REQUEST_METHOD": "GET",
+            "PATH_INFO": "/",
+            "QUERY_STRING": "",
+            "CONTENT_LENGTH": "not-a-number",
+            "wsgi.input": io.BytesIO(b""),
+        }
+        out = {}
+        chunks = wsgi_adapter(handler)(environ, lambda s, h: out.update(s=s))
+        assert json.loads(b"".join(chunks)) == {"len": 0}

@@ -1,0 +1,87 @@
+"""Unit tests for the URL router."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.http import HTTPError, Request, json_response
+from repro.server.routing import Router
+
+
+@pytest.fixture
+def router() -> Router:
+    r = Router()
+
+    @r.get("/datasets")
+    def list_datasets(request):
+        return json_response(["a"])
+
+    @r.get("/datasets/{name}")
+    def get_dataset(request):
+        return json_response({"name": request.path_params["name"]})
+
+    @r.post("/datasets/{name}/upload/chunk")
+    def chunk(request):
+        return json_response({"ok": True})
+
+    @r.delete("/datasets/{name}")
+    def delete(request):
+        return json_response({"deleted": request.path_params["name"]})
+
+    return r
+
+
+class TestDispatch:
+    def test_static_route(self, router):
+        resp = router.dispatch(Request("GET", "/datasets"))
+        assert resp.json() == ["a"]
+
+    def test_path_params_captured(self, router):
+        resp = router.dispatch(Request("GET", "/datasets/santander"))
+        assert resp.json() == {"name": "santander"}
+
+    def test_nested_params(self, router):
+        resp = router.dispatch(Request("POST", "/datasets/x/upload/chunk"))
+        assert resp.json() == {"ok": True}
+
+    def test_404(self, router):
+        with pytest.raises(HTTPError) as exc:
+            router.dispatch(Request("GET", "/nope"))
+        assert exc.value.status == 404
+
+    def test_405_when_path_exists(self, router):
+        with pytest.raises(HTTPError) as exc:
+            router.dispatch(Request("POST", "/datasets"))
+        assert exc.value.status == 405
+
+    def test_method_match_on_same_pattern(self, router):
+        resp = router.dispatch(Request("DELETE", "/datasets/x"))
+        assert resp.json() == {"deleted": "x"}
+
+    def test_param_does_not_cross_segments(self, router):
+        with pytest.raises(HTTPError) as exc:
+            router.dispatch(Request("GET", "/datasets/a/b"))
+        assert exc.value.status == 404
+
+    def test_routes_listing(self, router):
+        patterns = [p for _, p in router.routes()]
+        assert "/datasets/{name}" in patterns
+
+
+class TestRegistration:
+    def test_bad_method(self):
+        r = Router()
+        with pytest.raises(ValueError, match="method"):
+            r.add("FETCH", "/x", lambda req: json_response({}))
+
+    def test_pattern_must_start_with_slash(self):
+        r = Router()
+        with pytest.raises(ValueError, match="start with"):
+            r.add("GET", "x", lambda req: json_response({}))
+
+    def test_regex_chars_escaped(self):
+        r = Router()
+        r.add("GET", "/a.b", lambda req: json_response({"ok": 1}))
+        with pytest.raises(HTTPError):
+            r.dispatch(Request("GET", "/aXb"))  # '.' must not be a wildcard
+        assert r.dispatch(Request("GET", "/a.b")).json() == {"ok": 1}

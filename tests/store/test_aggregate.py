@@ -1,0 +1,156 @@
+"""Unit tests for the aggregation pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.aggregate import aggregate
+from repro.store.collection import Collection
+from repro.store.query import QueryError
+
+DOCS = [
+    {"dataset": "santander", "support": 10, "attrs": ["t", "v"]},
+    {"dataset": "santander", "support": 30, "attrs": ["t", "l"]},
+    {"dataset": "china6", "support": 20, "attrs": ["pm25", "so2"]},
+    {"dataset": "china6", "support": 40, "attrs": ["pm25"]},
+    {"dataset": "covid19", "support": 5, "attrs": []},
+]
+
+
+class TestMatchSortLimit:
+    def test_match(self):
+        out = aggregate(DOCS, [{"$match": {"dataset": "china6"}}])
+        assert len(out) == 2
+
+    def test_sort_ascending_descending(self):
+        out = aggregate(DOCS, [{"$sort": {"support": 1}}])
+        assert [d["support"] for d in out] == [5, 10, 20, 30, 40]
+        out = aggregate(DOCS, [{"$sort": {"support": -1}}])
+        assert out[0]["support"] == 40
+
+    def test_sort_missing_field_last(self):
+        docs = DOCS + [{"dataset": "x"}]
+        out = aggregate(docs, [{"$sort": {"support": 1}}])
+        assert out[-1] == {"dataset": "x"}
+
+    def test_limit_skip(self):
+        out = aggregate(DOCS, [{"$sort": {"support": -1}}, {"$skip": 1}, {"$limit": 2}])
+        assert [d["support"] for d in out] == [30, 20]
+
+    def test_bad_sort(self):
+        with pytest.raises(QueryError):
+            aggregate(DOCS, [{"$sort": {"support": 2}}])
+
+    def test_bad_limit(self):
+        with pytest.raises(QueryError):
+            aggregate(DOCS, [{"$limit": -1}])
+
+
+class TestGroup:
+    def test_group_count_per_dataset(self):
+        out = aggregate(DOCS, [
+            {"$group": {"_id": "$dataset", "n": {"$count": 1}}},
+            {"$sort": {"_id": 1}},
+        ])
+        assert out == [
+            {"_id": "china6", "n": 2},
+            {"_id": "covid19", "n": 1},
+            {"_id": "santander", "n": 2},
+        ]
+
+    def test_group_sum_avg_min_max(self):
+        out = aggregate(DOCS, [
+            {"$group": {
+                "_id": "$dataset",
+                "total": {"$sum": "$support"},
+                "mean": {"$avg": "$support"},
+                "lo": {"$min": "$support"},
+                "hi": {"$max": "$support"},
+            }},
+            {"$match": {"_id": "china6"}},
+        ])
+        assert out == [{"_id": "china6", "total": 60, "mean": 30.0, "lo": 20, "hi": 40}]
+
+    def test_group_all_with_none_id(self):
+        out = aggregate(DOCS, [
+            {"$group": {"_id": None, "total": {"$sum": "$support"}}},
+        ])
+        assert out == [{"_id": None, "total": 105}]
+
+    def test_group_push(self):
+        out = aggregate(DOCS, [
+            {"$match": {"dataset": "santander"}},
+            {"$group": {"_id": "$dataset", "supports": {"$push": "$support"}}},
+        ])
+        assert out[0]["supports"] == [10, 30]
+
+    def test_group_requires_id(self):
+        with pytest.raises(QueryError, match="_id"):
+            aggregate(DOCS, [{"$group": {"n": {"$count": 1}}}])
+
+    def test_unknown_accumulator(self):
+        with pytest.raises(QueryError, match="accumulator"):
+            aggregate(DOCS, [{"$group": {"_id": None, "x": {"$median": "$support"}}}])
+
+    def test_avg_empty_group_is_none(self):
+        out = aggregate(
+            [{"k": "a"}], [{"$group": {"_id": "$k", "m": {"$avg": "$support"}}}]
+        )
+        assert out[0]["m"] is None
+
+
+class TestProjectUnwind:
+    def test_project_keep(self):
+        out = aggregate(DOCS[:1], [{"$project": {"dataset": 1}}])
+        assert out == [{"dataset": "santander"}]
+
+    def test_project_rename(self):
+        out = aggregate(DOCS[:1], [{"$project": {"name": "$dataset"}}])
+        assert out == [{"name": "santander"}]
+
+    def test_project_bad_rule(self):
+        with pytest.raises(QueryError):
+            aggregate(DOCS, [{"$project": {"x": 7}}])
+
+    def test_unwind(self):
+        out = aggregate(DOCS[:1], [{"$unwind": "$attrs"}])
+        assert [d["attrs"] for d in out] == ["t", "v"]
+
+    def test_unwind_empty_array_drops_doc(self):
+        out = aggregate([{"attrs": []}], [{"$unwind": "$attrs"}])
+        assert out == []
+
+    def test_unwind_then_group_counts_attribute_frequency(self):
+        out = aggregate(DOCS, [
+            {"$unwind": "$attrs"},
+            {"$group": {"_id": "$attrs", "n": {"$count": 1}}},
+            {"$sort": {"n": -1}},
+        ])
+        assert out[0] == {"_id": "pm25", "n": 2} or out[0] == {"_id": "t", "n": 2}
+
+
+class TestPipelineErrors:
+    def test_unknown_stage(self):
+        with pytest.raises(QueryError, match="unknown pipeline stage"):
+            aggregate(DOCS, [{"$lookup": {}}])
+
+    def test_multi_operator_stage(self):
+        with pytest.raises(QueryError, match="single-operator"):
+            aggregate(DOCS, [{"$match": {}, "$limit": 1}])
+
+    def test_input_documents_not_mutated(self):
+        docs = [{"a": 1}]
+        aggregate(docs, [{"$project": {"a": 1}}])
+        assert docs == [{"a": 1}]
+
+
+class TestCollectionIntegration:
+    def test_aggregate_over_collection(self):
+        c = Collection("caps")
+        c.insert_many(DOCS)
+        out = c.aggregate([
+            {"$group": {"_id": "$dataset", "best": {"$max": "$support"}}},
+            {"$sort": {"best": -1}},
+            {"$limit": 1},
+        ])
+        assert out == [{"_id": "china6", "best": 40}]

@@ -1,0 +1,189 @@
+"""Unit tests for document collections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.collection import Collection
+from repro.store.query import QueryError
+
+
+@pytest.fixture
+def people() -> Collection:
+    c = Collection("people")
+    c.insert_many(
+        [
+            {"name": "ada", "age": 36, "city": "london"},
+            {"name": "grace", "age": 85, "city": "arlington"},
+            {"name": "alan", "age": 41, "city": "london"},
+        ]
+    )
+    return c
+
+
+class TestInsertFind:
+    def test_insert_assigns_ids(self, people):
+        ids = [d["_id"] for d in people.find()]
+        assert ids == [1, 2, 3]
+
+    def test_find_with_query(self, people):
+        docs = people.find({"city": "london"})
+        assert {d["name"] for d in docs} == {"ada", "alan"}
+
+    def test_find_one(self, people):
+        doc = people.find_one({"name": "grace"})
+        assert doc is not None and doc["age"] == 85
+        assert people.find_one({"name": "ghost"}) is None
+
+    def test_find_sorted(self, people):
+        docs = people.find(sort="age")
+        assert [d["name"] for d in docs] == ["ada", "alan", "grace"]
+        docs = people.find(sort="age", descending=True)
+        assert [d["name"] for d in docs] == ["grace", "alan", "ada"]
+
+    def test_find_sort_missing_field_sorts_last(self, people):
+        people.insert_one({"name": "noage"})
+        docs = people.find(sort="age")
+        assert docs[-1]["name"] == "noage"
+
+    def test_find_limit(self, people):
+        assert len(people.find(limit=2)) == 2
+        with pytest.raises(ValueError):
+            people.find(limit=-1)
+
+    def test_count(self, people):
+        assert people.count() == 3
+        assert people.count({"city": "london"}) == 2
+        assert len(people) == 3
+
+    def test_insert_rejects_non_mapping(self, people):
+        with pytest.raises(TypeError):
+            people.insert_one(["nope"])  # type: ignore[arg-type]
+
+    def test_returned_documents_are_copies(self, people):
+        doc = people.find_one({"name": "ada"})
+        doc["age"] = 999
+        assert people.find_one({"name": "ada"})["age"] == 36
+
+    def test_inserted_documents_are_copied(self):
+        c = Collection("c")
+        original = {"tags": ["a"]}
+        c.insert_one(original)
+        original["tags"].append("b")
+        assert c.find_one({})["tags"] == ["a"]
+
+
+class TestUpdateDelete:
+    def test_update_one(self, people):
+        doc_id = people.update_one({"name": "ada"}, {"age": 37})
+        assert doc_id == 1
+        assert people.find_one({"name": "ada"})["age"] == 37
+
+    def test_update_missing_returns_none(self, people):
+        assert people.update_one({"name": "ghost"}, {"age": 1}) is None
+
+    def test_update_id_rejected(self, people):
+        with pytest.raises(QueryError, match="_id"):
+            people.update_one({"name": "ada"}, {"_id": 99})
+
+    def test_replace_one_keeps_id(self, people):
+        doc_id = people.replace_one({"name": "ada"}, {"name": "ada2", "age": 1})
+        assert doc_id == 1
+        assert people.find_one({"_id": 1})["name"] == "ada2"
+
+    def test_replace_missing_returns_none(self, people):
+        assert people.replace_one({"name": "ghost"}, {"x": 1}) is None
+
+    def test_delete_many(self, people):
+        assert people.delete_many({"city": "london"}) == 2
+        assert people.count() == 1
+
+    def test_delete_none_matching(self, people):
+        assert people.delete_many({"city": "tokyo"}) == 0
+
+    def test_clear(self, people):
+        people.clear()
+        assert people.count() == 0
+
+    def test_ids_not_reused_after_delete(self, people):
+        people.delete_many({})
+        new_id = people.insert_one({"name": "new"})
+        assert new_id == 4
+
+
+class TestIndexedQueries:
+    def test_hash_index_equality(self, people):
+        people.create_index("city", "hash")
+        docs = people.find({"city": "london"})
+        assert {d["name"] for d in docs} == {"ada", "alan"}
+
+    def test_hash_index_backfilled(self, people):
+        people.create_index("city", "hash")
+        people.insert_one({"name": "new", "city": "london"})
+        assert people.count({"city": "london"}) == 3
+
+    def test_hash_index_after_update(self, people):
+        people.create_index("city", "hash")
+        people.update_one({"name": "ada"}, {"city": "paris"})
+        assert people.count({"city": "london"}) == 1
+        assert people.count({"city": "paris"}) == 1
+
+    def test_hash_index_after_delete(self, people):
+        people.create_index("city", "hash")
+        people.delete_many({"name": "ada"})
+        assert people.count({"city": "london"}) == 1
+
+    def test_sorted_index_range(self, people):
+        people.create_index("age", "sorted")
+        docs = people.find({"age": {"$gte": 40, "$lte": 90}})
+        assert {d["name"] for d in docs} == {"grace", "alan"}
+
+    def test_sorted_index_strict_bounds(self, people):
+        people.create_index("age", "sorted")
+        docs = people.find({"age": {"$gt": 36, "$lt": 85}})
+        assert {d["name"] for d in docs} == {"alan"}
+
+    def test_index_results_equal_scan(self, people):
+        scan = people.find({"city": "london"})
+        people.create_index("city", "hash")
+        indexed = people.find({"city": "london"})
+        assert scan == indexed
+
+    def test_docs_missing_indexed_field_still_found(self, people):
+        people.create_index("city", "hash")
+        people.insert_one({"name": "nocity"})
+        assert people.find_one({"name": "nocity"}) is not None
+        # equality on missing field matches None per Mongo semantics
+        assert people.count({"city": None}) == 1
+
+    def test_duplicate_index_noop(self, people):
+        people.create_index("city", "hash")
+        people.create_index("city", "hash")
+        assert people.indexes()["hash"] == ["city"]
+
+    def test_bad_index_kind(self, people):
+        with pytest.raises(ValueError, match="kind"):
+            people.create_index("city", "btree")
+
+    def test_dotted_path_index(self):
+        c = Collection("caps")
+        c.create_index("payload.dataset", "hash")
+        c.insert_one({"payload": {"dataset": "santander"}})
+        c.insert_one({"payload": {"dataset": "china6"}})
+        assert c.count({"payload.dataset": "santander"}) == 1
+
+
+class TestDumpLoad:
+    def test_round_trip(self, people):
+        people.create_index("city", "hash")
+        people.create_index("age", "sorted")
+        snapshot = people.dump()
+        restored = Collection.load(snapshot)
+        assert restored.find() == people.find()
+        assert restored.indexes() == people.indexes()
+        # Indexes work after reload.
+        assert restored.count({"city": "london"}) == 2
+
+    def test_ids_continue_after_load(self, people):
+        restored = Collection.load(people.dump())
+        assert restored.insert_one({"name": "next"}) == 4

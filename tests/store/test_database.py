@@ -1,0 +1,99 @@
+"""Unit tests for the database (collections + JSON persistence)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store.database import Database
+
+
+class TestCollections:
+    def test_create_on_access(self):
+        db = Database()
+        c = db.collection("datasets")
+        assert "datasets" in db
+        assert db["datasets"] is c
+
+    def test_names_sorted(self):
+        db = Database()
+        db["b"]
+        db["a"]
+        assert db.collection_names() == ["a", "b"]
+        assert sorted(db) == ["a", "b"]
+
+    def test_drop(self):
+        db = Database()
+        db["x"].insert_one({"a": 1})
+        assert db.drop_collection("x")
+        assert "x" not in db
+        assert not db.drop_collection("x")
+
+    def test_stats(self):
+        db = Database()
+        db["a"].insert_many([{}, {}])
+        stats = db.stats()
+        assert stats["collections"] == {"a": 2}
+        assert stats["path"] is None
+
+
+class TestPersistence:
+    def test_save_and_reopen(self, tmp_path):
+        path = tmp_path / "db.json"
+        db = Database(path)
+        db["caps"].create_index("key", "hash")
+        db["caps"].insert_one({"key": "abc", "result": {"caps": [1, 2]}})
+        db.save()
+
+        reopened = Database.open(path)
+        doc = reopened["caps"].find_one({"key": "abc"})
+        assert doc is not None
+        assert doc["result"]["caps"] == [1, 2]
+        assert reopened["caps"].indexes()["hash"] == ["key"]
+
+    def test_save_requires_path(self):
+        with pytest.raises(ValueError, match="snapshot path"):
+            Database().save()
+
+    def test_save_explicit_path(self, tmp_path):
+        db = Database()
+        db["x"].insert_one({"a": 1})
+        target = db.save(tmp_path / "explicit.json")
+        assert target.exists()
+        assert db.path == target
+
+    def test_snapshot_is_json(self, tmp_path):
+        db = Database()
+        db["x"].insert_one({"a": 1})
+        path = db.save(tmp_path / "s.json")
+        snapshot = json.loads(path.read_text())
+        assert snapshot["format"] == "repro-store-v1"
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "v999"}))
+        with pytest.raises(ValueError, match="unrecognised"):
+            Database(path)
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        db = Database(tmp_path / "nothere.json")
+        assert db.collection_names() == []
+
+    def test_atomic_replace_leaves_no_temp(self, tmp_path):
+        db = Database()
+        db["x"].insert_one({"a": 1})
+        db.save(tmp_path / "db.json")
+        db.save(tmp_path / "db.json")  # overwrite
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_ids_survive_reload(self, tmp_path):
+        path = tmp_path / "db.json"
+        db = Database(path)
+        db["x"].insert_one({"n": 1})
+        db["x"].insert_one({"n": 2})
+        db["x"].delete_many({"n": 2})
+        db.save()
+        reopened = Database.open(path)
+        assert reopened["x"].insert_one({"n": 3}) == 3

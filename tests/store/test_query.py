@@ -1,0 +1,156 @@
+"""Unit tests for the Mongo-style query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.query import QueryError, compile_query, matches
+
+DOC = {
+    "dataset": "santander",
+    "support": 12,
+    "attributes": ["temperature", "light"],
+    "parameters": {"min_support": 10, "evolving_rate": 1.5},
+    "note": "hello world",
+}
+
+
+class TestEquality:
+    def test_simple(self):
+        assert matches(DOC, {"dataset": "santander"})
+        assert not matches(DOC, {"dataset": "china6"})
+
+    def test_dotted_path(self):
+        assert matches(DOC, {"parameters.min_support": 10})
+        assert not matches(DOC, {"parameters.min_support": 11})
+
+    def test_missing_field(self):
+        assert not matches(DOC, {"ghost": 1})
+        assert matches(DOC, {"ghost": None})  # Mongo: missing equals null
+
+    def test_array_contains_scalar(self):
+        assert matches(DOC, {"attributes": "temperature"})
+        assert not matches(DOC, {"attributes": "pm25"})
+
+    def test_array_equals_array(self):
+        assert matches(DOC, {"attributes": ["temperature", "light"]})
+
+    def test_empty_query_matches_all(self):
+        assert matches(DOC, {})
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "query,expected",
+        [
+            ({"support": {"$gt": 11}}, True),
+            ({"support": {"$gt": 12}}, False),
+            ({"support": {"$gte": 12}}, True),
+            ({"support": {"$lt": 13}}, True),
+            ({"support": {"$lte": 11}}, False),
+            ({"support": {"$ne": 12}}, False),
+            ({"support": {"$eq": 12}}, True),
+            ({"support": {"$gte": 10, "$lte": 20}}, True),
+            ({"support": {"$gte": 10, "$lte": 11}}, False),
+        ],
+    )
+    def test_operators(self, query, expected):
+        assert matches(DOC, query) is expected
+
+    def test_comparison_on_missing_field(self):
+        assert not matches(DOC, {"ghost": {"$gt": 0}})
+
+    def test_type_mismatch_is_false(self):
+        assert not matches(DOC, {"note": {"$gt": 5}})
+
+
+class TestMembership:
+    def test_in(self):
+        assert matches(DOC, {"dataset": {"$in": ["santander", "china6"]}})
+        assert not matches(DOC, {"dataset": {"$in": ["china6"]}})
+
+    def test_nin(self):
+        assert matches(DOC, {"dataset": {"$nin": ["china6"]}})
+        assert not matches(DOC, {"dataset": {"$nin": ["santander"]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"dataset": {"$in": "santander"}})
+
+    def test_exists(self):
+        assert matches(DOC, {"note": {"$exists": True}})
+        assert matches(DOC, {"ghost": {"$exists": False}})
+        assert not matches(DOC, {"ghost": {"$exists": True}})
+
+    def test_exists_requires_bool(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"note": {"$exists": 1}})
+
+    def test_all(self):
+        assert matches(DOC, {"attributes": {"$all": ["light"]}})
+        assert not matches(DOC, {"attributes": {"$all": ["light", "pm25"]}})
+
+    def test_size(self):
+        assert matches(DOC, {"attributes": {"$size": 2}})
+        assert not matches(DOC, {"attributes": {"$size": 3}})
+
+    def test_regex(self):
+        assert matches(DOC, {"note": {"$regex": "^hello"}})
+        assert not matches(DOC, {"note": {"$regex": "^world"}})
+        assert not matches(DOC, {"support": {"$regex": "1"}})  # non-string
+
+
+class TestBoolean:
+    def test_and(self):
+        q = {"$and": [{"dataset": "santander"}, {"support": {"$gt": 10}}]}
+        assert matches(DOC, q)
+
+    def test_or(self):
+        q = {"$or": [{"dataset": "china6"}, {"support": 12}]}
+        assert matches(DOC, q)
+        q2 = {"$or": [{"dataset": "china6"}, {"support": 13}]}
+        assert not matches(DOC, q2)
+
+    def test_top_level_not(self):
+        assert matches(DOC, {"$not": {"dataset": "china6"}})
+        assert not matches(DOC, {"$not": {"dataset": "santander"}})
+
+    def test_field_not(self):
+        assert matches(DOC, {"support": {"$not": {"$gt": 20}}})
+        assert not matches(DOC, {"support": {"$not": {"$gt": 5}}})
+
+    def test_nested_combinators(self):
+        q = {
+            "$or": [
+                {"$and": [{"dataset": "santander"}, {"support": {"$lt": 5}}]},
+                {"parameters.evolving_rate": {"$gte": 1.0}},
+            ]
+        }
+        assert matches(DOC, q)
+
+
+class TestErrors:
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError, match="unknown operator"):
+            matches(DOC, {"support": {"$near": 5}})
+
+    def test_unknown_top_level_operator(self):
+        with pytest.raises(QueryError, match="top-level"):
+            matches(DOC, {"$xor": []})
+
+    def test_and_requires_list(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"$and": {"a": 1}})
+
+    def test_compile_validates_early(self):
+        with pytest.raises(QueryError):
+            compile_query({"x": {"$bogus": 1}})
+
+    def test_compile_rejects_non_mapping(self):
+        with pytest.raises(QueryError):
+            compile_query(["not", "a", "dict"])  # type: ignore[arg-type]
+
+    def test_compiled_predicate_works(self):
+        predicate = compile_query({"support": {"$gte": 10}})
+        assert predicate(DOC)
+        assert not predicate({"support": 5})

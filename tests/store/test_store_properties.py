@@ -1,0 +1,77 @@
+"""Property-based tests for the document store.
+
+Invariants:
+
+* an indexed query returns exactly what a full scan returns;
+* dump/load is the identity on find() results;
+* range queries through the sorted index equal the predicate filter.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.collection import Collection
+
+field_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(min_size=0, max_size=8),
+    st.none(),
+)
+
+documents = st.lists(
+    st.fixed_dictionaries(
+        {"group": st.sampled_from(["a", "b", "c"]), "value": st.integers(-50, 50)},
+        optional={"extra": field_values},
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+@given(documents, st.sampled_from(["a", "b", "c"]))
+@settings(max_examples=60)
+def test_hash_index_equals_scan(docs, probe):
+    plain = Collection("plain")
+    indexed = Collection("indexed")
+    indexed.create_index("group", "hash")
+    plain.insert_many(docs)
+    indexed.insert_many(docs)
+    assert plain.find({"group": probe}) == indexed.find({"group": probe})
+
+
+@given(documents, st.integers(-60, 60), st.integers(-60, 60))
+@settings(max_examples=60)
+def test_sorted_index_equals_scan(docs, bound1, bound2):
+    low, high = min(bound1, bound2), max(bound1, bound2)
+    plain = Collection("plain")
+    indexed = Collection("indexed")
+    indexed.create_index("value", "sorted")
+    plain.insert_many(docs)
+    indexed.insert_many(docs)
+    query = {"value": {"$gte": low, "$lte": high}}
+    assert plain.find(query) == indexed.find(query)
+
+
+@given(documents)
+@settings(max_examples=60)
+def test_dump_load_round_trip(docs):
+    c = Collection("c")
+    c.create_index("group", "hash")
+    c.insert_many(docs)
+    restored = Collection.load(c.dump())
+    assert restored.find() == c.find()
+    assert restored.count({"group": "a"}) == c.count({"group": "a"})
+
+
+@given(documents, st.sampled_from(["a", "b", "c"]))
+@settings(max_examples=40)
+def test_delete_then_count_consistent(docs, victim):
+    c = Collection("c")
+    c.create_index("group", "hash")
+    c.insert_many(docs)
+    before = c.count()
+    removed = c.delete_many({"group": victim})
+    assert c.count() == before - removed
+    assert c.count({"group": victim}) == 0

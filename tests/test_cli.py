@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_mine_flags(self):
+        args = build_parser().parse_args(
+            ["mine", "--dataset", "covid19", "--min-support", "5", "--direction-aware"]
+        )
+        assert args.dataset == "covid19"
+        assert args.min_support == 5
+        assert args.direction_aware
+
+
+class TestInventory:
+    def test_prints_all_datasets(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        for name in ("santander", "china6", "china13", "covid19"):
+            assert name in out
+        assert "2329936" in out  # the paper's Santander record count
+
+
+class TestGenerate:
+    def test_writes_csv_directory(self, tmp_path, capsys):
+        out = tmp_path / "csvs"
+        assert main(["generate", "covid19", "--seed", "3", "--out", str(out)]) == 0
+        assert (out / "data.csv").exists()
+        assert (out / "location.csv").exists()
+        assert (out / "attribute.csv").exists()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "tokyo", "--out", "/tmp/x"])
+
+
+class TestMine:
+    def test_mines_named_dataset(self, capsys):
+        assert main(["mine", "--dataset", "covid19", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CAPs in" in out
+        assert "support" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "caps.json"
+        assert main(["mine", "--dataset", "covid19", "--json", str(path)]) == 0
+        caps = json.loads(path.read_text())
+        assert isinstance(caps, list) and caps
+        assert "sensors" in caps[0]
+
+    def test_mine_from_data_dir(self, tmp_path, capsys):
+        gen_dir = tmp_path / "gen"
+        main(["generate", "covid19", "--out", str(gen_dir)])
+        assert main(
+            ["mine", "--data-dir", str(gen_dir), "--min-support", "8",
+             "--distance-threshold", "25", "--max-attributes", "4"]
+        ) == 0
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["mine", "--dataset", "tokyo"])
+
+    def test_parameter_override_changes_results(self, capsys):
+        main(["mine", "--dataset", "covid19", "--min-support", "1000"])
+        out = capsys.readouterr().out
+        assert out.startswith("0 CAPs")
+
+
+class TestReport:
+    def test_writes_html(self, tmp_path, capsys):
+        path = tmp_path / "r.html"
+        assert main(["report", "--dataset", "covid19", "--out", str(path)]) == 0
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestSweep:
+    def test_prints_curve(self, capsys):
+        assert main(
+            ["sweep", "--dataset", "covid19", "--parameter", "min_support",
+             "--values", "2,8,50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "min_support" in out and "caps" in out
+
+    def test_svg_output(self, tmp_path, capsys):
+        path = tmp_path / "sweep.svg"
+        assert main(
+            ["sweep", "--dataset", "covid19", "--parameter", "min_support",
+             "--values", "2,8", "--svg", str(path)]
+        ) == 0
+        assert path.read_text().startswith("<svg")
+
+    def test_bad_values(self):
+        with pytest.raises(SystemExit, match="bad --values"):
+            main(["sweep", "--dataset", "covid19", "--parameter", "min_support",
+                  "--values", "2,x"])
+
+    def test_unknown_parameter_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--dataset", "covid19", "--parameter", "magic",
+                  "--values", "1"])
+
+
+class TestCompare:
+    def test_covid_split(self, capsys):
+        assert main(["compare", "--dataset", "covid19", "--split", "2020-01-23"]) == 0
+        out = capsys.readouterr().out
+        assert "caps_before" in out
+        assert "level shifts" in out
+
+    def test_bad_date(self):
+        with pytest.raises(SystemExit, match="bad --split"):
+            main(["compare", "--dataset", "covid19", "--split", "someday"])

@@ -1,0 +1,74 @@
+"""Unit tests for analytical charts (sweep curves, support histograms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import SweepPoint
+from repro.core.types import CAP
+from repro.viz.charts import render_support_histogram, render_sweep_chart
+
+
+def points(counts):
+    return [
+        SweepPoint("min_support", float(v), c, 0.001)
+        for v, c in zip(range(1, len(counts) + 1), counts)
+    ]
+
+
+def cap(support):
+    return CAP(
+        sensor_ids=frozenset({"a", "b"}), attributes=frozenset({"x", "y"}), support=support
+    )
+
+
+class TestSweepChart:
+    def test_renders_all_points(self):
+        svg = render_sweep_chart(points([50, 30, 10])).to_string()
+        assert svg.count("<circle") == 3
+        assert "<polyline" in svg
+
+    def test_tooltips_carry_values(self):
+        svg = render_sweep_chart(points([50, 30])).to_string()
+        assert "min_support=1 → 50 CAPs" in svg
+
+    def test_axis_labels(self):
+        svg = render_sweep_chart(points([5])).to_string()
+        assert "min_support" in svg
+        assert "#CAPs" in svg
+
+    def test_custom_title(self):
+        svg = render_sweep_chart(points([5]), title="my sweep").to_string()
+        assert "my sweep" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_sweep_chart([])
+
+    def test_all_zero_counts_ok(self):
+        svg = render_sweep_chart(points([0, 0])).to_string()
+        assert "<polyline" in svg
+
+
+class TestSupportHistogram:
+    def test_bars_present(self):
+        caps = [cap(s) for s in (5, 6, 7, 20, 21, 40)]
+        svg = render_support_histogram(caps, bins=4).to_string()
+        # 1 frame rect + background + at least one bar
+        assert svg.count("<rect") >= 3
+
+    def test_empty_message(self):
+        svg = render_support_histogram([]).to_string()
+        assert "no CAPs" in svg
+
+    def test_single_support_value(self):
+        svg = render_support_histogram([cap(7), cap(7)], bins=3).to_string()
+        assert "support 7" in svg or "7–" in svg or "<rect" in svg
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            render_support_histogram([cap(5)], bins=0)
+
+    def test_range_labels(self):
+        svg = render_support_histogram([cap(3), cap(30)]).to_string()
+        assert ">3<" in svg and ">30<" in svg

@@ -1,0 +1,64 @@
+"""Unit tests for JSON/GeoJSON export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.miner import MiscelaMiner
+from repro.viz.export import caps_to_geojson, caps_to_json, result_to_json
+
+
+@pytest.fixture
+def result(tiny_dataset, tiny_params):
+    return MiscelaMiner(tiny_params).mine(tiny_dataset)
+
+
+class TestCapsToJson:
+    def test_is_array_of_sensor_sets(self, result):
+        payload = json.loads(caps_to_json(result.caps))
+        assert isinstance(payload, list)
+        assert all("sensors" in cap for cap in payload)
+        keys = {tuple(cap["sensors"]) for cap in payload}
+        assert ("a", "b") in keys
+
+    def test_empty_caps(self):
+        assert json.loads(caps_to_json([])) == []
+
+    def test_indent(self, result):
+        assert "\n" in caps_to_json(result.caps, indent=2)
+
+
+class TestResultToJson:
+    def test_full_payload(self, result):
+        payload = json.loads(result_to_json(result))
+        assert payload["dataset"] == "tiny"
+        assert payload["parameters"]["min_support"] == 2
+        assert len(payload["caps"]) == result.num_caps
+
+
+class TestGeoJson:
+    def test_valid_feature_collection(self, tiny_dataset, result):
+        geo = json.loads(caps_to_geojson(tiny_dataset, result.caps))
+        assert geo["type"] == "FeatureCollection"
+        kinds = {f["properties"]["kind"] for f in geo["features"]}
+        assert kinds == {"sensor", "cap"}
+
+    def test_sensor_points_lon_lat_order(self, tiny_dataset, result):
+        geo = json.loads(caps_to_geojson(tiny_dataset, result.caps))
+        sensor_features = [f for f in geo["features"] if f["properties"]["kind"] == "sensor"]
+        assert len(sensor_features) == len(tiny_dataset)
+        a = tiny_dataset.sensor("a")
+        feature = next(f for f in sensor_features if f["properties"]["id"] == "a")
+        assert feature["geometry"]["coordinates"] == [a.lon, a.lat]
+
+    def test_cap_multipoints(self, tiny_dataset, result):
+        geo = json.loads(caps_to_geojson(tiny_dataset, result.caps))
+        cap_features = [f for f in geo["features"] if f["properties"]["kind"] == "cap"]
+        assert len(cap_features) == result.num_caps
+        for feature in cap_features:
+            assert feature["geometry"]["type"] == "MultiPoint"
+            assert len(feature["geometry"]["coordinates"]) == len(
+                feature["properties"]["sensors"]
+            )

@@ -1,0 +1,51 @@
+"""Unit tests for the co-evolution heatmap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evolving import extract_all_evolving
+from repro.viz.heatmap import render_coevolution_heatmap
+
+
+@pytest.fixture
+def evolving(tiny_dataset, tiny_params):
+    return extract_all_evolving(tiny_dataset, tiny_params)
+
+
+class TestHeatmap:
+    def test_full_matrix(self, tiny_dataset, evolving):
+        svg = render_coevolution_heatmap(tiny_dataset, evolving).to_string()
+        # 16 cells for 4 sensors + 11 legend swatches + background.
+        assert svg.count("<rect") >= 16 + 11
+
+    def test_tooltips_carry_rates(self, tiny_dataset, evolving):
+        svg = render_coevolution_heatmap(tiny_dataset, evolving).to_string()
+        assert "a × b: 1.00" in svg      # perfectly co-evolving pair
+        assert "a × c: 0.00" in svg      # unrelated pair
+
+    def test_diagonal_is_one(self, tiny_dataset, evolving):
+        svg = render_coevolution_heatmap(tiny_dataset, evolving).to_string()
+        assert "a × a: 1.00" in svg
+
+    def test_subset(self, tiny_dataset, evolving):
+        svg = render_coevolution_heatmap(tiny_dataset, evolving, ["a", "b"]).to_string()
+        assert "c × d" not in svg
+
+    def test_row_labels_present(self, tiny_dataset, evolving):
+        svg = render_coevolution_heatmap(tiny_dataset, evolving).to_string()
+        for sid in tiny_dataset.sensor_ids:
+            assert f">{sid}</text>" in svg
+
+    def test_empty_rejected(self, tiny_dataset, evolving):
+        with pytest.raises(ValueError):
+            render_coevolution_heatmap(tiny_dataset, evolving, [])
+
+    def test_unknown_sensor_rejected(self, tiny_dataset, evolving):
+        with pytest.raises(KeyError, match="ghost"):
+            render_coevolution_heatmap(tiny_dataset, evolving, ["ghost"])
+
+    def test_missing_evolving_rejected(self, tiny_dataset, evolving):
+        incomplete = {k: v for k, v in evolving.items() if k != "a"}
+        with pytest.raises(KeyError, match="evolving"):
+            render_coevolution_heatmap(tiny_dataset, incomplete, ["a", "b"])

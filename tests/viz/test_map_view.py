@@ -1,0 +1,85 @@
+"""Unit tests for the sensor map renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spatial import build_proximity_graph
+from repro.viz.colors import DIM_COLOR, HIGHLIGHT_COLOR
+from repro.viz.map_view import MapProjection, render_map
+
+
+class TestProjection:
+    def test_fit_contains_all_sensors(self, tiny_dataset):
+        proj = MapProjection.fit(tiny_dataset, 700, 500, padding=40)
+        for sensor in tiny_dataset:
+            x, y = proj.to_xy(sensor.lat, sensor.lon)
+            assert 0 <= x <= 700
+            assert 0 <= y <= 500
+
+    def test_north_is_up(self, tiny_dataset):
+        proj = MapProjection.fit(tiny_dataset)
+        _, y_north = proj.to_xy(proj.max_lat, proj.min_lon)
+        _, y_south = proj.to_xy(proj.min_lat, proj.min_lon)
+        assert y_north < y_south
+
+    def test_east_is_right(self, tiny_dataset):
+        proj = MapProjection.fit(tiny_dataset)
+        x_west, _ = proj.to_xy(proj.min_lat, proj.min_lon)
+        x_east, _ = proj.to_xy(proj.min_lat, proj.max_lon)
+        assert x_east > x_west
+
+    def test_degenerate_extent_padded(self, tiny_dataset):
+        co_located = tiny_dataset.subset(["a"])
+        # Single point: projection must not divide by zero.
+        proj = MapProjection.fit(co_located)
+        x, y = proj.to_xy(co_located.sensor("a").lat, co_located.sensor("a").lon)
+        assert 0 <= x and 0 <= y
+
+    def test_graticule_within_bounds(self, tiny_dataset):
+        proj = MapProjection.fit(tiny_dataset)
+        lats, lons = proj.graticule_steps()
+        assert all(proj.min_lat - 1e-9 <= v <= proj.max_lat + 1e-9 for v in lats)
+        assert all(proj.min_lon - 1e-9 <= v <= proj.max_lon + 1e-9 for v in lons)
+        assert 1 <= len(lats) <= 7
+
+
+class TestRenderMap:
+    def test_one_dot_per_sensor(self, tiny_dataset):
+        svg = render_map(tiny_dataset).to_string()
+        # 4 sensor dots + legend swatches (2 attributes... 3 attrs in tiny).
+        assert svg.count("<circle") >= len(tiny_dataset)
+
+    def test_tooltips_name_sensors(self, tiny_dataset):
+        svg = render_map(tiny_dataset).to_string()
+        for sensor in tiny_dataset:
+            assert sensor.sensor_id in svg
+
+    def test_highlight_color_used(self, tiny_dataset):
+        svg = render_map(tiny_dataset, highlighted_sensors={"a", "b"}).to_string()
+        assert svg.count(HIGHLIGHT_COLOR) >= 2
+
+    def test_dim_unhighlighted(self, tiny_dataset):
+        svg = render_map(
+            tiny_dataset, highlighted_sensors={"a"}, dim_unhighlighted=True
+        ).to_string()
+        assert DIM_COLOR in svg
+
+    def test_unknown_highlight_rejected(self, tiny_dataset):
+        with pytest.raises(KeyError, match="ghost"):
+            render_map(tiny_dataset, highlighted_sensors={"ghost"})
+
+    def test_adjacency_edges_drawn(self, tiny_dataset):
+        adjacency = build_proximity_graph(list(tiny_dataset), 2.0)
+        plain = render_map(tiny_dataset).to_string()
+        with_edges = render_map(tiny_dataset, adjacency=adjacency).to_string()
+        assert with_edges.count("<line") > plain.count("<line")
+
+    def test_legend_lists_attributes(self, tiny_dataset):
+        svg = render_map(tiny_dataset).to_string()
+        for attribute in tiny_dataset.attributes:
+            assert attribute in svg
+
+    def test_title(self, tiny_dataset):
+        svg = render_map(tiny_dataset, title="Figure 1").to_string()
+        assert "Figure 1" in svg

@@ -1,0 +1,105 @@
+"""Unit tests for the composed HTML report (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import MiningResult, MiscelaMiner
+from repro.core.types import CAP
+from repro.viz.report import CapReport, densest_window
+
+
+class TestDensestWindow:
+    def _cap(self, indices):
+        return CAP(
+            sensor_ids=frozenset({"a", "b"}),
+            attributes=frozenset({"t", "h"}),
+            support=len(indices),
+            evolving_indices=tuple(indices),
+        )
+
+    def test_picks_burst(self):
+        cap = self._cap([1, 50, 51, 52, 53, 90])
+        lo, hi = densest_window(cap, 100, width=10)
+        assert lo <= 50 and hi >= 54
+
+    def test_ties_resolve_earliest(self):
+        cap = self._cap([5, 80])
+        lo, hi = densest_window(cap, 100, width=10)
+        assert lo == 0  # first window containing index 5
+
+    def test_no_indices_falls_back(self):
+        cap = CAP(
+            sensor_ids=frozenset({"a", "b"}), attributes=frozenset({"t", "h"}), support=0
+        )
+        assert densest_window(cap, 100, width=10) == (0, 10)
+
+    def test_width_clipped_to_timeline(self):
+        cap = self._cap([1])
+        lo, hi = densest_window(cap, 5, width=100)
+        assert (lo, hi) == (0, 5)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            densest_window(self._cap([1]), 100, width=1)
+
+
+class TestCapReport:
+    @pytest.fixture
+    def result(self, tiny_dataset, tiny_params) -> MiningResult:
+        return MiscelaMiner(tiny_params).mine(tiny_dataset)
+
+    def test_html_is_self_contained(self, tiny_dataset, result):
+        html = CapReport(tiny_dataset, result).to_html()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "http://" not in html.replace("http://www.w3.org", "")  # no external assets
+
+    def test_panels_a_b_c_d_present(self, tiny_dataset, result):
+        html = CapReport(tiny_dataset, result).to_html()
+        assert "(A) all sensors" in html
+        assert "(B) map, CAP highlighted" in html
+        assert "(C) measurements, full range" in html
+        assert "(D) zoom" in html
+
+    def test_header_shows_parameters(self, tiny_dataset, result):
+        html = CapReport(tiny_dataset, result).to_html()
+        assert "evolving rate" in html
+        assert "min support" in html
+
+    def test_max_caps_limits_sections(self, tiny_dataset, result):
+        html = CapReport(tiny_dataset, result, max_caps=1).to_html()
+        assert html.count("<section class='cap'>") == 1
+
+    def test_empty_result_message(self, tiny_dataset, tiny_params):
+        empty = MiningResult("tiny", tiny_params, caps=[])
+        html = CapReport(tiny_dataset, empty).to_html()
+        assert "No CAPs found" in html
+
+    def test_save_html(self, tmp_path, tiny_dataset, result):
+        path = CapReport(tiny_dataset, result).save_html(tmp_path / "r" / "report.html")
+        assert path.exists()
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_maximal_only_filters_subsets(self, tiny_dataset, tiny_params):
+        result = MiscelaMiner(tiny_params.with_updates(max_attributes=3)).mine(tiny_dataset)
+        report_all = CapReport(tiny_dataset, result, maximal_only=False)
+        report_max = CapReport(tiny_dataset, result, maximal_only=True)
+        assert len(report_max.caps) <= len(report_all.caps)
+
+    def test_bad_max_caps(self, tiny_dataset, result):
+        with pytest.raises(ValueError):
+            CapReport(tiny_dataset, result, max_caps=0)
+
+    def test_delayed_cap_shows_delays(self, tiny_dataset, tiny_params):
+        cap = CAP(
+            sensor_ids=frozenset({"a", "b"}),
+            attributes=frozenset({"temperature", "traffic_volume"}),
+            support=2,
+            evolving_indices=(3, 7),
+            delays={"a": 0, "b": 2},
+        )
+        result = MiningResult("tiny", tiny_params, caps=[cap])
+        html = CapReport(tiny_dataset, result).to_html()
+        assert "delays:" in html
+        assert "b: +2" in html

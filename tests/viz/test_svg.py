@@ -1,0 +1,102 @@
+"""Unit tests for the SVG primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz.svg import SvgCanvas, escape
+
+
+class TestEscape:
+    def test_escapes_markup(self):
+        assert escape("<b>&\"'") == "&lt;b&gt;&amp;&quot;&#x27;"
+
+    def test_coerces_non_string(self):
+        assert escape(42) == "42"
+
+
+class TestSvgCanvas:
+    def test_document_shape(self):
+        canvas = SvgCanvas(100, 50)
+        out = canvas.to_string()
+        assert out.startswith("<svg")
+        assert 'width="100"' in out
+        assert 'viewBox="0 0 100 50"' in out
+        assert out.endswith("</svg>")
+
+    def test_background_rect_by_default(self):
+        assert "<rect" in SvgCanvas(10, 10).to_string()
+        assert "<rect" not in SvgCanvas(10, 10, background=None).to_string()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+
+    def test_circle(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        canvas.circle(1, 2, 3, fill="#ff0000")
+        assert '<circle cx="1" cy="2" r="3" fill="#ff0000"/>' in canvas.to_string()
+
+    def test_attribute_name_mangling(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        canvas.line(0, 0, 1, 1, stroke_width=2)
+        assert 'stroke-width="2"' in canvas.to_string()
+
+    def test_none_attributes_skipped(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        canvas.circle(0, 0, 1, fill=None)
+        assert "fill" not in canvas.to_string()
+
+    def test_polyline(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        canvas.polyline([(0, 0), (5, 5), (10, 0)], stroke="#000")
+        assert '<polyline points="0,0 5,5 10,0"' in canvas.to_string()
+
+    def test_polyline_single_point_skipped(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        canvas.polyline([(0, 0)])
+        assert "polyline" not in canvas.to_string()
+
+    def test_text_escaped(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        canvas.text(0, 0, "<script>")
+        assert "<script>" not in canvas.to_string()
+        assert "&lt;script&gt;" in canvas.to_string()
+
+    def test_attribute_values_escaped(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        canvas.circle(0, 0, 1, fill='"><script>')
+        assert "<script>" not in canvas.to_string()
+
+    def test_group_and_tooltip(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        canvas.group_open(class_="dot")
+        canvas.circle(0, 0, 1)
+        canvas.title_tooltip("sensor s1")
+        canvas.group_close()
+        out = canvas.to_string()
+        assert '<g class="dot">' in out
+        assert "<title>sensor s1</title>" in out
+
+    def test_style_block(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        canvas.add_style("circle:hover { opacity: 0.5; }")
+        assert "<style>" in canvas.to_string()
+
+    def test_html_page(self):
+        page = SvgCanvas(10, 10).to_html_page(title="T & Co")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "T &amp; Co" in page
+        assert "<svg" in page
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(10, 10)
+        canvas.save(str(tmp_path / "out.svg"))
+        assert (tmp_path / "out.svg").read_text().startswith("<svg")
+
+    def test_coordinate_formatting_compact(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        canvas.circle(1.5, 2.25, 3.123456)
+        out = canvas.to_string()
+        assert 'cx="1.5"' in out
+        assert 'r="3.12"' in out

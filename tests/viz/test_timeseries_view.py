@@ -1,0 +1,93 @@
+"""Unit tests for the time-series chart renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.miner import MiscelaMiner
+from repro.core.types import Sensor, SensorDataset
+from repro.viz.timeseries_view import render_cap_timeseries, render_timeseries
+from tests.conftest import make_timeline
+
+
+class TestRenderTimeseries:
+    def test_one_polyline_per_sensor(self, tiny_dataset):
+        svg = render_timeseries(tiny_dataset, ["a", "b"]).to_string()
+        assert svg.count("<polyline") == 2
+
+    def test_legend_names_sensors_and_attributes(self, tiny_dataset):
+        svg = render_timeseries(tiny_dataset, ["a"]).to_string()
+        assert "a (temperature)" in svg
+
+    def test_empty_sensor_list_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError, match="non-empty"):
+            render_timeseries(tiny_dataset, [])
+
+    def test_unknown_sensor_rejected(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            render_timeseries(tiny_dataset, ["ghost"])
+
+    def test_zoom_window(self, tiny_dataset):
+        full = render_timeseries(tiny_dataset, ["a"]).to_string()
+        zoom = render_timeseries(tiny_dataset, ["a"], window=(4, 10)).to_string()
+        assert full != zoom
+
+    @pytest.mark.parametrize("window", [(-1, 5), (5, 5), (0, 999)])
+    def test_bad_window_rejected(self, tiny_dataset, window):
+        with pytest.raises(ValueError, match="window"):
+            render_timeseries(tiny_dataset, ["a"], window=window)
+
+    def test_mark_indices_drawn(self, tiny_dataset):
+        plain = render_timeseries(tiny_dataset, ["a"]).to_string()
+        marked = render_timeseries(tiny_dataset, ["a"], mark_indices=[3, 7]).to_string()
+        assert marked.count("<line") > plain.count("<line")
+        assert "2 co-evolving timestamps marked" in marked
+
+    def test_marks_outside_window_skipped(self, tiny_dataset):
+        svg = render_timeseries(
+            tiny_dataset, ["a"], window=(0, 3), mark_indices=[7]
+        ).to_string()
+        assert "co-evolving" not in svg
+
+    def test_nan_breaks_polyline(self):
+        timeline = make_timeline(6)
+        values = np.array([1.0, 2.0, np.nan, 4.0, 5.0, 6.0])
+        ds = SensorDataset("g", timeline, [Sensor("x", "t", 0, 0)], {"x": values})
+        svg = render_timeseries(ds, ["x"]).to_string()
+        assert svg.count("<polyline") == 2  # split at the NaN
+
+    def test_all_nan_sensor_skipped(self):
+        timeline = make_timeline(4)
+        ds = SensorDataset(
+            "g", timeline,
+            [Sensor("x", "t", 0, 0), Sensor("y", "h", 0, 0.001)],
+            {"x": np.full(4, np.nan), "y": np.arange(4.0)},
+        )
+        svg = render_timeseries(ds, ["x", "y"]).to_string()
+        assert svg.count("<polyline") == 1
+
+    def test_flat_series_does_not_crash(self):
+        timeline = make_timeline(4)
+        ds = SensorDataset("g", timeline, [Sensor("x", "t", 0, 0)], {"x": np.full(4, 7.0)})
+        svg = render_timeseries(ds, ["x"]).to_string()
+        assert "<polyline" in svg
+
+    def test_x_axis_labels_from_timeline(self, tiny_dataset):
+        svg = render_timeseries(tiny_dataset, ["a"]).to_string()
+        assert "03-01 00:00" in svg
+
+
+class TestRenderCapTimeseries:
+    def test_cap_chart_marks_its_indices(self, tiny_dataset, tiny_params):
+        result = MiscelaMiner(tiny_params).mine(tiny_dataset)
+        cap = next(c for c in result.caps if c.key() == ("a", "b"))
+        svg = render_cap_timeseries(tiny_dataset, cap).to_string()
+        assert "3 co-evolving timestamps marked" in svg
+        assert "support 3" in svg
+
+    def test_cap_chart_includes_all_members(self, tiny_dataset, tiny_params):
+        result = MiscelaMiner(tiny_params).mine(tiny_dataset)
+        cap = result.caps[0]
+        svg = render_cap_timeseries(tiny_dataset, cap).to_string()
+        assert svg.count("<polyline") == cap.size
