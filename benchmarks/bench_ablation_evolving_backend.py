@@ -1,0 +1,134 @@
+"""Ablation — packed-bitmap vs. sorted-array evolving-set backend (step 4).
+
+The CAP search spends its inner loop intersecting evolving sets; the
+``"bitset"`` backend replaces each ``np.isin`` over sorted int64 arrays
+with a word-wise ``AND`` + popcount over packed ``np.uint64`` bitmaps
+(see :mod:`repro.core.bitset` and the experiment index in DESIGN.md).
+
+Identical output is asserted (the bitmap is an optimisation, not an
+approximation), the bitset backend must win strictly on both the Santander
+and China6 mining configurations, and the measured speedups are recorded in
+``BENCH_bitset_backend.json`` at the repository root so the perf trajectory
+is tracked by CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.evolving import extract_all_evolving
+from repro.core.search import search_all
+from repro.core.spatial import build_proximity_graph
+from repro.data.datasets import recommended_parameters
+from repro.data.synthetic import generate_china6, generate_santander
+
+from .conftest import print_table
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_bitset_backend.json"
+
+#: Larger-than-default configurations so the timed region dominates noise:
+#: two weeks of half-hourly Santander data, three weeks of hourly China6.
+CONFIGS = {
+    "santander": lambda: (generate_santander(seed=11, steps=672),
+                          recommended_parameters("santander")),
+    "china6": lambda: (generate_china6(seed=11, steps=504),
+                       recommended_parameters("china6")),
+}
+
+
+def _search_inputs(dataset, params):
+    """Steps 1–3 (shared by both backends); the ablation times step 4 only."""
+    evolving = extract_all_evolving(dataset, params)
+    adjacency = build_proximity_graph(list(dataset), params.distance_threshold)
+    return list(dataset), adjacency, evolving
+
+
+def _time_search(sensors, adjacency, evolving, params, repeats: int = 5):
+    best = float("inf")
+    caps = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        caps = search_all(sensors, adjacency, evolving, params)
+        best = min(best, time.perf_counter() - start)
+    return best, caps
+
+
+def test_santander_array_backend(benchmark, santander, santander_params):
+    params = santander_params.with_updates(evolving_backend="array")
+    sensors, adjacency, evolving = _search_inputs(santander, params)
+    caps = benchmark(search_all, sensors, adjacency, evolving, params)
+    assert caps
+
+
+def test_santander_bitset_backend(benchmark, santander, santander_params):
+    params = santander_params.with_updates(evolving_backend="bitset")
+    sensors, adjacency, evolving = _search_inputs(santander, params)
+    caps = benchmark(search_all, sensors, adjacency, evolving, params)
+    assert caps
+
+
+def test_china6_array_backend(benchmark, china6):
+    params = recommended_parameters("china6").with_updates(evolving_backend="array")
+    sensors, adjacency, evolving = _search_inputs(china6, params)
+    caps = benchmark(search_all, sensors, adjacency, evolving, params)
+    assert caps
+
+
+def test_china6_bitset_backend(benchmark, china6):
+    params = recommended_parameters("china6").with_updates(evolving_backend="bitset")
+    sensors, adjacency, evolving = _search_inputs(china6, params)
+    caps = benchmark(search_all, sensors, adjacency, evolving, params)
+    assert caps
+
+
+def test_bitset_wins_and_records_speedup():
+    """The headline ablation: bitset strictly faster, identical CAPs, JSON out."""
+    rows = []
+    report: dict[str, dict[str, float | int]] = {}
+    for name, make in CONFIGS.items():
+        dataset, base_params = make()
+        results = {}
+        for backend in ("array", "bitset"):
+            params = base_params.with_updates(evolving_backend=backend)
+            sensors, adjacency, evolving = _search_inputs(dataset, params)
+            results[backend] = _time_search(sensors, adjacency, evolving, params)
+        array_s, array_caps = results["array"]
+        bitset_s, bitset_caps = results["bitset"]
+        # Optimisation, not approximation: byte-for-byte identical patterns.
+        assert [c.to_document() for c in array_caps] == [
+            c.to_document() for c in bitset_caps
+        ]
+        speedup = array_s / bitset_s
+        rows.append(
+            {
+                "dataset": name,
+                "caps": len(bitset_caps),
+                "array_ms": round(array_s * 1e3, 2),
+                "bitset_ms": round(bitset_s * 1e3, 2),
+                "speedup": f"{speedup:.2f}x",
+            }
+        )
+        report[name] = {
+            "array_seconds": array_s,
+            "bitset_seconds": bitset_s,
+            "speedup": speedup,
+            "num_caps": len(bitset_caps),
+        }
+        assert bitset_s < array_s, (
+            f"bitset backend must beat the array backend on {name}: "
+            f"{bitset_s:.4f}s vs {array_s:.4f}s"
+        )
+    print_table("ablation — evolving-set backend (search step only)", rows)
+    REPORT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "bench_ablation_evolving_backend",
+                "timed_region": "search_all (step 4), best of 5",
+                "datasets": report,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

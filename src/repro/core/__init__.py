@@ -1,10 +1,11 @@
 """Core CAP mining: data model, parameters, and the MISCELA algorithm."""
 
 from .baseline import naive_search
+from .bitset import BitsetEvolvingSet
 from .delayed import delayed_support, search_delayed
 from .evolving import co_evolution_count, extract_all_evolving, extract_evolving
 from .miner import MiningResult, MiscelaMiner, NaiveMiner
-from .parameters import SEGMENTATION_METHODS, MiningParameters
+from .parameters import EVOLVING_BACKENDS, SEGMENTATION_METHODS, MiningParameters
 from .search import filter_maximal, search_all, search_component
 from .segmentation import (
     Segment,
@@ -27,7 +28,9 @@ from .spatial import (
 from .types import CAP, EvolvingSet, Sensor, SensorDataset, haversine_km
 
 __all__ = [
+    "BitsetEvolvingSet",
     "CAP",
+    "EVOLVING_BACKENDS",
     "EvolvingSet",
     "GridIndex",
     "MiningParameters",

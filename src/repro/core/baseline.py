@@ -17,6 +17,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .bitset import and_words, bits_to_indices, popcount
 from .parameters import MiningParameters
 from .spatial import connected_components, is_connected
 from .types import CAP, EvolvingSet, Sensor
@@ -61,6 +62,39 @@ def _direction_aware_support(
     return common[best_mask]
 
 
+def _direction_aware_support_bits(
+    evolving: Mapping[str, EvolvingSet], members: Sequence[str], common: np.ndarray
+) -> np.ndarray:
+    """Word-wise twin of :func:`_direction_aware_support`.
+
+    ``common`` is a presence word array; direction agreement per sensor is
+    ``XOR`` against the seed's direction words, and each of the 2^(k-1)
+    orientation assignments is scored with a popcount.  Enumeration order
+    and the strictly-greater tie-break match the array oracle exactly, so
+    both backends select the same assignment.
+    """
+    n = common.size
+    if n == 0 or len(members) < 2 or not np.any(common):
+        return common
+    # ``common`` is truncated to the shortest member bitmap, so every
+    # member's direction words cover at least ``n`` words.
+    base = evolving[members[0]].bits.dirs[:n]
+    differs = [base ^ evolving[sid].bits.dirs[:n] for sid in members[1:]]
+    best_words = np.zeros(n, dtype=np.uint64)
+    best_count = 0
+    for choice in range(1 << len(differs)):
+        words = common.copy()
+        for bit, x in enumerate(differs):
+            words &= x if (choice >> bit) & 1 else ~x
+            if not np.any(words):
+                break
+        count = popcount(words)
+        if count > best_count:
+            best_count = count
+            best_words = words
+    return best_words
+
+
 def naive_search(
     sensors: Sequence[Sensor],
     adjacency: Mapping[str, set[str]],
@@ -79,6 +113,7 @@ def naive_search(
     attributes = {s.sensor_id: s.attribute for s in sensors}
     caps: list[CAP] = []
     max_size = params.max_sensors
+    use_bits = params.evolving_backend == "bitset"
     for component in connected_components(adjacency):
         if len(component) < 2:
             continue
@@ -98,23 +133,39 @@ def naive_search(
                     continue
                 if not is_connected(adjacency, subset):
                     continue
-                common = evolving[subset[0]].indices
-                for sid in subset[1:]:
-                    common = np.intersect1d(
-                        common, evolving[sid].indices, assume_unique=True
-                    )
-                    if common.size == 0:
-                        break
-                if params.direction_aware:
-                    common = _direction_aware_support(evolving, subset, common)
-                if common.size < params.min_support:
-                    continue
+                if use_bits:
+                    words = evolving[subset[0]].bits.words
+                    for sid in subset[1:]:
+                        words = and_words(words, evolving[sid].bits.words)
+                        if not np.any(words):
+                            break
+                    if params.direction_aware:
+                        words = _direction_aware_support_bits(
+                            evolving, subset, words
+                        )
+                    support = popcount(words)
+                    if support < params.min_support:
+                        continue
+                    common = bits_to_indices(words)
+                else:
+                    common = evolving[subset[0]].indices
+                    for sid in subset[1:]:
+                        common = np.intersect1d(
+                            common, evolving[sid].indices, assume_unique=True
+                        )
+                        if common.size == 0:
+                            break
+                    if params.direction_aware:
+                        common = _direction_aware_support(evolving, subset, common)
+                    if common.size < params.min_support:
+                        continue
+                    support = int(common.size)
                 caps.append(
                     CAP(
                         sensor_ids=frozenset(subset),
                         attributes=attrs,
-                        support=int(common.size),
-                        evolving_indices=tuple(int(i) for i in common),
+                        support=support,
+                        evolving_indices=tuple(common.tolist()),
                     )
                 )
     caps.sort(key=lambda c: (-c.support, c.key()))

@@ -9,18 +9,22 @@ reference timestamps ``t`` every sensor evolves at ``t + d_s``.
 
 Implementation: shifting an evolving set *earlier* by ``d`` turns "evolves at
 ``t + d``" into "evolves at ``t``", so delayed co-evolution is an ordinary
-intersection of shifted sets.  For each sensor set the miner reports the
-best delay assignment (maximum support), which is what the analyst wants to
-see; enumerating every passing assignment is available via
-``emit_all_assignments``.
+intersection of shifted sets.  With the packed-bitmap backend
+(``params.evolving_backend == "bitset"``) the shift is a word-level bit
+shift, cached per (sensor, delay), and the intersection a word-wise ``AND``
++ popcount; the sorted-array path remains the correctness oracle.  For each
+sensor set the miner reports the best delay assignment (maximum support),
+which is what the analyst wants to see; enumerating every passing
+assignment is available via ``emit_all_assignments``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from .bitset import bits_to_indices, popcount
 from .parameters import MiningParameters
 from .spatial import connected_components
 from .types import CAP, EvolvingSet, Sensor
@@ -37,11 +41,25 @@ def delayed_support(
     evolving: Mapping[str, EvolvingSet],
     delays: Mapping[str, int],
     horizon: int,
+    backend: str = "bitset",
 ) -> np.ndarray:
-    """Reference timestamps where every sensor evolves at its delayed time."""
+    """Reference timestamps where every sensor evolves at its delayed time.
+
+    ``backend`` selects word-wise ``AND`` over shifted bitmaps
+    (``"bitset"``, default) or sorted-array intersection (``"array"``);
+    both return identical indices.
+    """
     items = list(delays.items())
     if not items:
         return np.empty(0, dtype=np.int64)
+    if backend == "bitset":
+        first_id, first_delay = items[0]
+        common = evolving[first_id].bits.shift(-first_delay, horizon).words
+        for sid, delay in items[1:]:
+            common = common & evolving[sid].bits.shift(-delay, horizon).words
+            if not np.any(common):
+                break
+        return bits_to_indices(common)
     first_id, first_delay = items[0]
     common = _shift_earlier(evolving[first_id], first_delay, horizon).indices
     for sid, delay in items[1:]:
@@ -53,9 +71,14 @@ def delayed_support(
 
 
 class _DelayedState:
-    """A tree node: members with chosen delays and surviving reference times."""
+    """A tree node: members with chosen delays and surviving reference times.
 
-    __slots__ = ("members", "delays", "attrs", "indices")
+    ``indices`` holds the sorted reference timestamps on the array backend
+    and the packed presence words on the bitset backend; ``support`` caches
+    the count so bitmap nodes never materialize index arrays.
+    """
+
+    __slots__ = ("members", "delays", "attrs", "indices", "support")
 
     def __init__(
         self,
@@ -63,11 +86,13 @@ class _DelayedState:
         delays: tuple[int, ...],
         attrs: frozenset[str],
         indices: np.ndarray,
+        support: int,
     ) -> None:
         self.members = members
         self.delays = delays
         self.attrs = attrs
         self.indices = indices
+        self.support = support
 
 
 def search_delayed(
@@ -102,31 +127,60 @@ def search_delayed(
     attributes = {s.sensor_id: s.attribute for s in sensors}
     delta = params.max_delay
     order = {sid: i for i, sid in enumerate(sorted(adjacency))}
+    use_bits = params.evolving_backend == "bitset"
     results: list[CAP] = []
 
-    def expand(state: _DelayedState, extension: list[str], seed_rank: int) -> None:
-        if len(state.members) >= 2:
-            multi_ok = (not params.require_multi_attribute) or len(state.attrs) >= 2
-            if multi_ok and state.indices.size >= params.min_support:
-                # Canonical form: the smallest delay is zero so patterns are
-                # anchored (shifting all delays together is the same pattern).
-                min_delay = min(state.delays)
-                delays = {
-                    sid: d - min_delay
-                    for sid, d in zip(state.members, state.delays)
-                }
-                results.append(
-                    CAP(
-                        sensor_ids=frozenset(state.members),
-                        attributes=state.attrs,
-                        support=int(state.indices.size),
-                        evolving_indices=tuple(int(i) for i in state.indices),
-                        delays=delays,
-                    )
-                )
+    # Shifted evolving sets are reused across the whole tree: cache the
+    # word-shifted bitmaps and the re-indexed arrays per (sensor, delay),
+    # separately — the two stores hold incompatible representations.
+    words_cache: dict[tuple[str, int], np.ndarray] = {}
+    indices_cache: dict[tuple[str, int], np.ndarray] = {}
+
+    def shifted_words(sid: str, delay: int) -> np.ndarray:
+        key = (sid, delay)
+        words = words_cache.get(key)
+        if words is None:
+            words = evolving[sid].bits.shift(-delay, horizon).words
+            words_cache[key] = words
+        return words
+
+    def shifted_indices(sid: str, delay: int) -> np.ndarray:
+        key = (sid, delay)
+        indices = indices_cache.get(key)
+        if indices is None:
+            indices = _shift_earlier(evolving[sid], delay, horizon).indices
+            indices_cache[key] = indices
+        return indices
+
+    def emit(state: _DelayedState) -> None:
+        if len(state.members) < 2:
+            return
+        if params.require_multi_attribute and len(state.attrs) < 2:
+            return
+        if state.support < params.min_support:
+            return
+        # Canonical form: the smallest delay is zero so patterns are
+        # anchored (shifting all delays together is the same pattern).
+        min_delay = min(state.delays)
+        delays = {
+            sid: d - min_delay for sid, d in zip(state.members, state.delays)
+        }
+        indices = bits_to_indices(state.indices) if use_bits else state.indices
+        results.append(
+            CAP(
+                sensor_ids=frozenset(state.members),
+                attributes=state.attrs,
+                support=state.support,
+                evolving_indices=tuple(indices.tolist()),
+                delays=delays,
+            )
+        )
+
+    def expand(state: _DelayedState, extension: list[str], excluded: set[str],
+               seed_rank: int) -> None:
+        emit(state)
         if params.max_sensors is not None and len(state.members) >= params.max_sensors:
             return
-        member_set = set(state.members)
         pending = list(extension)
         while pending:
             candidate = pending.pop()
@@ -136,7 +190,8 @@ def search_delayed(
             cand_evolving = evolving[candidate]
             if len(cand_evolving) < params.min_support:
                 continue
-            new_extension: list[str] | None = None
+            added: list[str] | None = None
+            new_extension: list[str] = []
             # The seed is pinned at relative delay 0, so a candidate may lead
             # (negative) or lag (positive) it; the pattern is valid as long
             # as the overall delay span stays within δ.
@@ -145,25 +200,39 @@ def search_delayed(
             for delay in range(-delta, delta + 1):
                 if max(hi, delay) - min(lo, delay) > delta:
                     continue
-                shifted = _shift_earlier(cand_evolving, delay, horizon).indices
-                mask = np.isin(state.indices, shifted, assume_unique=True)
-                new_indices = state.indices[mask]
-                if new_indices.size < params.min_support:
-                    continue
-                if new_extension is None:
-                    new_extension = _grown_extension(
-                        adjacency, order, member_set, candidate, pending, seed_rank
+                if use_bits:
+                    common = state.indices & shifted_words(candidate, delay)
+                    new_support = popcount(common)
+                else:
+                    mask = np.isin(
+                        state.indices,
+                        shifted_indices(candidate, delay),
+                        assume_unique=True,
                     )
+                    common = state.indices[mask]
+                    new_support = int(common.size)
+                if new_support < params.min_support:
+                    continue
+                if added is None:
+                    added = [w for w in adjacency[candidate] if w not in excluded]
+                    excluded.update(added)
+                    new_extension = pending + [
+                        w for w in added if order[w] > seed_rank
+                    ]
                 expand(
                     _DelayedState(
                         state.members + (candidate,),
                         state.delays + (delay,),
                         new_attrs,
-                        new_indices,
+                        common,
+                        new_support,
                     ),
                     new_extension,
+                    excluded,
                     seed_rank,
                 )
+            if added is not None:
+                excluded.difference_update(added)
 
     for component in connected_components(adjacency):
         if len(component) < 2:
@@ -174,14 +243,21 @@ def search_delayed(
                 continue
             seed_rank = order[seed]
             extension = [w for w in adjacency[seed] if order[w] > seed_rank]
+            excluded = {seed} | adjacency[seed]
+            if use_bits:
+                seed_indices: np.ndarray = shifted_words(seed, 0)
+            else:
+                seed_indices = seed_evolving.indices
             expand(
                 _DelayedState(
                     (seed,),
                     (0,),
                     frozenset({attributes[seed]}),
-                    seed_evolving.indices,
+                    seed_indices,
+                    len(seed_evolving),
                 ),
                 extension,
+                excluded,
                 seed_rank,
             )
 
@@ -196,23 +272,3 @@ def search_delayed(
     out = list(best.values())
     out.sort(key=lambda c: (-c.support, c.key()))
     return out
-
-
-def _grown_extension(
-    adjacency: Mapping[str, set[str]],
-    order: Mapping[str, int],
-    member_set: set[str],
-    candidate: str,
-    pending: Sequence[str],
-    seed_rank: int,
-) -> list[str]:
-    """ESU extension growth; mirrors :func:`repro.core.search._grown_extension`."""
-    existing = set(pending) | member_set
-    for m in member_set:
-        existing |= adjacency[m]
-    grown = list(pending)
-    for w in adjacency[candidate]:
-        if order[w] <= seed_rank or w in existing or w == candidate:
-            continue
-        grown.append(w)
-    return grown

@@ -8,6 +8,13 @@ the change (+1 / −1) is kept so direction-aware co-evolution can be checked.
 The extractor optionally smooths the series first with the linear
 segmentation of step 1, which removes sub-ε jitter that would otherwise
 create spurious single-step evolutions.
+
+Downstream, evolving sets are consumed through one of two interchangeable
+representations selected by ``MiningParameters.evolving_backend``: the
+sorted index arrays built here (``"array"``, the correctness oracle) or
+their packed-bitmap twins (``"bitset"``, the default fast path — see
+:mod:`repro.core.bitset`), which every :class:`EvolvingSet` materializes
+lazily via its ``.bits`` property.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import Mapping
 
 import numpy as np
 
+from .bitset import and_words, popcount
 from .parameters import MiningParameters
 from .segmentation import smooth_series
 from .types import DECREASING, INCREASING, EvolvingSet, SensorDataset
@@ -85,16 +93,28 @@ def extract_all_evolving(
 
 
 def co_evolution_count(
-    evolving: Mapping[str, EvolvingSet], sensor_ids: tuple[str, ...] | list[str]
+    evolving: Mapping[str, EvolvingSet],
+    sensor_ids: tuple[str, ...] | list[str],
+    backend: str = "bitset",
 ) -> int:
     """Number of timestamps at which *all* the given sensors evolve.
 
     This is the support of the sensor set under the demo paper's
-    direction-agnostic definition of co-evolution.
+    direction-agnostic definition of co-evolution.  ``backend="bitset"``
+    (default) folds the sets with word-wise ``AND`` + popcount over their
+    packed bitmaps; ``backend="array"`` keeps the sorted-index intersection
+    as the oracle.  Both return the same count.
     """
     if not sensor_ids:
         return 0
     ids = list(sensor_ids)
+    if backend == "bitset":
+        words = evolving[ids[0]].bits.words
+        for sid in ids[1:]:
+            words = and_words(words, evolving[sid].bits.words)
+            if not np.any(words):
+                return 0
+        return popcount(words)
     common = evolving[ids[0]].indices
     for sid in ids[1:]:
         common = np.intersect1d(common, evolving[sid].indices, assume_unique=True)

@@ -11,10 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
-__all__ = ["MiningParameters", "SEGMENTATION_METHODS"]
+__all__ = ["MiningParameters", "SEGMENTATION_METHODS", "EVOLVING_BACKENDS"]
 
 #: Linear-segmentation algorithms offered by :mod:`repro.core.segmentation`.
 SEGMENTATION_METHODS = ("none", "sliding_window", "bottom_up", "top_down")
+
+#: Evolving-set representations the mining stack can run on.  ``"bitset"``
+#: (default) intersects packed word arrays (:mod:`repro.core.bitset`);
+#: ``"array"`` keeps the sorted-index path as the correctness oracle and
+#: ablation baseline.
+EVOLVING_BACKENDS = ("array", "bitset")
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +65,12 @@ class MiningParameters:
         extension (DPD 2020).  ``0`` mines simultaneous CAPs only.
     evolving_rate_per_attribute:
         Optional per-attribute ε overrides, e.g. ``{"temperature": 0.5}``.
+    evolving_backend:
+        Representation the search intersects evolving sets with.
+        ``"bitset"`` (default) runs co-evolution as word-wise ``AND`` +
+        popcount over packed bitmaps; ``"array"`` keeps the sorted-index
+        intersection as the correctness oracle and ablation baseline
+        (``benchmarks/bench_ablation_evolving_backend.py``).
     """
 
     evolving_rate: float
@@ -72,6 +84,7 @@ class MiningParameters:
     require_multi_attribute: bool = True
     max_delay: int = 0
     evolving_rate_per_attribute: Mapping[str, float] = field(default_factory=dict)
+    evolving_backend: str = "bitset"
 
     def __post_init__(self) -> None:
         if self.evolving_rate < 0:
@@ -102,6 +115,11 @@ class MiningParameters:
             )
         if self.max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.evolving_backend not in EVOLVING_BACKENDS:
+            raise ValueError(
+                f"evolving_backend must be one of {EVOLVING_BACKENDS}, "
+                f"got {self.evolving_backend!r}"
+            )
         for attr, rate in self.evolving_rate_per_attribute.items():
             if rate < 0:
                 raise ValueError(
@@ -141,6 +159,7 @@ class MiningParameters:
                 k: float(v)
                 for k, v in sorted(self.evolving_rate_per_attribute.items())
             },
+            "evolving_backend": self.evolving_backend,
         }
 
     @classmethod
@@ -157,6 +176,7 @@ class MiningParameters:
             "require_multi_attribute",
             "max_delay",
             "evolving_rate_per_attribute",
+            "evolving_backend",
         }
         unknown = set(doc) - known
         if unknown:
@@ -180,5 +200,6 @@ class MiningParameters:
                 self.require_multi_attribute,
                 self.max_delay,
                 tuple(sorted(self.evolving_rate_per_attribute.items())),
+                self.evolving_backend,
             )
         )

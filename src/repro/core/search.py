@@ -11,6 +11,23 @@ enumeration (Wernicke 2006) of connected subgraphs of the η-proximity graph:
 * attribute-count and sensor-count bounds prune expansions that could never
   return below the limits.
 
+Two interchangeable evolving-set backends drive the inner loop, selected by
+``params.evolving_backend``:
+
+* ``"bitset"`` (default) — interior tree nodes carry packed ``np.uint64``
+  bitmaps (:mod:`repro.core.bitset`): co-evolution intersection is a
+  word-wise ``AND`` + popcount, direction consistency is ``XOR``/``AND``,
+  and index arrays are materialized only at emit time, so a node allocates
+  O(timeline/64) words instead of O(support) int64s;
+* ``"array"`` — the original sorted-index intersection, kept as the
+  correctness oracle and ablation baseline
+  (``benchmarks/bench_ablation_evolving_backend.py``), mirroring how
+  :mod:`repro.core.spatial` keeps ``method="brute"`` beside the grid index.
+
+The ESU extension list is grown incrementally: each tree node extends the
+excluded-neighbourhood set of its parent by one sensor's adjacency (O(degree)
+per expansion) instead of re-uniting every member's adjacency per node.
+
 The module exposes :func:`search_component` (one connected component) and
 :func:`search_all` (whole proximity graph), plus :func:`filter_maximal` for
 callers that only want maximal patterns.
@@ -22,6 +39,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from .bitset import and_words, bits_to_indices, popcount
 from .parameters import MiningParameters
 from .spatial import connected_components
 from .types import CAP, EvolvingSet, Sensor
@@ -75,9 +93,26 @@ def _emit(
             sensor_ids=frozenset(members),
             attributes=attrs,
             support=int(indices.size),
-            evolving_indices=tuple(int(i) for i in indices),
+            evolving_indices=tuple(indices.tolist()),
         )
     )
+
+
+def _grow_excluded(
+    adjacency: Mapping[str, set[str]], excluded: set[str], candidate: str
+) -> list[str]:
+    """Extend the path's excluded-neighbourhood set by one sensor's adjacency.
+
+    Returns the sensors actually added so the caller can undo them when
+    backtracking past ``candidate`` — the set is shared (mutated in place)
+    along one DFS path, which keeps each expansion O(degree) instead of
+    re-uniting every member's adjacency per tree node.  Exclusivity against
+    this set is what guarantees exactly-once enumeration: a sensor adjacent
+    to any current member can never re-enter a later extension list.
+    """
+    added = [w for w in adjacency[candidate] if w not in excluded]
+    excluded.update(added)
+    return added
 
 
 def _expand(
@@ -87,22 +122,24 @@ def _expand(
     indices: np.ndarray,
     ref_signs: np.ndarray | None,
     extension: list[str],
+    excluded: set[str],
     seed_rank: int,
     out: list[CAP],
 ) -> None:
-    """One node of the CAP tree.
+    """One node of the CAP tree (sorted-array backend).
 
     ``members`` is the current connected sensor set, ``indices`` the
     timestamps at which it co-evolves, ``ref_signs`` (direction-aware mode)
-    the seed sensor's direction at each of those timestamps, and
-    ``extension`` the ESU extension list: sensors that may still be added in
-    this subtree.
+    the seed sensor's direction at each of those timestamps, ``extension``
+    the ESU extension list (sensors that may still be added in this
+    subtree), and ``excluded`` the members' closed neighbourhood, grown
+    incrementally along the path.
     """
     params = ctx.params
     _emit(ctx, members, attrs, indices, out)
     if params.max_sensors is not None and len(members) >= params.max_sensors:
         return
-    member_set = set(members)
+    order = ctx.order
     # Work on a copy we can consume: ESU removes each candidate before
     # recursing so no connected set is generated twice.
     pending = list(extension)
@@ -118,10 +155,13 @@ def _expand(
         # Timestamps where the grown set still co-evolves.
         mask = np.isin(indices, cand_evolving.indices, assume_unique=True)
         new_indices = indices[mask]
-        new_ref: np.ndarray | None = None
         if params.direction_aware and new_indices.size:
             cand_signs = _signs_at(cand_evolving, new_indices)
             base_signs = ref_signs[mask]  # type: ignore[index]
+            added = _grow_excluded(ctx.adjacency, excluded, candidate)
+            new_extension = pending + [
+                w for w in added if order[w] > seed_rank
+            ]
             # Keep timestamps where the candidate moves with a consistent
             # relative direction to the seed.  Both relative orientations
             # (same / opposite) are explored as separate tree branches.
@@ -129,27 +169,24 @@ def _expand(
                 dir_mask = cand_signs == base_signs * relative
                 if int(np.count_nonzero(dir_mask)) < params.min_support:
                     continue
-                self_indices = new_indices[dir_mask]
-                self_ref = base_signs[dir_mask]
-                new_extension = _grown_extension(
-                    ctx, member_set, candidate, pending, seed_rank
-                )
                 _expand(
                     ctx,
                     members + (candidate,),
                     new_attrs,
-                    self_indices,
-                    self_ref,
+                    new_indices[dir_mask],
+                    base_signs[dir_mask],
                     new_extension,
+                    excluded,
                     seed_rank,
                     out,
                 )
+            excluded.difference_update(added)
             continue
         if new_indices.size < params.min_support:
             continue
-        if params.direction_aware:
-            new_ref = ref_signs[mask]  # type: ignore[index]
-        new_extension = _grown_extension(ctx, member_set, candidate, pending, seed_rank)
+        new_ref = ref_signs[mask] if params.direction_aware else None  # type: ignore[index]
+        added = _grow_excluded(ctx.adjacency, excluded, candidate)
+        new_extension = pending + [w for w in added if order[w] > seed_rank]
         _expand(
             ctx,
             members + (candidate,),
@@ -157,38 +194,118 @@ def _expand(
             new_indices,
             new_ref,
             new_extension,
+            excluded,
             seed_rank,
             out,
         )
+        excluded.difference_update(added)
 
 
-def _grown_extension(
+def _emit_bits(
     ctx: _SearchContext,
-    member_set: set[str],
-    candidate: str,
-    pending: Sequence[str],
-    seed_rank: int,
-) -> list[str]:
-    """ESU extension list after adding ``candidate``.
+    members: tuple[str, ...],
+    attrs: frozenset[str],
+    words: np.ndarray,
+    support: int,
+    out: list[CAP],
+) -> None:
+    """Emit a CAP from a bitmap node — indices materialize only here."""
+    params = ctx.params
+    if len(members) < 2:
+        return
+    if params.require_multi_attribute and len(attrs) < 2:
+        return
+    if support < params.min_support:
+        return
+    indices = bits_to_indices(words)
+    out.append(
+        CAP(
+            sensor_ids=frozenset(members),
+            attributes=attrs,
+            support=support,
+            evolving_indices=tuple(indices.tolist()),
+        )
+    )
 
-    The new list keeps the not-yet-consumed candidates and adds the
-    *exclusive* neighbours of ``candidate``: sensors adjacent to it that are
-    neither members nor adjacent to an existing member, and rank after the
-    seed.  The exclusivity test is what guarantees exactly-once enumeration.
+
+def _expand_bits(
+    ctx: _SearchContext,
+    members: tuple[str, ...],
+    attrs: frozenset[str],
+    words: np.ndarray,
+    support: int,
+    ref_dirs: np.ndarray | None,
+    extension: list[str],
+    excluded: set[str],
+    seed_rank: int,
+    out: list[CAP],
+) -> None:
+    """One node of the CAP tree (packed-bitmap backend).
+
+    ``words`` holds the surviving co-evolution timestamps as presence bits
+    and ``ref_dirs`` (direction-aware mode) the seed's direction bits; both
+    stay packed along the whole path — intersection is ``AND``, direction
+    consistency ``XOR``/``AND-NOT``, support a popcount.
     """
+    params = ctx.params
+    _emit_bits(ctx, members, attrs, words, support, out)
+    if params.max_sensors is not None and len(members) >= params.max_sensors:
+        return
     order = ctx.order
-    adjacency = ctx.adjacency
-    existing_neighbourhood = set(pending) | member_set
-    for m in member_set:
-        existing_neighbourhood |= adjacency[m]
-    new_extension = list(pending)
-    for w in adjacency[candidate]:
-        if order[w] <= seed_rank:
+    pending = list(extension)
+    while pending:
+        candidate = pending.pop()
+        cand_attr = ctx.attributes[candidate]
+        new_attrs = attrs | {cand_attr}
+        if len(new_attrs) > params.max_attributes:
             continue
-        if w == candidate or w in existing_neighbourhood:
+        cand_evolving = ctx.evolving[candidate]
+        if len(cand_evolving) < params.min_support:
             continue
-        new_extension.append(w)
-    return new_extension
+        cand_bits = cand_evolving.bits
+        common = and_words(words, cand_bits.words)
+        if params.direction_aware:
+            n = common.size
+            differs = ref_dirs[:n] ^ cand_bits.dirs[:n]  # type: ignore[index]
+            added = _grow_excluded(ctx.adjacency, excluded, candidate)
+            new_extension = pending + [w for w in added if order[w] > seed_rank]
+            # Same / opposite relative orientation, as separate branches.
+            for branch_words in (common & ~differs, common & differs):
+                branch_support = popcount(branch_words)
+                if branch_support < params.min_support:
+                    continue
+                _expand_bits(
+                    ctx,
+                    members + (candidate,),
+                    new_attrs,
+                    branch_words,
+                    branch_support,
+                    ref_dirs[:n],  # type: ignore[index]
+                    new_extension,
+                    excluded,
+                    seed_rank,
+                    out,
+                )
+            excluded.difference_update(added)
+            continue
+        new_support = popcount(common)
+        if new_support < params.min_support:
+            continue
+        added = _grow_excluded(ctx.adjacency, excluded, candidate)
+        new_extension = pending + [w for w in added if order[w] > seed_rank]
+        _expand_bits(
+            ctx,
+            members + (candidate,),
+            new_attrs,
+            common,
+            new_support,
+            None,
+            new_extension,
+            excluded,
+            seed_rank,
+            out,
+        )
+        excluded.difference_update(added)
 
 
 def search_component(
@@ -211,9 +328,11 @@ def search_component(
     evolving:
         Sensor id → evolving set (step-2 output).
     params:
-        Mining parameters.
+        Mining parameters; ``params.evolving_backend`` selects the
+        packed-bitmap fast path or the sorted-array oracle.
     """
     ctx = _SearchContext(adjacency, attributes, evolving, params)
+    use_bits = params.evolving_backend == "bitset"
     out: list[CAP] = []
     members = sorted(component, key=lambda sid: ctx.order[sid])
     for seed in members:
@@ -222,17 +341,34 @@ def search_component(
         if len(seed_evolving) < params.min_support:
             continue
         extension = [w for w in adjacency[seed] if ctx.order[w] > seed_rank]
-        ref = seed_evolving.directions if params.direction_aware else None
-        _expand(
-            ctx,
-            (seed,),
-            frozenset({attributes[seed]}),
-            seed_evolving.indices,
-            ref,
-            extension,
-            seed_rank,
-            out,
-        )
+        excluded = {seed} | adjacency[seed]
+        if use_bits:
+            seed_bits = seed_evolving.bits
+            _expand_bits(
+                ctx,
+                (seed,),
+                frozenset({attributes[seed]}),
+                seed_bits.words,
+                len(seed_evolving),
+                seed_bits.dirs if params.direction_aware else None,
+                extension,
+                excluded,
+                seed_rank,
+                out,
+            )
+        else:
+            ref = seed_evolving.directions if params.direction_aware else None
+            _expand(
+                ctx,
+                (seed,),
+                frozenset({attributes[seed]}),
+                seed_evolving.indices,
+                ref,
+                extension,
+                excluded,
+                seed_rank,
+                out,
+            )
     return out
 
 
@@ -262,16 +398,36 @@ def search_all(
 
 
 def filter_maximal(caps: Sequence[CAP]) -> list[CAP]:
-    """Only the CAPs whose sensor set is not a subset of another CAP's.
+    """Only the CAPs whose sensor set is not a strict subset of another's.
 
     The miner returns *all* patterns above threshold (like the reference
     implementation); visualizations usually want the maximal ones.
+
+    Sensor sets are packed into integer bitmasks and kept masks are indexed
+    per sensor, so each CAP is subset-checked only against the kept patterns
+    sharing its rarest member (instead of the O(n²) all-pairs scan) — the
+    check itself is a single ``mask & kept == mask`` word operation.
     """
+    sensor_bit: dict[str, int] = {}
+    for cap in caps:
+        for sid in cap.sensor_ids:
+            if sid not in sensor_bit:
+                sensor_bit[sid] = len(sensor_bit)
     ordered = sorted(caps, key=lambda c: -len(c.sensor_ids))
     kept: list[CAP] = []
+    kept_masks_by_sensor: dict[str, list[int]] = {}
     for cap in ordered:
-        if any(cap.sensor_ids < other.sensor_ids for other in kept):
+        mask = 0
+        for sid in cap.sensor_ids:
+            mask |= 1 << sensor_bit[sid]
+        # Any superset among the kept caps must contain every member, so
+        # scanning the member with the fewest kept occurrences suffices.
+        buckets = [kept_masks_by_sensor.get(sid, ()) for sid in cap.sensor_ids]
+        rarest = min(buckets, key=len)
+        if any(mask & other == mask and other != mask for other in rarest):
             continue
         kept.append(cap)
+        for sid in cap.sensor_ids:
+            kept_masks_by_sensor.setdefault(sid, []).append(mask)
     kept.sort(key=lambda c: (-c.support, c.key()))
     return kept

@@ -12,6 +12,11 @@ The contract (checked by property tests): after any sequence of
 exactly what a batch :class:`~repro.core.miner.MiscelaMiner` returns on the
 concatenated dataset.
 
+With the ``"bitset"`` evolving backend the per-sensor packed bitmaps
+(:mod:`repro.core.bitset`) are maintained incrementally too: each append
+copies the old words once and ORs in only the packed tail, so re-mining
+after an extend never re-packs the full history.
+
 Limitations (by design):
 
 * the sensor fleet is fixed at construction (new sensors = new miner);
@@ -148,7 +153,17 @@ class StreamingMiner:
             old = self._evolving[sid]
             merged_indices = np.concatenate([old.indices, offset_indices])
             merged_directions = np.concatenate([old.directions, tail_evolving.directions])
-            self._evolving[sid] = EvolvingSet(merged_indices, merged_directions)
+            merged = EvolvingSet(merged_indices, merged_directions)
+            if self.params.evolving_backend == "bitset":
+                # Incremental word-append: copy the old bitmap once and OR
+                # in only the packed tail, instead of re-packing the whole
+                # history when the search asks for `.bits`.
+                merged._bits = old.bits.extended(
+                    offset_indices,
+                    tail_evolving.directions,
+                    len(self._timeline),
+                )
+            self._evolving[sid] = merged
             new_events += len(tail_evolving)
         self._appends += 1
         return new_events

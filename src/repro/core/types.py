@@ -279,9 +279,13 @@ class EvolvingSet:
     measurement changed by at least the evolving rate; ``directions`` holds
     ``+1`` (increase) or ``-1`` (decrease) per index.  Both arrays are sorted
     by index and immutable.
+
+    :attr:`bits` lazily materializes (and caches) the packed-bitmap twin of
+    the set — see :mod:`repro.core.bitset` — which the ``"bitset"`` mining
+    backend uses to turn every intersection into a word-wise ``AND``.
     """
 
-    __slots__ = ("indices", "directions")
+    __slots__ = ("indices", "directions", "_bits")
 
     def __init__(self, indices: np.ndarray, directions: np.ndarray) -> None:
         indices = np.asarray(indices, dtype=np.int64)
@@ -300,6 +304,24 @@ class EvolvingSet:
     @classmethod
     def empty(cls) -> "EvolvingSet":
         return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int8))
+
+    @property
+    def bits(self) -> "BitsetEvolvingSet":
+        """The packed-bitmap twin of this set, materialized lazily.
+
+        The bitmap covers *at least* ``last index + 1`` positions (the
+        streaming miner attaches incrementally-extended bitmaps that cover
+        the whole timeline); trailing zero words never change a result
+        because intersections truncate to the shorter operand.
+        """
+        try:
+            return self._bits
+        except AttributeError:
+            from .bitset import BitsetEvolvingSet
+
+            bits = BitsetEvolvingSet.from_arrays(self.indices, self.directions)
+            self._bits = bits
+            return bits
 
     def __len__(self) -> int:
         return int(self.indices.size)

@@ -1,0 +1,273 @@
+"""Backend equivalence: the bitset fast path equals the array oracle.
+
+``params.evolving_backend`` must never change *what* is mined, only how
+fast.  These property tests run the tree search (simultaneous and
+direction-aware), the delayed search (δ > 0), and the naive baseline over
+randomized synthetic datasets under both backends and assert the CAP lists
+are identical — sensor sets, supports, evolving indices, and delay
+assignments — plus the edge cases the bit packing must survive (empty
+evolving sets, timelines that are not a multiple of 64, all-NaN sensors).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import co_evolution_rate
+from repro.core.baseline import naive_search
+from repro.core.delayed import delayed_support, search_delayed
+from repro.core.evolving import co_evolution_count, extract_all_evolving
+from repro.core.miner import MiscelaMiner
+from repro.core.parameters import MiningParameters
+from repro.core.search import search_all
+from repro.core.spatial import build_proximity_graph
+from repro.core.streaming import StreamingMiner
+from repro.core.types import EvolvingSet, Sensor, SensorDataset
+
+
+def cap_fingerprint(caps):
+    """Full identity of a CAP list, including where the patterns co-evolve."""
+    return [
+        (sorted(c.sensor_ids), sorted(c.attributes), c.support,
+         c.evolving_indices, dict(sorted(c.delays.items())))
+        for c in caps
+    ]
+
+
+@st.composite
+def mining_instances(draw):
+    """A random dataset + parameters small enough to mine both ways."""
+    n_sensors = draw(st.integers(min_value=2, max_value=6))
+    # Deliberately straddle the 64-bit word boundary in both directions.
+    n_steps = draw(st.sampled_from([8, 30, 63, 64, 65, 100, 130]))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    min_support = draw(st.integers(min_value=1, max_value=3))
+    all_nan_sensor = draw(st.booleans())
+    rng = np.random.default_rng(rng_seed)
+    attributes = ["t", "h", "p"]
+    sensors = []
+    measurements = {}
+    for i in range(n_sensors):
+        attribute = attributes[int(rng.integers(len(attributes)))]
+        lat = 43.0 + float(rng.uniform(0, 0.02))
+        lon = -3.0 + float(rng.uniform(0, 0.02))
+        sensors.append(Sensor(f"s{i}", attribute, lat, lon))
+        steps = np.where(
+            rng.random(n_steps) < 0.4, rng.choice([-4.0, 4.0], size=n_steps), 0.0
+        )
+        values = np.cumsum(steps)
+        if all_nan_sensor and i == 0:
+            values = np.full(n_steps, np.nan)
+        measurements[f"s{i}"] = values
+    timeline = [
+        datetime(2024, 1, 1) + k * timedelta(hours=1) for k in range(n_steps)
+    ]
+    dataset = SensorDataset("equiv", timeline, sensors, measurements)
+    params = MiningParameters(
+        evolving_rate=2.0,
+        distance_threshold=5.0,
+        max_attributes=3,
+        min_support=min_support,
+        require_multi_attribute=draw(st.booleans()),
+    )
+    return dataset, params
+
+
+def mine_both(dataset, params):
+    results = {}
+    for backend in ("array", "bitset"):
+        miner = MiscelaMiner(params.with_updates(evolving_backend=backend))
+        results[backend] = miner.mine(dataset).caps
+    return results["array"], results["bitset"]
+
+
+class TestSearchEquivalence:
+    @given(mining_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_simultaneous(self, instance):
+        dataset, params = instance
+        array_caps, bitset_caps = mine_both(dataset, params)
+        assert cap_fingerprint(array_caps) == cap_fingerprint(bitset_caps)
+
+    @given(mining_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_direction_aware(self, instance):
+        dataset, params = instance
+        array_caps, bitset_caps = mine_both(
+            dataset, params.with_updates(direction_aware=True)
+        )
+        assert cap_fingerprint(array_caps) == cap_fingerprint(bitset_caps)
+
+    @given(mining_instances(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_delayed(self, instance, delta):
+        dataset, params = instance
+        array_caps, bitset_caps = mine_both(
+            dataset, params.with_updates(max_delay=delta)
+        )
+        assert cap_fingerprint(array_caps) == cap_fingerprint(bitset_caps)
+
+    @given(mining_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_naive_baseline(self, instance):
+        dataset, params = instance
+        evolving = {}
+        caps = {}
+        for backend in ("array", "bitset"):
+            p = params.with_updates(evolving_backend=backend)
+            evolving = extract_all_evolving(dataset, p)
+            adjacency = build_proximity_graph(list(dataset), p.distance_threshold)
+            caps[backend] = naive_search(list(dataset), adjacency, evolving, p)
+        assert cap_fingerprint(caps["array"]) == cap_fingerprint(caps["bitset"])
+
+    @given(mining_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_naive_baseline_direction_aware(self, instance):
+        dataset, params = instance
+        caps = {}
+        for backend in ("array", "bitset"):
+            p = params.with_updates(
+                evolving_backend=backend, direction_aware=True
+            )
+            evolving = extract_all_evolving(dataset, p)
+            adjacency = build_proximity_graph(list(dataset), p.distance_threshold)
+            caps[backend] = naive_search(list(dataset), adjacency, evolving, p)
+        assert cap_fingerprint(caps["array"]) == cap_fingerprint(caps["bitset"])
+
+
+class TestHelperEquivalence:
+    @given(mining_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_co_evolution_count(self, instance):
+        dataset, params = instance
+        evolving = extract_all_evolving(dataset, params)
+        ids = list(dataset.sensor_ids)
+        assert co_evolution_count(evolving, ids, backend="array") == \
+            co_evolution_count(evolving, ids, backend="bitset")
+
+    @given(mining_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_co_evolution_rate(self, instance):
+        dataset, params = instance
+        evolving = extract_all_evolving(dataset, params)
+        ids = list(dataset.sensor_ids)
+        a, b = evolving[ids[0]], evolving[ids[-1]]
+        assert co_evolution_rate(a, b, backend="array") == \
+            co_evolution_rate(a, b, backend="bitset")
+
+    @given(mining_instances(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_delayed_support(self, instance, delay):
+        dataset, params = instance
+        evolving = extract_all_evolving(dataset, params)
+        ids = list(dataset.sensor_ids)
+        delays = {sid: (delay if i % 2 else 0) for i, sid in enumerate(ids)}
+        horizon = dataset.num_timestamps
+        np.testing.assert_array_equal(
+            delayed_support(evolving, delays, horizon, backend="array"),
+            delayed_support(evolving, delays, horizon, backend="bitset"),
+        )
+
+
+class TestEdgeCases:
+    def _flat_dataset(self, n_steps):
+        timeline = [
+            datetime(2024, 1, 1) + k * timedelta(hours=1) for k in range(n_steps)
+        ]
+        sensors = [
+            Sensor("a", "t", 43.0, -3.0),
+            Sensor("b", "h", 43.0001, -3.0001),
+        ]
+        measurements = {
+            "a": np.zeros(n_steps),
+            "b": np.full(n_steps, np.nan),
+        }
+        return SensorDataset("edge", timeline, sensors, measurements)
+
+    @pytest.mark.parametrize("n_steps", [2, 63, 64, 65, 127, 129])
+    def test_empty_and_all_nan_sets(self, n_steps):
+        """Flat + all-NaN sensors: both backends must agree on 'no CAPs'."""
+        dataset = self._flat_dataset(n_steps)
+        params = MiningParameters(
+            evolving_rate=1.0, distance_threshold=5.0,
+            max_attributes=3, min_support=1,
+        )
+        array_caps, bitset_caps = mine_both(dataset, params)
+        assert array_caps == [] and bitset_caps == []
+
+    def test_empty_evolving_set_bits(self):
+        empty = EvolvingSet.empty()
+        assert empty.bits.count() == 0
+        assert co_evolution_rate(empty, empty) == 0.0
+
+    @pytest.mark.parametrize("n_steps", [63, 64, 65, 130])
+    def test_word_boundary_timelines(self, n_steps):
+        """Evolutions at the last timeline step survive the packing."""
+        timeline = [
+            datetime(2024, 1, 1) + k * timedelta(hours=1) for k in range(n_steps)
+        ]
+        values = np.zeros(n_steps)
+        values[-1] = 10.0  # single evolution at the final index
+        sensors = [
+            Sensor("a", "t", 43.0, -3.0),
+            Sensor("b", "h", 43.0001, -3.0001),
+        ]
+        measurements = {"a": values, "b": values.copy()}
+        dataset = SensorDataset("boundary", timeline, sensors, measurements)
+        params = MiningParameters(
+            evolving_rate=1.0, distance_threshold=5.0,
+            max_attributes=3, min_support=1,
+        )
+        array_caps, bitset_caps = mine_both(dataset, params)
+        assert cap_fingerprint(array_caps) == cap_fingerprint(bitset_caps)
+        assert len(bitset_caps) == 1
+        assert bitset_caps[0].evolving_indices == (n_steps - 1,)
+
+    def test_streaming_incremental_bits_match_batch(self):
+        """After extends, the incrementally-appended bitmaps equal a re-pack."""
+        rng = np.random.default_rng(7)
+        n0, batch = 70, 40
+        timeline = [
+            datetime(2024, 1, 1) + k * timedelta(hours=1) for k in range(n0)
+        ]
+        sensors = [
+            Sensor("a", "t", 43.0, -3.0),
+            Sensor("b", "h", 43.0001, -3.0001),
+        ]
+        series = {
+            sid: np.cumsum(rng.choice([-3.0, 0.0, 3.0], size=n0 + 2 * batch))
+            for sid in ("a", "b")
+        }
+        dataset = SensorDataset(
+            "stream", timeline, sensors, {sid: v[:n0] for sid, v in series.items()}
+        )
+        params = MiningParameters(
+            evolving_rate=2.0, distance_threshold=5.0,
+            max_attributes=3, min_support=1,
+        )
+        miner = StreamingMiner(params, dataset)
+        start = timeline[-1]
+        for step in range(2):
+            lo = n0 + step * batch
+            batch_timeline = [
+                start + (step * batch + k + 1) * timedelta(hours=1)
+                for k in range(batch)
+            ]
+            miner.extend(
+                batch_timeline,
+                {sid: v[lo : lo + batch] for sid, v in series.items()},
+            )
+        for sid in ("a", "b"):
+            es = miner._evolving[sid]
+            np.testing.assert_array_equal(es.bits.to_indices(), es.indices)
+            np.testing.assert_array_equal(es.bits.to_directions(), es.directions)
+        # And the mined result equals a batch miner over the full series.
+        batch_result = MiscelaMiner(params).mine(miner.dataset())
+        assert cap_fingerprint(miner.mine().caps) == cap_fingerprint(
+            batch_result.caps
+        )
