@@ -87,6 +87,7 @@ def _params_from_args(args: argparse.Namespace, dataset_name: str) -> MiningPara
         ("segmentation", "segmentation"),
         ("segmentation_error", "segmentation_error"),
         ("evolving_backend", "evolving_backend"),
+        ("n_jobs", "n_jobs"),
     ]:
         value = getattr(args, flag, None)
         if value is not None:
@@ -110,6 +111,10 @@ def _add_param_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--evolving-backend", dest="evolving_backend", choices=["array", "bitset"],
         help="evolving-set representation: packed bitmaps (default) or the sorted-array oracle",
+    )
+    group.add_argument(
+        "--jobs", dest="n_jobs", type=int, metavar="N",
+        help="worker processes for the CAP search (0 = all cores, default 1)",
     )
 
 

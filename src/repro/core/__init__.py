@@ -5,8 +5,18 @@ from .bitset import BitsetEvolvingSet
 from .delayed import delayed_support, search_delayed
 from .evolving import co_evolution_count, extract_all_evolving, extract_evolving
 from .miner import MiningResult, MiscelaMiner, NaiveMiner
+from .parallel import (
+    PackedEvolvingStore,
+    ShardUnit,
+    estimate_seed_cost,
+    parallel_naive_search,
+    parallel_search_all,
+    parallel_search_delayed,
+    plan_shards,
+    resolve_jobs,
+)
 from .parameters import EVOLVING_BACKENDS, SEGMENTATION_METHODS, MiningParameters
-from .search import filter_maximal, search_all, search_component
+from .search import dedupe_strongest, filter_maximal, search_all, search_component
 from .segmentation import (
     Segment,
     bottom_up_segmentation,
@@ -37,16 +47,20 @@ __all__ = [
     "MiningResult",
     "MiscelaMiner",
     "NaiveMiner",
+    "PackedEvolvingStore",
     "SEGMENTATION_METHODS",
     "Segment",
     "Sensor",
     "SensorDataset",
+    "ShardUnit",
     "StreamingMiner",
     "bottom_up_segmentation",
     "build_proximity_graph",
     "co_evolution_count",
     "connected_components",
+    "dedupe_strongest",
     "delayed_support",
+    "estimate_seed_cost",
     "extract_all_evolving",
     "extract_evolving",
     "filter_maximal",
@@ -54,7 +68,12 @@ __all__ = [
     "haversine_matrix",
     "is_connected",
     "naive_search",
+    "parallel_naive_search",
+    "parallel_search_all",
+    "parallel_search_delayed",
+    "plan_shards",
     "reconstruct",
+    "resolve_jobs",
     "search_all",
     "search_component",
     "search_delayed",

@@ -109,7 +109,19 @@ def naive_search(
     ValueError
         If any connected component exceeds ``max_component_size`` — the
         2^n blow-up past ~20 sensors would hang rather than finish.
+
+    Notes
+    -----
+    With ``params.n_jobs != 1`` the components are mined on a process pool
+    (:func:`repro.core.parallel.parallel_naive_search`); output is
+    identical to the serial path.
     """
+    if params.n_jobs != 1:
+        from .parallel import parallel_naive_search
+
+        return parallel_naive_search(
+            sensors, adjacency, evolving, params, max_component_size
+        )
     attributes = {s.sensor_id: s.attribute for s in sensors}
     caps: list[CAP] = []
     max_size = params.max_sensors

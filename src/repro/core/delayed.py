@@ -29,7 +29,7 @@ from .parameters import MiningParameters
 from .spatial import connected_components
 from .types import CAP, EvolvingSet, Sensor
 
-__all__ = ["search_delayed", "delayed_support"]
+__all__ = ["search_delayed", "search_delayed_component", "delayed_support"]
 
 
 def _shift_earlier(evolving: EvolvingSet, delay: int, horizon: int) -> EvolvingSet:
@@ -95,38 +95,28 @@ class _DelayedState:
         self.support = support
 
 
-def search_delayed(
-    sensors: Sequence[Sensor],
+def search_delayed_component(
+    component: Sequence[str] | set[str],
     adjacency: Mapping[str, set[str]],
+    attributes: Mapping[str, str],
     evolving: Mapping[str, EvolvingSet],
     params: MiningParameters,
     horizon: int,
-    emit_all_assignments: bool = False,
+    seeds: Sequence[str] | None = None,
+    order: Mapping[str, int] | None = None,
 ) -> list[CAP]:
-    """Delayed CAPs over the proximity graph.
+    """Delayed CAPs rooted inside one connected component, in emission order.
 
-    Parameters
-    ----------
-    horizon:
-        Number of timestamps in the dataset timeline (bounds shifted sets).
-    emit_all_assignments:
-        When true every passing delay assignment becomes its own CAP;
-        by default only the maximum-support assignment per sensor set is
-        returned.
-
-    Notes
-    -----
-    With ``params.max_delay == 0`` this reduces exactly to the simultaneous
-    search (every delay is forced to 0) — the property tests rely on that.
+    Returns the raw (pre-dedup) pattern stream for the component so callers
+    — the serial driver below and the parallel engine — apply the
+    best-assignment selection once over the merged stream.  ``seeds``
+    optionally restricts the tree roots (the parallel engine's seed-split
+    sharding); ``order`` may pass the precomputed canonical rank map to
+    avoid re-sorting the whole adjacency per component.
     """
-    if params.direction_aware:
-        raise NotImplementedError(
-            "direction-aware delayed mining is not part of the reproduction; "
-            "use direction_aware=False with max_delay > 0"
-        )
-    attributes = {s.sensor_id: s.attribute for s in sensors}
     delta = params.max_delay
-    order = {sid: i for i, sid in enumerate(sorted(adjacency))}
+    if order is None:
+        order = {sid: i for i, sid in enumerate(sorted(adjacency))}
     use_bits = params.evolving_backend == "bitset"
     results: list[CAP] = []
 
@@ -234,41 +224,95 @@ def search_delayed(
             if added is not None:
                 excluded.difference_update(added)
 
+    members = sorted(component, key=lambda sid: order[sid])
+    if seeds is not None:
+        wanted = set(seeds)
+        members = [sid for sid in members if sid in wanted]
+    for seed in members:
+        seed_evolving = evolving[seed]
+        if len(seed_evolving) < params.min_support:
+            continue
+        seed_rank = order[seed]
+        extension = [w for w in adjacency[seed] if order[w] > seed_rank]
+        excluded = {seed} | adjacency[seed]
+        if use_bits:
+            seed_indices: np.ndarray = shifted_words(seed, 0)
+        else:
+            seed_indices = seed_evolving.indices
+        expand(
+            _DelayedState(
+                (seed,),
+                (0,),
+                frozenset({attributes[seed]}),
+                seed_indices,
+                len(seed_evolving),
+            ),
+            extension,
+            excluded,
+            seed_rank,
+        )
+    return results
+
+
+def finalize_delayed(results: Sequence[CAP], emit_all_assignments: bool) -> list[CAP]:
+    """Best delay assignment per sensor set (or all), sorted canonically."""
+    if emit_all_assignments:
+        out = list(results)
+        out.sort(key=lambda c: (-c.support, c.key()))
+        return out
+    from .search import dedupe_strongest
+
+    return dedupe_strongest(results)
+
+
+def search_delayed(
+    sensors: Sequence[Sensor],
+    adjacency: Mapping[str, set[str]],
+    evolving: Mapping[str, EvolvingSet],
+    params: MiningParameters,
+    horizon: int,
+    emit_all_assignments: bool = False,
+) -> list[CAP]:
+    """Delayed CAPs over the proximity graph.
+
+    Parameters
+    ----------
+    horizon:
+        Number of timestamps in the dataset timeline (bounds shifted sets).
+    emit_all_assignments:
+        When true every passing delay assignment becomes its own CAP;
+        by default only the maximum-support assignment per sensor set is
+        returned.
+
+    Notes
+    -----
+    With ``params.max_delay == 0`` this reduces exactly to the simultaneous
+    search (every delay is forced to 0) — the property tests rely on that.
+    With ``params.n_jobs != 1`` the component/seed shards run on a process
+    pool (:func:`repro.core.parallel.parallel_search_delayed`) with
+    identical output.
+    """
+    if params.direction_aware:
+        raise NotImplementedError(
+            "direction-aware delayed mining is not part of the reproduction; "
+            "use direction_aware=False with max_delay > 0"
+        )
+    if params.n_jobs != 1:
+        from .parallel import parallel_search_delayed
+
+        return parallel_search_delayed(
+            sensors, adjacency, evolving, params, horizon, emit_all_assignments
+        )
+    attributes = {s.sensor_id: s.attribute for s in sensors}
+    order = {sid: i for i, sid in enumerate(sorted(adjacency))}
+    results: list[CAP] = []
     for component in connected_components(adjacency):
         if len(component) < 2:
             continue
-        for seed in sorted(component, key=lambda sid: order[sid]):
-            seed_evolving = evolving[seed]
-            if len(seed_evolving) < params.min_support:
-                continue
-            seed_rank = order[seed]
-            extension = [w for w in adjacency[seed] if order[w] > seed_rank]
-            excluded = {seed} | adjacency[seed]
-            if use_bits:
-                seed_indices: np.ndarray = shifted_words(seed, 0)
-            else:
-                seed_indices = seed_evolving.indices
-            expand(
-                _DelayedState(
-                    (seed,),
-                    (0,),
-                    frozenset({attributes[seed]}),
-                    seed_indices,
-                    len(seed_evolving),
-                ),
-                extension,
-                excluded,
-                seed_rank,
+        results.extend(
+            search_delayed_component(
+                component, adjacency, attributes, evolving, params, horizon,
+                order=order,
             )
-
-    if emit_all_assignments:
-        results.sort(key=lambda c: (-c.support, c.key()))
-        return results
-    best: dict[tuple[str, ...], CAP] = {}
-    for cap in results:
-        key = cap.key()
-        if key not in best or cap.support > best[key].support:
-            best[key] = cap
-    out = list(best.values())
-    out.sort(key=lambda c: (-c.support, c.key()))
-    return out
+        )
+    return finalize_delayed(results, emit_all_assignments)

@@ -58,14 +58,32 @@ class MiningResult:
     adjacency: Mapping[str, set[str]] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     from_cache: bool = False
+    # Lazy sensor → CAP-position inverted index serving the map-click hot
+    # path; built on first lookup, assumes ``caps`` is not mutated after.
+    _sensor_index: dict[str, list[int]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_caps(self) -> int:
         return len(self.caps)
 
+    def _index(self) -> dict[str, list[int]]:
+        if self._sensor_index is None:
+            index: dict[str, list[int]] = {}
+            for position, cap in enumerate(self.caps):
+                for sid in cap.sensor_ids:
+                    index.setdefault(sid, []).append(position)
+            self._sensor_index = index
+        return self._sensor_index
+
     def caps_containing(self, sensor_id: str) -> list[CAP]:
-        """Patterns that include one sensor — the map's click interaction."""
-        return [cap for cap in self.caps if sensor_id in cap.sensor_ids]
+        """Patterns that include one sensor — the map's click interaction.
+
+        Served from the inverted index (positions stay in caps order), so a
+        click costs O(patterns containing the sensor), not O(all patterns).
+        """
+        return [self.caps[i] for i in self._index().get(sensor_id, ())]
 
     def correlated_sensors(self, sensor_id: str) -> set[str]:
         """Sensors correlated with the given one via any CAP (highlighting)."""
@@ -101,7 +119,10 @@ class MiscelaMiner:
     Parameters
     ----------
     params:
-        Mining parameters (ε, η, μ, ψ and extensions).
+        Mining parameters (ε, η, μ, ψ and extensions).  ``params.n_jobs``
+        selects the execution engine for step 4: ``1`` runs serially,
+        anything else shards the search across a process pool
+        (:mod:`repro.core.parallel`) with identical output.
     spatial_method:
         ``"grid"`` (default) or ``"brute"`` — how the η-graph is built.
     """

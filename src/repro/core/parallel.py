@@ -1,0 +1,513 @@
+"""Parallel component-sharded CAP mining engine.
+
+MISCELA's step 3 bounds the search space to spatially connected components,
+and inside a component every seed sensor roots an independent branch of the
+ESU tree — so one mining run decomposes into shards with no shared state.
+This module executes those shards on a process pool and merges the outputs
+back into *exactly* the serial result:
+
+* **Sharding** — :func:`plan_shards` turns the component list into work
+  units: small components stay whole, oversized ones (estimated cost above
+  an even per-worker share) split into runs of canonical seed sensors,
+  because each seed's root-level ESU branch is independent of every other
+  seed's.  A greedy cost model (:func:`estimate_seed_cost`, estimated tree
+  nodes from evolving density, root degree, and component size) packs units
+  into balanced shards (LPT) instead of round-robin.
+
+* **Zero-copy handoff** — evolving sets cross the process boundary as one
+  flat ``uint64`` presence buffer plus one flat direction buffer
+  (:class:`PackedEvolvingStore`), not as per-sensor Python objects.  With
+  the ``fork`` start method (Linux, the default here) the buffers are
+  inherited copy-on-write — nothing is pickled at all; under ``spawn`` the
+  two flat arrays are serialized once per worker.  Workers rebuild
+  per-sensor :class:`~repro.core.types.EvolvingSet` views whose ``.bits``
+  slice straight into the shared buffer.
+
+* **Deterministic merge** — every unit is tagged with
+  ``(component_index, first_seed_rank)``; sorting the tags reproduces the
+  serial emission order (components largest-first, seeds in canonical rank
+  order), after which the exact serial post-passes run once over the merged
+  stream: :func:`~repro.core.search.dedupe_strongest` for the tree search,
+  :func:`~repro.core.delayed.finalize_delayed` for the delayed variant, a
+  global ``(-support, key)`` sort for the naive baseline.  Callers that
+  only want maximal patterns run
+  :func:`~repro.core.search.filter_maximal` once over the merged set,
+  never per shard.
+
+The engine is selected by ``MiningParameters.n_jobs`` (``1`` = serial,
+``0`` = one worker per CPU) and guarantees byte-identical CAP lists for
+every worker count — the property tests in ``tests/core/test_parallel.py``
+hold it to that.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .bitset import BitsetEvolvingSet
+from .parameters import MiningParameters
+from .spatial import connected_components, subgraph
+from .types import CAP, EvolvingSet, Sensor
+
+__all__ = [
+    "resolve_jobs",
+    "PackedEvolvingStore",
+    "ShardUnit",
+    "estimate_seed_cost",
+    "plan_shards",
+    "parallel_search_all",
+    "parallel_search_delayed",
+    "parallel_naive_search",
+]
+
+#: Shards per worker: more shards than workers lets the pool's dynamic
+#: scheduling absorb cost-model estimation error.
+_SHARDS_PER_WORKER = 4
+
+
+def resolve_jobs(n_jobs: int) -> int:
+    """Translate ``MiningParameters.n_jobs`` into a worker count.
+
+    ``0`` means one worker per CPU actually available to this process
+    (respecting the scheduler affinity mask, not just the machine size).
+    """
+    if n_jobs < 0:
+        raise ValueError(f"n_jobs must be >= 0, got {n_jobs}")
+    if n_jobs == 0:
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            return os.cpu_count() or 1
+    return n_jobs
+
+
+class PackedEvolvingStore:
+    """All evolving sets as two flat ``uint64`` buffers + per-sensor offsets.
+
+    The bitmap twin of every evolving set (presence words + direction
+    words, see :mod:`repro.core.bitset`) is concatenated sensor-by-sensor
+    into ``words`` and ``dirs``; ``offsets[i]:offsets[i+1]`` slices sensor
+    ``i``'s words and ``horizons[i]`` records its timeline cover.  Two flat
+    arrays cross a process boundary with no per-sensor pickling — and with
+    ``fork`` they cross it with no copying at all.
+    """
+
+    __slots__ = ("sensor_ids", "offsets", "horizons", "words", "dirs")
+
+    def __init__(
+        self,
+        sensor_ids: tuple[str, ...],
+        offsets: np.ndarray,
+        horizons: np.ndarray,
+        words: np.ndarray,
+        dirs: np.ndarray,
+    ) -> None:
+        self.sensor_ids = sensor_ids
+        self.offsets = offsets
+        self.horizons = horizons
+        self.words = words
+        self.dirs = dirs
+
+    @classmethod
+    def pack(cls, evolving: Mapping[str, EvolvingSet]) -> "PackedEvolvingStore":
+        """Flatten a sensor→evolving-set mapping into shared buffers."""
+        sensor_ids = tuple(sorted(evolving))
+        word_chunks: list[np.ndarray] = []
+        dir_chunks: list[np.ndarray] = []
+        sizes = np.zeros(len(sensor_ids), dtype=np.int64)
+        horizons = np.zeros(len(sensor_ids), dtype=np.int64)
+        for i, sid in enumerate(sensor_ids):
+            bits = evolving[sid].bits
+            word_chunks.append(bits.words)
+            dir_chunks.append(bits.dirs)
+            sizes[i] = bits.words.size
+            horizons[i] = bits.horizon
+        offsets = np.zeros(len(sensor_ids) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        words = (
+            np.concatenate(word_chunks) if word_chunks else np.empty(0, np.uint64)
+        )
+        dirs = np.concatenate(dir_chunks) if dir_chunks else np.empty(0, np.uint64)
+        return cls(sensor_ids, offsets, horizons, words, dirs)
+
+    def unpack(self) -> dict[str, EvolvingSet]:
+        """Per-sensor evolving sets whose bitmaps are views into the buffers.
+
+        Index/direction arrays are materialized from the bitmaps (exact
+        round trip); the ``.bits`` twin each set carries slices the shared
+        buffer directly, so the search's word-wise inner loop runs on the
+        handed-over memory without a copy.
+        """
+        out: dict[str, EvolvingSet] = {}
+        for i, sid in enumerate(self.sensor_ids):
+            lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+            bits = BitsetEvolvingSet(
+                self.words[lo:hi], self.dirs[lo:hi], int(self.horizons[i])
+            )
+            evolving = EvolvingSet(bits.to_indices(), bits.to_directions())
+            evolving._bits = bits
+            out[sid] = evolving
+        return out
+
+
+@dataclass(frozen=True)
+class ShardUnit:
+    """One independent piece of a mining run.
+
+    ``seeds is None`` means "the whole component"; otherwise the unit roots
+    the tree only at the given seeds (a contiguous run in canonical rank
+    order).  ``first_rank`` is ``-1`` for whole components so the merge tag
+    ``(component_index, first_rank)`` sorts units back into the serial
+    emission order.
+    """
+
+    component_index: int
+    seeds: tuple[str, ...] | None
+    first_rank: int
+    cost: float
+
+    @property
+    def tag(self) -> tuple[int, int]:
+        return (self.component_index, self.first_rank)
+
+
+def estimate_seed_cost(
+    seed: str,
+    adjacency: Mapping[str, set[str]],
+    evolving: Mapping[str, EvolvingSet],
+    component_size: int,
+    params: MiningParameters,
+) -> float:
+    """Estimated search-tree nodes rooted at one seed sensor.
+
+    A heuristic, not a count: the root branches over the seed's η-degree,
+    survives roughly in proportion to the seed's evolving support (denser
+    sets prune later), and deepens with the component (capped by
+    ``max_sensors``).  Direction-aware doubles each expansion; delay δ
+    multiplies it by the ``2δ+1`` delay choices.  Only relative magnitudes
+    matter — the planner balances shards with it.
+    """
+    support = len(evolving[seed])
+    if support < params.min_support:
+        return 1.0
+    breadth = 1.0 + len(adjacency[seed])
+    if params.direction_aware:
+        breadth *= 2.0
+    if params.max_delay > 0:
+        breadth *= 2.0 * params.max_delay + 1.0
+    depth = component_size
+    if params.max_sensors is not None:
+        depth = min(depth, params.max_sensors)
+    return 1.0 + support * breadth * math.log2(depth + 1.0)
+
+
+def plan_shards(
+    components: Sequence[Sequence[str]],
+    adjacency: Mapping[str, set[str]],
+    evolving: Mapping[str, EvolvingSet],
+    params: MiningParameters,
+    n_workers: int,
+    splittable: bool = True,
+) -> list[list[ShardUnit]]:
+    """Partition components into cost-balanced shards.
+
+    Components whose estimated cost exceeds an even per-worker share are
+    split into contiguous seed runs (when ``splittable``; the naive
+    baseline's subset enumeration is not seed-rooted, so it shards at
+    component granularity only).  Units are then packed greedily into at
+    most ``n_workers * 4`` shards, biggest unit first onto the least
+    loaded shard (LPT), which bounds the makespan far tighter than
+    round-robin when component sizes are skewed.
+    """
+    order = {sid: i for i, sid in enumerate(sorted(adjacency))}
+    per_component: list[tuple[int, list[str], dict[str, float], float]] = []
+    for ci, component in enumerate(components):
+        members = sorted(component, key=lambda sid: order[sid])
+        costs = {
+            sid: estimate_seed_cost(sid, adjacency, evolving, len(members), params)
+            for sid in members
+        }
+        per_component.append((ci, members, costs, sum(costs.values())))
+    total = sum(entry[3] for entry in per_component)
+    if total <= 0:
+        return []
+    fair_share = total / max(1, n_workers)
+    units: list[ShardUnit] = []
+    for ci, members, costs, component_cost in per_component:
+        if not splittable or component_cost <= fair_share or len(members) < 2:
+            units.append(ShardUnit(ci, None, -1, component_cost))
+            continue
+        # Oversized: contiguous seed runs of roughly one pool-slot each.
+        target = component_cost / (n_workers * _SHARDS_PER_WORKER)
+        run: list[str] = []
+        run_cost = 0.0
+        for sid in members:
+            run.append(sid)
+            run_cost += costs[sid]
+            if run_cost >= target:
+                units.append(ShardUnit(ci, tuple(run), order[run[0]], run_cost))
+                run, run_cost = [], 0.0
+        if run:
+            units.append(ShardUnit(ci, tuple(run), order[run[0]], run_cost))
+    n_shards = max(1, min(len(units), n_workers * _SHARDS_PER_WORKER))
+    shards: list[list[ShardUnit]] = [[] for _ in range(n_shards)]
+    loads = [(0.0, i) for i in range(n_shards)]
+    heapq.heapify(loads)
+    for unit in sorted(units, key=lambda u: (-u.cost, u.tag)):
+        load, i = heapq.heappop(loads)
+        shards[i].append(unit)
+        heapq.heappush(loads, (load + unit.cost, i))
+    return [shard for shard in shards if shard]
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RunSpec:
+    """Everything a worker needs, shared once per run (fork: zero-copy)."""
+
+    mode: str  # "search" | "delayed" | "naive"
+    params: MiningParameters  # n_jobs forced to 1 — workers never nest pools
+    adjacency: dict[str, set[str]]
+    attributes: dict[str, str]
+    components: list[list[str]]
+    store: PackedEvolvingStore
+    horizon: int = 0
+    sensors: tuple[Sensor, ...] = ()
+    max_component_size: int = 0
+
+
+#: Parent-set state inherited by forked workers (or installed by the spawn
+#: initializer); the unpacked evolving views and the canonical rank map are
+#: cached per worker process.
+_SPEC: _RunSpec | None = None
+_WORKER_EVOLVING: dict[str, EvolvingSet] | None = None
+_WORKER_ORDER: dict[str, int] | None = None
+
+
+def _install_spec(spec: _RunSpec) -> None:
+    global _SPEC, _WORKER_EVOLVING, _WORKER_ORDER
+    _SPEC = spec
+    _WORKER_EVOLVING = None
+    _WORKER_ORDER = None
+
+
+def _worker_evolving() -> dict[str, EvolvingSet]:
+    global _WORKER_EVOLVING
+    if _WORKER_EVOLVING is None:
+        assert _SPEC is not None
+        _WORKER_EVOLVING = _SPEC.store.unpack()
+    return _WORKER_EVOLVING
+
+
+def _worker_order() -> dict[str, int]:
+    global _WORKER_ORDER
+    if _WORKER_ORDER is None:
+        assert _SPEC is not None
+        _WORKER_ORDER = {
+            sid: i for i, sid in enumerate(sorted(_SPEC.adjacency))
+        }
+    return _WORKER_ORDER
+
+
+def _run_shard(shard: list[ShardUnit]) -> list[tuple[tuple[int, int], list[CAP]]]:
+    """Execute one shard's units; returns ``(merge_tag, caps)`` pairs."""
+    from .baseline import naive_search
+    from .delayed import search_delayed_component
+    from .search import search_component
+
+    spec = _SPEC
+    assert spec is not None
+    evolving = _worker_evolving()
+    out: list[tuple[tuple[int, int], list[CAP]]] = []
+    for unit in shard:
+        component = spec.components[unit.component_index]
+        if spec.mode == "search":
+            caps = search_component(
+                component, spec.adjacency, spec.attributes, evolving,
+                spec.params, seeds=unit.seeds,
+            )
+        elif spec.mode == "delayed":
+            caps = search_delayed_component(
+                component, spec.adjacency, spec.attributes, evolving,
+                spec.params, spec.horizon, seeds=unit.seeds,
+                order=_worker_order(),
+            )
+        else:
+            keep = set(component)
+            members = [s for s in spec.sensors if s.sensor_id in keep]
+            caps = naive_search(
+                members, subgraph(spec.adjacency, component), evolving,
+                spec.params, max_component_size=spec.max_component_size,
+            )
+        out.append((unit.tag, caps))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Driver side
+# ---------------------------------------------------------------------------
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _run_sharded(
+    spec: _RunSpec, shards: list[list[ShardUnit]], n_workers: int
+) -> list[CAP]:
+    """Run shards on a pool and merge in serial emission order."""
+    ctx = _pool_context()
+    forked = ctx.get_start_method() == "fork"
+    if forked:
+        # Set before the fork so children inherit the buffers copy-on-write.
+        _install_spec(spec)
+        initializer, initargs = None, ()
+    else:  # pragma: no cover - spawn-only platforms
+        initializer, initargs = _install_spec, (spec,)
+    processes = max(1, min(n_workers, len(shards)))
+    try:
+        with ctx.Pool(
+            processes=processes, initializer=initializer, initargs=initargs
+        ) as pool:
+            shard_results = pool.map(_run_shard, shards, chunksize=1)
+    finally:
+        if forked:
+            _install_spec(None)  # type: ignore[arg-type]
+    tagged = [pair for result in shard_results for pair in result]
+    tagged.sort(key=lambda pair: pair[0])
+    return [cap for _tag, caps in tagged for cap in caps]
+
+
+def _mining_components(adjacency: Mapping[str, set[str]]) -> list[list[str]]:
+    """Minable components in the serial visit order, members rank-sorted."""
+    order = {sid: i for i, sid in enumerate(sorted(adjacency))}
+    return [
+        sorted(component, key=lambda sid: order[sid])
+        for component in connected_components(adjacency)
+        if len(component) >= 2
+    ]
+
+
+def _try_sharded(
+    mode: str,
+    sensors: Sequence[Sensor],
+    adjacency: Mapping[str, set[str]],
+    evolving: Mapping[str, EvolvingSet],
+    serial_params: MiningParameters,
+    n_workers: int,
+    splittable: bool = True,
+    horizon: int = 0,
+    include_sensors: bool = False,
+    max_component_size: int = 0,
+) -> list[CAP] | None:
+    """Plan and run shards; ``None`` when the serial path should handle it.
+
+    The common scaffolding of all three drivers: shard planning, the
+    not-worth-a-pool fallback decision, spec assembly, pooled execution,
+    and the tag-ordered merge.
+    """
+    components = _mining_components(adjacency)
+    if n_workers <= 1 or not components:
+        return None
+    shards = plan_shards(
+        components, adjacency, evolving, serial_params, n_workers, splittable
+    )
+    if len(shards) <= 1:
+        return None
+    spec = _RunSpec(
+        mode=mode,
+        params=serial_params,
+        adjacency=dict(adjacency),
+        attributes={s.sensor_id: s.attribute for s in sensors},
+        components=components,
+        store=PackedEvolvingStore.pack(evolving),
+        horizon=horizon,
+        sensors=tuple(sensors) if include_sensors else (),
+        max_component_size=max_component_size,
+    )
+    return _run_sharded(spec, shards, n_workers)
+
+
+def parallel_search_all(
+    sensors: Sequence[Sensor],
+    adjacency: Mapping[str, set[str]],
+    evolving: Mapping[str, EvolvingSet],
+    params: MiningParameters,
+) -> list[CAP]:
+    """Sharded tree search; identical output to serial ``search_all``.
+
+    Callers wanting only maximal patterns run
+    :func:`~repro.core.search.filter_maximal` over the returned (merged)
+    list, exactly as with the serial path — filtering per shard would
+    wrongly keep patterns subsumed across shard boundaries.
+    """
+    from .search import dedupe_strongest, search_all
+
+    serial_params = params.with_updates(n_jobs=1)
+    merged = _try_sharded(
+        "search", sensors, adjacency, evolving, serial_params,
+        resolve_jobs(params.n_jobs),
+    )
+    if merged is None:
+        return search_all(sensors, adjacency, evolving, serial_params)
+    return dedupe_strongest(merged)
+
+
+def parallel_search_delayed(
+    sensors: Sequence[Sensor],
+    adjacency: Mapping[str, set[str]],
+    evolving: Mapping[str, EvolvingSet],
+    params: MiningParameters,
+    horizon: int,
+    emit_all_assignments: bool = False,
+) -> list[CAP]:
+    """Sharded delayed search; identical output to serial ``search_delayed``."""
+    from .delayed import finalize_delayed, search_delayed
+
+    serial_params = params.with_updates(n_jobs=1)
+    merged = _try_sharded(
+        "delayed", sensors, adjacency, evolving, serial_params,
+        resolve_jobs(params.n_jobs), horizon=horizon,
+    )
+    if merged is None:
+        return search_delayed(
+            sensors, adjacency, evolving, serial_params, horizon,
+            emit_all_assignments,
+        )
+    return finalize_delayed(merged, emit_all_assignments)
+
+
+def parallel_naive_search(
+    sensors: Sequence[Sensor],
+    adjacency: Mapping[str, set[str]],
+    evolving: Mapping[str, EvolvingSet],
+    params: MiningParameters,
+    max_component_size: int = 20,
+) -> list[CAP]:
+    """Component-sharded naive baseline; identical output to serial."""
+    from .baseline import naive_search
+
+    serial_params = params.with_updates(n_jobs=1)
+    merged = _try_sharded(
+        "naive", sensors, adjacency, evolving, serial_params,
+        resolve_jobs(params.n_jobs), splittable=False, include_sensors=True,
+        max_component_size=max_component_size,
+    )
+    if merged is None:
+        return naive_search(
+            sensors, adjacency, evolving, serial_params, max_component_size
+        )
+    merged.sort(key=lambda c: (-c.support, c.key()))
+    return merged

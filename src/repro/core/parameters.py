@@ -71,6 +71,13 @@ class MiningParameters:
         popcount over packed bitmaps; ``"array"`` keeps the sorted-index
         intersection as the correctness oracle and ablation baseline
         (``benchmarks/bench_ablation_evolving_backend.py``).
+    n_jobs:
+        Worker processes for the CAP search (:mod:`repro.core.parallel`).
+        ``1`` (default) runs today's serial path, ``0`` means one worker
+        per available CPU, ``n > 1`` uses exactly ``n`` workers.  Purely an
+        execution knob: the mined CAPs are identical for every value, so it
+        is excluded from :meth:`to_document` (and therefore from cache
+        keys) while still being accepted by :meth:`from_document`.
     """
 
     evolving_rate: float
@@ -85,6 +92,7 @@ class MiningParameters:
     max_delay: int = 0
     evolving_rate_per_attribute: Mapping[str, float] = field(default_factory=dict)
     evolving_backend: str = "bitset"
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.evolving_rate < 0:
@@ -120,6 +128,10 @@ class MiningParameters:
                 f"evolving_backend must be one of {EVOLVING_BACKENDS}, "
                 f"got {self.evolving_backend!r}"
             )
+        if self.n_jobs < 0:
+            raise ValueError(
+                f"n_jobs must be >= 0 (0 = one worker per CPU), got {self.n_jobs}"
+            )
         for attr, rate in self.evolving_rate_per_attribute.items():
             if rate < 0:
                 raise ValueError(
@@ -143,7 +155,12 @@ class MiningParameters:
     # -- serialisation (cache keys, API payloads) ---------------------------
 
     def to_document(self) -> dict[str, Any]:
-        """Canonical JSON-serialisable form used for cache keys and the API."""
+        """Canonical JSON-serialisable form used for cache keys and the API.
+
+        ``n_jobs`` is deliberately omitted: the parallel engine guarantees
+        identical CAPs for any worker count, so two requests differing only
+        in ``n_jobs`` must share one cache entry.
+        """
         return {
             "evolving_rate": float(self.evolving_rate),
             "distance_threshold": float(self.distance_threshold),
@@ -177,6 +194,7 @@ class MiningParameters:
             "max_delay",
             "evolving_rate_per_attribute",
             "evolving_backend",
+            "n_jobs",
         }
         unknown = set(doc) - known
         if unknown:
@@ -201,5 +219,6 @@ class MiningParameters:
                 self.max_delay,
                 tuple(sorted(self.evolving_rate_per_attribute.items())),
                 self.evolving_backend,
+                self.n_jobs,
             )
         )

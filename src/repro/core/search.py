@@ -44,7 +44,7 @@ from .parameters import MiningParameters
 from .spatial import connected_components
 from .types import CAP, EvolvingSet, Sensor
 
-__all__ = ["search_component", "search_all", "filter_maximal"]
+__all__ = ["search_component", "search_all", "filter_maximal", "dedupe_strongest"]
 
 
 class _SearchContext:
@@ -314,6 +314,7 @@ def search_component(
     attributes: Mapping[str, str],
     evolving: Mapping[str, EvolvingSet],
     params: MiningParameters,
+    seeds: Iterable[str] | None = None,
 ) -> list[CAP]:
     """All CAPs inside one spatially connected sensor set.
 
@@ -330,11 +331,19 @@ def search_component(
     params:
         Mining parameters; ``params.evolving_backend`` selects the
         packed-bitmap fast path or the sorted-array oracle.
+    seeds:
+        Optional subset of the component to use as tree roots.  Each seed's
+        root-level ESU branch is independent of every other seed's, so the
+        parallel engine (:mod:`repro.core.parallel`) splits oversized
+        components into seed runs; ``None`` (default) roots at every member.
     """
     ctx = _SearchContext(adjacency, attributes, evolving, params)
     use_bits = params.evolving_backend == "bitset"
     out: list[CAP] = []
     members = sorted(component, key=lambda sid: ctx.order[sid])
+    if seeds is not None:
+        wanted = set(seeds)
+        members = [sid for sid in members if sid in wanted]
     for seed in members:
         seed_rank = ctx.order[seed]
         seed_evolving = evolving[seed]
@@ -372,29 +381,47 @@ def search_component(
     return out
 
 
+def dedupe_strongest(caps: Iterable[CAP]) -> list[CAP]:
+    """Strongest pattern per sensor set, sorted by (-support, key).
+
+    Direction-aware search can reach one sensor set through both relative
+    orientations; first-seen wins ties, so callers must present CAPs in the
+    serial emission order (components largest-first, seeds in rank order) —
+    the parallel engine's deterministic merge preserves exactly that.
+    """
+    best: dict[tuple[str, ...], CAP] = {}
+    for cap in caps:
+        key = cap.key()
+        if key not in best or cap.support > best[key].support:
+            best[key] = cap
+    out = list(best.values())
+    out.sort(key=lambda c: (-c.support, c.key()))
+    return out
+
+
 def search_all(
     sensors: Sequence[Sensor],
     adjacency: Mapping[str, set[str]],
     evolving: Mapping[str, EvolvingSet],
     params: MiningParameters,
 ) -> list[CAP]:
-    """CAPs across every connected component of the proximity graph."""
+    """CAPs across every connected component of the proximity graph.
+
+    With ``params.n_jobs != 1`` the components are sharded across a process
+    pool (:func:`repro.core.parallel.parallel_search_all`); the result is
+    identical to the serial path for any worker count.
+    """
+    if params.n_jobs != 1:
+        from .parallel import parallel_search_all
+
+        return parallel_search_all(sensors, adjacency, evolving, params)
     attributes = {s.sensor_id: s.attribute for s in sensors}
     caps: list[CAP] = []
     for component in connected_components(adjacency):
         if len(component) < 2:
             continue
         caps.extend(search_component(component, adjacency, attributes, evolving, params))
-    # Direction-aware search can reach one sensor set through both relative
-    # orientations; keep the strongest pattern per set.
-    best: dict[tuple[str, ...], CAP] = {}
-    for cap in caps:
-        key = cap.key()
-        if key not in best or cap.support > best[key].support:
-            best[key] = cap
-    caps = list(best.values())
-    caps.sort(key=lambda c: (-c.support, c.key()))
-    return caps
+    return dedupe_strongest(caps)
 
 
 def filter_maximal(caps: Sequence[CAP]) -> list[CAP]:

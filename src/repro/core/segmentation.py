@@ -20,6 +20,7 @@ are segmented independently; NaNs stay NaN in the reconstruction.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -84,10 +85,105 @@ def _segment_endpoints(values: np.ndarray, start: int, end: int) -> Segment:
     return Segment(start, end, float(values[start]), float(values[end]))
 
 
+class _ResidualHull:
+    """Incremental max-residual oracle for a growing segment.
+
+    The residual of interior point ``j`` against the candidate line from
+    the anchor to ``i`` is ``d_j - s·x_j`` with ``x_j = j - anchor``,
+    ``d_j = values[j] - values[anchor]`` and slope ``s = d_i / x_i``.  For
+    a fixed point set that is a linear functional of ``(x, d)``, so its
+    maximum sits on the upper convex hull and its minimum on the lower
+    hull.  Points arrive with strictly increasing ``x``, so both hulls
+    grow by amortized-O(1) monotone-chain pushes, and each error query
+    locates its extreme vertex by bisecting the (monotone) hull edge
+    slopes — O(log h) instead of re-scanning the whole segment, turning
+    the sliding window's quadratic re-scan into O(n log n) total.
+    """
+
+    __slots__ = ("values", "anchor", "ux", "ud", "uneg", "lx", "ld", "lslope")
+
+    def __init__(self, values: np.ndarray, anchor: int) -> None:
+        self.values = values
+        self.anchor = anchor
+        # Upper hull vertices and negated edge slopes (increasing).
+        self.ux: list[float] = []
+        self.ud: list[float] = []
+        self.uneg: list[float] = []
+        # Lower hull vertices and edge slopes (increasing).
+        self.lx: list[float] = []
+        self.ld: list[float] = []
+        self.lslope: list[float] = []
+
+    def append(self, j: int) -> None:
+        """Add interior point ``j`` to both hulls."""
+        x = float(j - self.anchor)
+        d = float(self.values[j]) - float(self.values[self.anchor])
+        while self.ux:
+            slope = (d - self.ud[-1]) / (x - self.ux[-1])
+            if self.uneg and -slope <= self.uneg[-1]:
+                self.ux.pop()
+                self.ud.pop()
+                self.uneg.pop()
+            else:
+                self.uneg.append(-slope)
+                break
+        self.ux.append(x)
+        self.ud.append(d)
+        while self.lx:
+            slope = (d - self.ld[-1]) / (x - self.lx[-1])
+            if self.lslope and slope <= self.lslope[-1]:
+                self.lx.pop()
+                self.ld.pop()
+                self.lslope.pop()
+            else:
+                self.lslope.append(slope)
+                break
+        self.lx.append(x)
+        self.ld.append(d)
+
+    def _residual_at(
+        self, k_x: float, intercept: float, d_i: float, x_i: float
+    ) -> float:
+        # Evaluate exactly as the full re-scan does — intercept + d·(x/x_i),
+        # in that association — so the residual at the chosen vertex is
+        # bit-identical to the re-scanning implementation's value there.
+        j = self.anchor + int(k_x)
+        return float(self.values[j]) - (intercept + d_i * (k_x / x_i))
+
+    def max_error(self, i: int) -> float:
+        """Max |residual| of the line anchor→``i`` over the interior points."""
+        if i - self.anchor < 2:
+            return 0.0
+        value_a = float(self.values[self.anchor])
+        x_i = float(i - self.anchor)
+        d_i = float(self.values[i]) - value_a
+        s = d_i / x_i
+        # The straight line's last sample is value_a + d_i (not values[i]
+        # bit-for-bit), so mirror the full-recompute endpoint residual.
+        err = abs(float(self.values[i]) - (value_a + d_i))
+        # Max of d - s·x: first upper-hull vertex whose outgoing edge has
+        # slope <= s (edges before it climb faster than the line).
+        k = bisect_left(self.uneg, -s)
+        err = max(err, abs(self._residual_at(self.ux[k], value_a, d_i, x_i)))
+        # Min of d - s·x: first lower-hull vertex whose edge slope >= s.
+        k = bisect_left(self.lslope, s)
+        err = max(err, abs(self._residual_at(self.lx[k], value_a, d_i, x_i)))
+        return err
+
+
 def sliding_window_segmentation(
     values: np.ndarray, max_error: float, offset: int = 0
 ) -> list[Segment]:
     """Online segmentation: extend each segment until the error budget breaks.
+
+    The error check is incremental: interior points feed a pair of convex
+    hulls (:class:`_ResidualHull`) so each step costs O(log segment) and
+    the whole pass O(n log n), where the previous full re-scan from the
+    anchor was quadratic in segment length.  The residual formula is
+    evaluated exactly as the re-scan evaluated it at the hull's extreme
+    vertices, so break points match the re-scanning implementation except
+    when two residuals tie within ~1 ulp of the budget (the hull may then
+    anchor the comparison at the other of the two).
 
     ``offset`` shifts the reported indices (used when segmenting NaN-free
     runs of a longer series).
@@ -100,12 +196,15 @@ def sliding_window_segmentation(
         return [Segment(offset, offset, float(values[0]), float(values[0]))]
     segments: list[Segment] = []
     anchor = 0
+    hull = _ResidualHull(values, anchor)
     i = 1
     while i < n:
-        if _interpolation_error(values, anchor, i) > max_error:
+        if hull.max_error(i) > max_error:
             segments.append(_segment_endpoints(values, anchor, i - 1))
             # Re-anchor at the last in-budget point so segments tile the run.
             anchor = i - 1
+            hull = _ResidualHull(values, anchor)
+        hull.append(i)
         i += 1
     segments.append(_segment_endpoints(values, anchor, n - 1))
     return [_shift(s, offset) for s in segments]

@@ -68,39 +68,84 @@ class GridIndex:
         max_abs_lat = max((abs(s.lat) for s in self.sensors), default=0.0)
         cos_lat = max(math.cos(math.radians(min(max_abs_lat, 89.0))), 1e-6)
         self._dlon = self._dlat / cos_lat
-        self._cells: dict[tuple[int, int], list[int]] = {}
+        # Degree coordinate arrays: a neighbour query gathers its 3×3-cell
+        # candidates by index and computes every haversine in one
+        # vectorized shot instead of a scalar call per candidate.  Degrees
+        # (not pre-converted radians) are kept so the vectorized formula
+        # can mirror :func:`repro.core.types.haversine_km` operation for
+        # operation — radians *of the coordinate differences* — keeping
+        # grid and brute classifications aligned at the η boundary.
+        self._lat_deg = np.array([s.lat for s in self.sensors], dtype=np.float64)
+        self._lon_deg = np.array([s.lon for s in self.sensors], dtype=np.float64)
+        self._lat_rad = np.radians(self._lat_deg)
+        cells: dict[tuple[int, int], list[int]] = {}
         for i, sensor in enumerate(self.sensors):
-            self._cells.setdefault(self._cell(sensor.lat, sensor.lon), []).append(i)
+            cells.setdefault(self._cell(sensor.lat, sensor.lon), []).append(i)
+        self._cells: dict[tuple[int, int], np.ndarray] = {
+            cell: np.array(members, dtype=np.int64)
+            for cell, members in cells.items()
+        }
 
     def _cell(self, lat: float, lon: float) -> tuple[int, int]:
         return (int(math.floor(lat / self._dlat)), int(math.floor(lon / self._dlon)))
 
+    def _candidates(self, lat: float, lon: float) -> np.ndarray:
+        """Sensor indices in the 3×3 cell neighbourhood of a point."""
+        row, col = self._cell(lat, lon)
+        chunks = [
+            members
+            for dr in (-1, 0, 1)
+            for dc in (-1, 0, 1)
+            if (members := self._cells.get((row + dr, col + dc))) is not None
+        ]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def _within(self, lat: float, lon: float, candidates: np.ndarray) -> np.ndarray:
+        """Mask over ``candidates`` of those within η km of the point.
+
+        The vectorized form of :func:`repro.core.types.haversine_km` (same
+        subtraction-before-radians order); numpy's trig may still differ
+        from libm by ~1 ulp, so candidates landing inside a microscopic
+        band around η (≈ 1 µm) are re-checked with the scalar function —
+        the grid classifies *exactly* like the brute-force path, boundary
+        pairs included.
+        """
+        phi1 = math.radians(lat)
+        dphi = np.radians(self._lat_deg[candidates] - lat)
+        dlmb = np.radians(self._lon_deg[candidates] - lon)
+        a = (
+            np.sin(dphi / 2.0) ** 2
+            + math.cos(phi1)
+            * np.cos(self._lat_rad[candidates])
+            * np.sin(dlmb / 2.0) ** 2
+        )
+        distance = 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+        mask = distance <= self.eta_km
+        band = 1e-9 * max(1.0, self.eta_km)
+        for pos in np.flatnonzero(np.abs(distance - self.eta_km) <= band):
+            other = self.sensors[int(candidates[pos])]
+            mask[pos] = (
+                haversine_km(lat, lon, other.lat, other.lon) <= self.eta_km
+            )
+        return mask
+
     def neighbours_within(self, index: int) -> list[int]:
         """Indices of sensors within η km of ``sensors[index]`` (excluding it)."""
         probe = self.sensors[index]
-        row, col = self._cell(probe.lat, probe.lon)
-        found: list[int] = []
-        for dr in (-1, 0, 1):
-            for dc in (-1, 0, 1):
-                for j in self._cells.get((row + dr, col + dc), ()):
-                    if j == index:
-                        continue
-                    other = self.sensors[j]
-                    if haversine_km(probe.lat, probe.lon, other.lat, other.lon) <= self.eta_km:
-                        found.append(j)
-        return found
+        candidates = self._candidates(probe.lat, probe.lon)
+        if not candidates.size:
+            return []
+        keep = self._within(probe.lat, probe.lon, candidates) & (candidates != index)
+        return candidates[keep].tolist()
 
     def query_point(self, lat: float, lon: float) -> list[int]:
         """Indices of sensors within η km of an arbitrary point."""
-        row, col = self._cell(lat, lon)
-        found: list[int] = []
-        for dr in (-1, 0, 1):
-            for dc in (-1, 0, 1):
-                for j in self._cells.get((row + dr, col + dc), ()):
-                    other = self.sensors[j]
-                    if haversine_km(lat, lon, other.lat, other.lon) <= self.eta_km:
-                        found.append(j)
-        return found
+        candidates = self._candidates(lat, lon)
+        if not candidates.size:
+            return []
+        return candidates[self._within(lat, lon, candidates)].tolist()
 
 
 def build_proximity_graph(

@@ -18,7 +18,7 @@ Upload protocol (Section 3.2):
 from __future__ import annotations
 
 import io
-from typing import Any
+from typing import Any, Mapping
 
 from ..cache.cache import ResultCache
 from ..core.miner import MiningResult
@@ -44,6 +44,12 @@ class ServerState:
         self._pending: dict[str, ChunkAssembler] = {}
         self._pending_meta: dict[str, tuple[list, list]] = {}
         self._loaded: dict[str, SensorDataset] = {}
+        # Deserialized mining results memoized per cache key so the
+        # map-click hot path reuses each result's sensor→CAP inverted index
+        # instead of rebuilding the object (and rescanning) per request.
+        # LRU-bounded: a parameter sweep must not pin every result in RAM.
+        self._results: dict[str, MiningResult] = {}
+        self._results_capacity = 32
 
     # -- dataset registry -----------------------------------------------------
 
@@ -69,13 +75,33 @@ class ServerState:
             collection.insert_one(document)
         # Re-uploading under an existing name invalidates its cached CAPs.
         self.cache.invalidate_dataset(dataset.name)
+        self._drop_results(dataset.name)
         self._loaded[dataset.name] = dataset
 
     def delete_dataset(self, name: str) -> bool:
         removed = self.database[_DATASETS].delete_many({"name": name})
         self.cache.invalidate_dataset(name)
+        self._drop_results(name)
         self._loaded.pop(name, None)
         return removed > 0
+
+    def _drop_results(self, dataset_name: str) -> None:
+        self._results = {
+            key: result
+            for key, result in self._results.items()
+            if result.dataset_name != dataset_name
+        }
+
+    def result_from_document(self, document: Mapping[str, Any]) -> MiningResult:
+        """The stored result behind one ``cap_results`` document, memoized."""
+        key = str(document["key"])
+        result = self._results.pop(key, None)
+        if result is None:
+            result = MiningResult.from_document(document["result"])
+        self._results[key] = result  # re-insert: dict order is LRU order
+        while len(self._results) > self._results_capacity:
+            self._results.pop(next(iter(self._results)))
+        return result
 
 
 def register_routes(router: Any, state: ServerState) -> None:
@@ -204,7 +230,7 @@ def register_routes(router: Any, state: ServerState) -> None:
             raise HTTPError(409, f"no mined results for dataset {name!r}; POST /mine first")
         correlated: dict[str, set[str]] = {}
         for doc in documents:
-            result = MiningResult.from_document(doc["result"])
+            result = state.result_from_document(doc)
             for cap in result.caps_containing(sensor_id):
                 for other in cap.sensor_ids:
                     if other != sensor_id:

@@ -1,0 +1,337 @@
+"""The parallel engine's contract: any worker count, identical CAPs.
+
+``MiningParameters.n_jobs`` selects an execution engine, never a result:
+these tests hold :mod:`repro.core.parallel` to byte-identical CAP lists
+(same order, same supports, same evolving indices and delays) against the
+serial path for every search mode — simultaneous, direction-aware, and
+delayed — plus the degenerate shapes the sharder must survive (nothing but
+isolated sensors, and one giant component that forces the seed-split
+path).  The shard planner and the zero-copy evolving-set handoff get unit
+tests of their own.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import naive_search
+from repro.core.evolving import extract_all_evolving
+from repro.core.miner import MiscelaMiner, MiningResult
+from repro.core.parallel import (
+    PackedEvolvingStore,
+    plan_shards,
+    resolve_jobs,
+)
+from repro.core.parameters import MiningParameters
+from repro.core.search import search_all
+from repro.core.spatial import build_proximity_graph, connected_components
+from repro.core.types import EvolvingSet, Sensor, SensorDataset
+
+
+def cap_fingerprint(caps):
+    return [
+        (sorted(c.sensor_ids), sorted(c.attributes), c.support,
+         c.evolving_indices, dict(sorted(c.delays.items())))
+        for c in caps
+    ]
+
+
+def random_dataset(seed: int, n_clusters: int = 3, cluster_size: int = 4,
+                   n_steps: int = 90) -> SensorDataset:
+    """Several ~200 m clusters spaced ~20 km apart (one component each)."""
+    rng = np.random.default_rng(seed)
+    attributes = ["t", "h", "p"]
+    sensors, measurements = [], {}
+    for cluster in range(n_clusters):
+        base_lat = 43.0 + 0.2 * cluster
+        driver = np.where(
+            rng.random(n_steps) < 0.35, rng.choice([-4.0, 4.0], size=n_steps), 0.0
+        ).cumsum()
+        for k in range(cluster_size):
+            sid = f"c{cluster}s{k}"
+            attribute = attributes[int(rng.integers(len(attributes)))]
+            sensors.append(
+                Sensor(sid, attribute,
+                       base_lat + float(rng.uniform(0, 0.002)),
+                       -3.0 + float(rng.uniform(0, 0.002)))
+            )
+            private = np.where(
+                rng.random(n_steps) < 0.15, rng.choice([-4.0, 4.0], size=n_steps), 0.0
+            ).cumsum()
+            measurements[sid] = driver + private + rng.normal(0, 0.1, n_steps)
+    timeline = [datetime(2024, 1, 1) + i * timedelta(hours=1) for i in range(n_steps)]
+    return SensorDataset(f"par-{seed}", timeline, sensors, measurements)
+
+
+def base_params(**overrides) -> MiningParameters:
+    defaults = dict(
+        evolving_rate=2.0, distance_threshold=1.0,
+        max_attributes=3, min_support=3,
+    )
+    defaults.update(overrides)
+    return MiningParameters(**defaults)
+
+
+class TestResolveJobs:
+    def test_explicit_counts_pass_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_zero_means_available_cpus(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            resolve_jobs(-1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            base_params(n_jobs=-2)
+
+
+class TestParametersSerialisation:
+    def test_n_jobs_excluded_from_document(self):
+        """n_jobs never changes the result, so it must not split cache keys."""
+        doc = base_params(n_jobs=4).to_document()
+        assert "n_jobs" not in doc
+        assert doc == base_params().to_document()
+
+    def test_n_jobs_accepted_by_from_document(self):
+        doc = base_params().to_document()
+        doc["n_jobs"] = 4
+        assert MiningParameters.from_document(doc).n_jobs == 4
+
+
+class TestPackedEvolvingStore:
+    def test_round_trip_exact(self):
+        rng = np.random.default_rng(5)
+        evolving = {}
+        for i, n in enumerate((0, 1, 63, 64, 65, 130)):
+            indices = np.flatnonzero(rng.random(n) < 0.4).astype(np.int64)
+            directions = rng.choice(np.array([-1, 1], dtype=np.int8), size=indices.size)
+            evolving[f"s{i}"] = EvolvingSet(indices, directions)
+        store = PackedEvolvingStore.pack(evolving)
+        rebuilt = store.unpack()
+        assert set(rebuilt) == set(evolving)
+        for sid, original in evolving.items():
+            np.testing.assert_array_equal(rebuilt[sid].indices, original.indices)
+            np.testing.assert_array_equal(rebuilt[sid].directions, original.directions)
+            np.testing.assert_array_equal(
+                rebuilt[sid].bits.words, original.bits.words
+            )
+            np.testing.assert_array_equal(rebuilt[sid].bits.dirs, original.bits.dirs)
+
+    def test_bitmaps_are_views_into_flat_buffers(self):
+        """The zero-copy claim: unpacked words share memory with the store."""
+        evolving = {
+            "a": EvolvingSet(np.array([1, 5, 70]), np.array([1, -1, 1], dtype=np.int8)),
+            "b": EvolvingSet(np.array([2, 64]), np.array([1, 1], dtype=np.int8)),
+        }
+        store = PackedEvolvingStore.pack(evolving)
+        rebuilt = store.unpack()
+        for sid in evolving:
+            assert np.shares_memory(rebuilt[sid].bits.words, store.words)
+            assert np.shares_memory(rebuilt[sid].bits.dirs, store.dirs)
+
+
+class TestShardPlanner:
+    def _inputs(self, dataset, params):
+        evolving = extract_all_evolving(dataset, params)
+        adjacency = build_proximity_graph(list(dataset), params.distance_threshold)
+        components = [
+            sorted(c) for c in connected_components(adjacency) if len(c) >= 2
+        ]
+        return adjacency, evolving, components
+
+    def test_units_cover_every_component_exactly_once(self):
+        dataset = random_dataset(1, n_clusters=4)
+        params = base_params()
+        adjacency, evolving, components = self._inputs(dataset, params)
+        shards = plan_shards(components, adjacency, evolving, params, n_workers=3)
+        seen_components = {}
+        for shard in shards:
+            for unit in shard:
+                if unit.seeds is None:
+                    assert unit.component_index not in seen_components
+                    seen_components[unit.component_index] = set(
+                        components[unit.component_index]
+                    )
+                else:
+                    seen_components.setdefault(unit.component_index, set()).update(
+                        unit.seeds
+                    )
+        assert {
+            ci: set(component) for ci, component in enumerate(components)
+        } == seen_components
+
+    def test_giant_component_is_seed_split(self):
+        dataset = random_dataset(2, n_clusters=1, cluster_size=10)
+        params = base_params()
+        adjacency, evolving, components = self._inputs(dataset, params)
+        assert len(components) == 1
+        shards = plan_shards(components, adjacency, evolving, params, n_workers=4)
+        units = [unit for shard in shards for unit in shard]
+        assert len(units) > 1
+        assert all(unit.seeds is not None for unit in units)
+        # The split is a partition of the component in rank runs.
+        all_seeds = [sid for unit in sorted(units, key=lambda u: u.tag)
+                     for sid in unit.seeds]
+        assert all_seeds == components[0]
+
+    def test_loads_are_balanced_not_round_robin(self):
+        dataset = random_dataset(3, n_clusters=6, cluster_size=5)
+        params = base_params()
+        adjacency, evolving, components = self._inputs(dataset, params)
+        shards = plan_shards(components, adjacency, evolving, params, n_workers=3)
+        loads = [sum(unit.cost for unit in shard) for shard in shards]
+        biggest_unit = max(
+            unit.cost for shard in shards for unit in shard
+        )
+        # Greedy LPT bound: no shard exceeds the fair share by more than
+        # one unit.
+        assert max(loads) <= sum(loads) / len(loads) + biggest_unit + 1e-9
+
+    def test_unsplittable_keeps_components_whole(self):
+        dataset = random_dataset(2, n_clusters=1, cluster_size=10)
+        params = base_params()
+        adjacency, evolving, components = self._inputs(dataset, params)
+        shards = plan_shards(
+            components, adjacency, evolving, params, n_workers=4, splittable=False
+        )
+        units = [unit for shard in shards for unit in shard]
+        assert len(units) == 1 and units[0].seeds is None
+
+
+class TestParallelEquivalence:
+    """n_jobs=1 and n_jobs=4 must produce identical CAP lists."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_simultaneous(self, seed):
+        dataset = random_dataset(seed)
+        params = base_params()
+        serial = MiscelaMiner(params).mine(dataset).caps
+        parallel = MiscelaMiner(params.with_updates(n_jobs=4)).mine(dataset).caps
+        assert cap_fingerprint(serial) == cap_fingerprint(parallel)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_direction_aware(self, seed):
+        dataset = random_dataset(seed)
+        params = base_params(direction_aware=True)
+        serial = MiscelaMiner(params).mine(dataset).caps
+        parallel = MiscelaMiner(params.with_updates(n_jobs=4)).mine(dataset).caps
+        assert cap_fingerprint(serial) == cap_fingerprint(parallel)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("delta", [1, 2])
+    def test_delayed(self, seed, delta):
+        dataset = random_dataset(seed, n_clusters=2, cluster_size=3)
+        params = base_params(max_delay=delta)
+        serial = MiscelaMiner(params).mine(dataset).caps
+        parallel = MiscelaMiner(params.with_updates(n_jobs=4)).mine(dataset).caps
+        assert cap_fingerprint(serial) == cap_fingerprint(parallel)
+
+    def test_array_backend(self):
+        dataset = random_dataset(4)
+        params = base_params(evolving_backend="array")
+        serial = MiscelaMiner(params).mine(dataset).caps
+        parallel = MiscelaMiner(params.with_updates(n_jobs=3)).mine(dataset).caps
+        assert cap_fingerprint(serial) == cap_fingerprint(parallel)
+
+    def test_naive_baseline(self):
+        dataset = random_dataset(5, n_clusters=3, cluster_size=4)
+        params = base_params()
+        evolving = extract_all_evolving(dataset, params)
+        adjacency = build_proximity_graph(list(dataset), params.distance_threshold)
+        serial = naive_search(list(dataset), adjacency, evolving, params)
+        parallel = naive_search(
+            list(dataset), adjacency, evolving, params.with_updates(n_jobs=3)
+        )
+        assert cap_fingerprint(serial) == cap_fingerprint(parallel)
+
+    def test_naive_oversized_component_still_raises(self):
+        dataset = random_dataset(2, n_clusters=1, cluster_size=10)
+        params = base_params(n_jobs=3)
+        evolving = extract_all_evolving(dataset, params)
+        adjacency = build_proximity_graph(list(dataset), params.distance_threshold)
+        with pytest.raises(ValueError, match="exceeds the naive"):
+            naive_search(
+                list(dataset), adjacency, evolving, params, max_component_size=4
+            )
+
+    def test_n_jobs_zero_uses_all_cores(self):
+        dataset = random_dataset(0)
+        params = base_params()
+        serial = MiscelaMiner(params).mine(dataset).caps
+        parallel = MiscelaMiner(params.with_updates(n_jobs=0)).mine(dataset).caps
+        assert cap_fingerprint(serial) == cap_fingerprint(parallel)
+
+
+class TestEdgeShapes:
+    def test_only_isolated_sensors(self):
+        """No component reaches size 2: the engine must return [] quietly."""
+        n = 30
+        timeline = [datetime(2024, 1, 1) + i * timedelta(hours=1) for i in range(n)]
+        sensors = [
+            Sensor(f"s{i}", "t", 40.0 + i, -3.0) for i in range(4)
+        ]
+        values = np.where(np.arange(n) % 3 == 0, 5.0, 0.0).cumsum()
+        dataset = SensorDataset(
+            "isolated", timeline, sensors,
+            {s.sensor_id: values.copy() for s in sensors},
+        )
+        params = base_params(n_jobs=4)
+        assert MiscelaMiner(params).mine(dataset).caps == []
+        assert MiscelaMiner(params.with_updates(max_delay=1)).mine(dataset).caps == []
+
+    def test_single_giant_component_seed_split_path(self):
+        """One component, many seeds: the root-branch split must be exact."""
+        dataset = random_dataset(7, n_clusters=1, cluster_size=12, n_steps=80)
+        params = base_params(max_sensors=4)
+        adjacency = build_proximity_graph(list(dataset), params.distance_threshold)
+        assert len([c for c in connected_components(adjacency) if len(c) >= 2]) == 1
+        serial = MiscelaMiner(params).mine(dataset).caps
+        parallel = MiscelaMiner(params.with_updates(n_jobs=4)).mine(dataset).caps
+        assert cap_fingerprint(serial) == cap_fingerprint(parallel)
+
+    def test_empty_evolving_sets_cross_the_boundary(self):
+        n = 70
+        timeline = [datetime(2024, 1, 1) + i * timedelta(hours=1) for i in range(n)]
+        active = np.where(np.arange(n) % 4 == 0, 5.0, 0.0).cumsum()
+        sensors = [
+            Sensor("a", "t", 43.0, -3.0),
+            Sensor("b", "h", 43.0001, -3.0),
+            Sensor("c", "p", 43.0002, -3.0),
+        ]
+        measurements = {
+            "a": active, "b": active.copy(), "c": np.zeros(n),  # c never evolves
+        }
+        dataset = SensorDataset("empty-set", timeline, sensors, measurements)
+        params = base_params(min_support=2)
+        serial = MiscelaMiner(params).mine(dataset).caps
+        parallel = MiscelaMiner(params.with_updates(n_jobs=2)).mine(dataset).caps
+        assert cap_fingerprint(serial) == cap_fingerprint(parallel)
+        assert serial  # a+b must co-evolve
+
+
+class TestMiningResultIndex:
+    def test_caps_containing_matches_linear_scan(self):
+        dataset = random_dataset(1)
+        params = base_params()
+        result = MiscelaMiner(params).mine(dataset)
+        assert result.caps
+        for sid in dataset.sensor_ids:
+            indexed = result.caps_containing(sid)
+            scanned = [cap for cap in result.caps if sid in cap.sensor_ids]
+            assert indexed == scanned
+
+    def test_index_survives_document_round_trip(self):
+        dataset = random_dataset(1)
+        result = MiscelaMiner(base_params()).mine(dataset)
+        replayed = MiningResult.from_document(result.to_document())
+        sid = next(iter(result.caps[0].sensor_ids))
+        assert cap_fingerprint(replayed.caps_containing(sid)) == cap_fingerprint(
+            result.caps_containing(sid)
+        )

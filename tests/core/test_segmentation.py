@@ -98,6 +98,71 @@ class TestAlgorithmsCommon:
         assert len(segs) >= 2  # the peak cannot be one straight line
 
 
+class TestSlidingWindowIncremental:
+    """The convex-hull error oracle must match a full re-scan per step."""
+
+    @staticmethod
+    def _rescanning_reference(values, max_error, offset=0):
+        """The pre-optimisation sliding window: full residual per step."""
+        from repro.core.segmentation import (
+            _interpolation_error,
+            _segment_endpoints,
+            _shift,
+        )
+
+        values = np.asarray(values, dtype=np.float64)
+        n = values.shape[0]
+        if n == 0:
+            return []
+        if n == 1:
+            return [Segment(offset, offset, float(values[0]), float(values[0]))]
+        segments = []
+        anchor = 0
+        i = 1
+        while i < n:
+            if _interpolation_error(values, anchor, i) > max_error:
+                segments.append(_segment_endpoints(values, anchor, i - 1))
+                anchor = i - 1
+            i += 1
+        segments.append(_segment_endpoints(values, anchor, n - 1))
+        return [_shift(s, offset) for s in segments]
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("max_error", [0.0, 0.3, 1.5, 8.0])
+    def test_matches_rescanning_reference(self, seed, max_error):
+        rng = np.random.default_rng(seed)
+        kind = seed % 3
+        n = int(rng.integers(2, 150))
+        if kind == 0:
+            values = np.cumsum(rng.normal(0, 1, n))
+        elif kind == 1:
+            values = np.arange(n, dtype=float) * rng.uniform(-2, 2) + rng.normal(
+                0, 0.05, n
+            )
+        else:
+            values = np.where(
+                rng.random(n) < 0.2, rng.choice([-5.0, 5.0], n), 0.0
+            ).cumsum()
+        assert sliding_window_segmentation(values, max_error) == \
+            self._rescanning_reference(values, max_error)
+
+    def test_constant_series_single_segment(self):
+        values = np.full(100, 3.25)
+        segs = sliding_window_segmentation(values, 0.0)
+        assert len(segs) == 1 and segs[0].start == 0 and segs[0].end == 99
+
+    def test_long_segment_is_linear_time(self):
+        """A 5k-point near-line must finish instantly (was quadratic)."""
+        import time
+
+        values = np.arange(5000, dtype=float) * 0.5
+        start = time.perf_counter()
+        segs = sliding_window_segmentation(values, 1.0)
+        elapsed = time.perf_counter() - start
+        assert segs[0].start == 0 and segs[-1].end == 4999
+        assert elapsed < 1.0  # the re-scanning version took tens of seconds
+
+
 class TestSegmentSeries:
     def test_rejects_none_method(self):
         with pytest.raises(ValueError, match="real method"):

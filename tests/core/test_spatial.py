@@ -57,6 +57,26 @@ class TestGridIndex:
         found = index.query_point(40.0, 0.0)
         assert 0 in found
 
+    def test_query_point_matches_scalar_oracle(self):
+        """The batched haversine must agree with per-candidate distances."""
+        rng = np.random.default_rng(11)
+        sensors = [
+            Sensor(f"s{i}", "t", 40.0 + rng.uniform(-0.1, 0.1), 3.0 + rng.uniform(-0.1, 0.1))
+            for i in range(50)
+        ]
+        eta = 2.5
+        index = GridIndex(sensors, eta)
+        probe = Sensor("probe", "t", 40.02, 3.01)
+        expected = {
+            j for j, other in enumerate(sensors)
+            if probe.distance_km(other) <= eta
+        }
+        assert set(index.query_point(probe.lat, probe.lon)) == expected
+
+    def test_query_far_from_all_cells_is_empty(self):
+        index = GridIndex(line_of_sensors(5), 1.0)
+        assert index.query_point(-40.0, 90.0) == []
+
     def test_invalid_eta(self):
         with pytest.raises(ValueError):
             GridIndex(line_of_sensors(2), 0.0)
