@@ -1,7 +1,8 @@
 """Run the Miscela-V API server (the paper's Figure-2 architecture).
 
-Starts the WSGI app under ``wsgiref``, uploads the synthetic Santander
-dataset through the chunked protocol, and prints the curl-able endpoints.
+Starts the WSGI app under the threaded ``wsgiref`` server, uploads the
+synthetic Santander dataset through the chunked protocol, and prints the
+curl-able endpoints.
 
 Run:
     python examples/interactive_server.py [port]
@@ -14,16 +15,24 @@ Then, from another shell:
        "max_attributes": 3, "min_support": 10}}'
     curl localhost:8000/viz/santander/map > map.html
     curl localhost:8000/admin/stats
+
+Long mines need not block the map — submit asynchronously and poll:
+
+    curl -X POST localhost:8000/mine -d '{"dataset": "santander", \
+      "mode": "async", "parameters": {"evolving_rate": 3.0, \
+      "distance_threshold": 0.35, "max_attributes": 3, "min_support": 10}}'
+    curl localhost:8000/jobs                      # all jobs
+    curl localhost:8000/jobs/<job_id>             # status + progress + result
+    curl -X POST localhost:8000/jobs/<job_id>/cancel
 """
 
 from __future__ import annotations
 
 import sys
-from wsgiref.simple_server import make_server
 
 from repro import generate_santander
 from repro.server import TestClient, create_app
-from repro.server.http import wsgi_adapter
+from repro.server.http import make_threaded_server, wsgi_adapter
 
 
 def main(port: int = 8000) -> None:
@@ -37,13 +46,15 @@ def main(port: int = 8000) -> None:
     print(f"pre-loaded dataset 'santander' "
           f"({len(dataset)} sensors, {dataset.num_records} records)")
 
-    server = make_server("127.0.0.1", port, wsgi_adapter(app))
+    # Thread-per-request: job polls and map clicks answer during a mine.
+    server = make_threaded_server("127.0.0.1", port, wsgi_adapter(app))
     print(f"Miscela-V API listening on http://127.0.0.1:{port}")
     print("try:  curl localhost:%d/          (route index)" % port)
     print("      curl localhost:%d/datasets" % port)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        app.close()
         print("\nbye")
 
 

@@ -31,6 +31,8 @@ from .cache import LRUPolicy, NoEviction, ResultCache, TTLPolicy, cache_key
 from .core import (
     CAP,
     EvolvingSet,
+    MiningCancelled,
+    MiningControl,
     MiningParameters,
     MiningResult,
     MiscelaMiner,
@@ -54,6 +56,7 @@ from .data import (
     recommended_parameters,
     write_dataset_dir,
 )
+from .jobs import Job, JobQueue, JobStore
 from .server import TestClient, create_app, create_wsgi_app
 from .store import Database
 from .viz import (
@@ -73,7 +76,12 @@ __all__ = [
     "DATASET_NAMES",
     "Database",
     "EvolvingSet",
+    "Job",
+    "JobQueue",
+    "JobStore",
     "LRUPolicy",
+    "MiningCancelled",
+    "MiningControl",
     "MiningParameters",
     "MiningResult",
     "MiscelaMiner",

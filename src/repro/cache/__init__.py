@@ -2,7 +2,7 @@
 
 from .cache import CacheStats, ResultCache
 from .eviction import EvictionPolicy, LRUPolicy, NoEviction, TTLPolicy
-from .keys import cache_key, canonical_payload
+from .keys import cache_key, canonical_payload, short_key
 
 __all__ = [
     "CacheStats",
@@ -13,4 +13,5 @@ __all__ = [
     "TTLPolicy",
     "cache_key",
     "canonical_payload",
+    "short_key",
 ]

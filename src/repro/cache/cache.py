@@ -14,10 +14,12 @@ outcome.  Statistics (hits/misses/evictions) feed the caching benchmark.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
 from ..core.miner import MiningResult, MiscelaMiner
+from ..core.parallel import MiningControl
 from ..core.parameters import MiningParameters
 from ..core.types import SensorDataset
 from ..store.database import Database
@@ -52,6 +54,11 @@ class ResultCache:
         self.database = database
         self.policy: EvictionPolicy = policy if policy is not None else NoEviction()
         self.stats = CacheStats()
+        # The threaded server and the async job executor hit one cache from
+        # several threads; Collection writes are multi-step (id counter,
+        # index maintenance), so every store access serializes here.  Mining
+        # itself (``mine_cached``'s miss path) runs outside the lock.
+        self._lock = threading.RLock()
         collection = database.collection(_COLLECTION)
         collection.create_index("key", "hash")
         collection.create_index("payload.dataset", "hash")
@@ -61,16 +68,17 @@ class ResultCache:
     def get(self, dataset_name: str, params: MiningParameters) -> MiningResult | None:
         """The cached result for (dataset, params), or None."""
         key = cache_key(dataset_name, params)
-        if not self.policy.on_hit(key):
-            # Policy says expired: drop the stored document too.
-            self._delete_key(key)
-            self.stats.misses += 1
-            return None
-        document = self.database[_COLLECTION].find_one({"key": key})
-        if document is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
+        with self._lock:
+            if not self.policy.on_hit(key):
+                # Policy says expired: drop the stored document too.
+                self._delete_key(key)
+                self.stats.misses += 1
+                return None
+            document = self.database[_COLLECTION].find_one({"key": key})
+            if document is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
         return MiningResult.from_document(document["result"])
 
     def put(self, result: MiningResult) -> str:
@@ -81,14 +89,20 @@ class ResultCache:
             "payload": canonical_payload(result.dataset_name, result.parameters),
             "result": result.to_document(),
         }
-        collection = self.database[_COLLECTION]
-        if collection.replace_one({"key": key}, document) is None:
-            collection.insert_one(document)
-        for victim in self.policy.on_store(key):
-            if victim != key:
-                self._delete_key(victim)
-                self.stats.evictions += 1
+        with self._lock:
+            collection = self.database[_COLLECTION]
+            if collection.replace_one({"key": key}, document) is None:
+                collection.insert_one(document)
+            for victim in self.policy.on_store(key):
+                if victim != key:
+                    self._delete_key(victim)
+                    self.stats.evictions += 1
         return key
+
+    def delete_key(self, key: str) -> None:
+        """Drop one cached result by key (stale-result reconciliation)."""
+        with self._lock:
+            self._delete_key(key)
 
     def _delete_key(self, key: str) -> None:
         self.database[_COLLECTION].delete_many({"key": key})
@@ -101,30 +115,39 @@ class ResultCache:
         dataset: SensorDataset,
         params: MiningParameters,
         miner_factory: Callable[[MiningParameters], MiscelaMiner] = MiscelaMiner,
+        control: MiningControl | None = None,
     ) -> MiningResult:
         """Return cached CAPs when available, otherwise mine and cache.
 
         Note the cache key uses the *dataset name*, like the paper — callers
         re-uploading different data under the same name must call
         :meth:`invalidate_dataset` first (the upload handler does).
+
+        ``control`` is forwarded to the miner (progress + cooperative
+        cancellation, see :class:`~repro.core.parallel.MiningControl`); a
+        cancelled run stores nothing.  Only passed along when set, so custom
+        ``miner_factory`` objects without the parameter keep working.
         """
         cached = self.get(dataset.name, params)
         if cached is not None:
             return cached
-        result = MiscelaMiner(params).mine(dataset) if miner_factory is MiscelaMiner \
-            else miner_factory(params).mine(dataset)
+        miner = MiscelaMiner(params) if miner_factory is MiscelaMiner \
+            else miner_factory(params)
+        result = miner.mine(dataset, control=control) if control is not None \
+            else miner.mine(dataset)
         self.put(result)
         return result
 
     def invalidate_dataset(self, dataset_name: str) -> int:
         """Drop every cached result for one dataset (after re-upload)."""
-        collection = self.database[_COLLECTION]
-        victims = collection.find({"payload.dataset": dataset_name})
-        for document in victims:
-            self.policy.on_evict(document["key"])
-        removed = collection.delete_many({"payload.dataset": dataset_name})
-        self.stats.invalidations += removed
-        return removed
+        with self._lock:
+            collection = self.database[_COLLECTION]
+            victims = collection.find({"payload.dataset": dataset_name})
+            for document in victims:
+                self.policy.on_evict(document["key"])
+            removed = collection.delete_many({"payload.dataset": dataset_name})
+            self.stats.invalidations += removed
+            return removed
 
     def __len__(self) -> int:
         return len(self.database[_COLLECTION])

@@ -14,7 +14,7 @@ from typing import Any, Mapping
 
 from ..core.parameters import MiningParameters
 
-__all__ = ["canonical_payload", "cache_key"]
+__all__ = ["canonical_payload", "cache_key", "short_key"]
 
 
 def canonical_payload(dataset_name: str, params: MiningParameters) -> dict[str, Any]:
@@ -29,3 +29,14 @@ def cache_key(dataset_name: str, params: MiningParameters) -> str:
     payload = canonical_payload(dataset_name, params)
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def short_key(key: str, length: int = 10) -> str:
+    """A display-friendly prefix of a cache key (job ids, log lines).
+
+    Purely cosmetic — dedup and storage always use the full key; the prefix
+    only makes identifiers derived from it readable.
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    return key[:length]

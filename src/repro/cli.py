@@ -16,6 +16,7 @@ Examples::
     repro-miscela inventory
     repro-miscela generate santander --seed 7 --out ./santander_csv
     repro-miscela mine --dataset santander --min-support 10 --json caps.json
+    repro-miscela mine --dataset china6 --async --watch
     repro-miscela report --dataset china6 --out report.html
     repro-miscela sweep --dataset santander --parameter min_support \\
         --values 2,5,10,20 --svg sweep.svg
@@ -144,6 +145,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_param_flags(p_mine)
     p_mine.add_argument("--json", help="write CAPs to this JSON file")
     p_mine.add_argument("--top", type=int, default=10, help="rows to print")
+    p_mine.add_argument(
+        "--async", dest="asynchronous", action="store_true",
+        help="run through the job queue (submit, then poll until done)",
+    )
+    p_mine.add_argument(
+        "--watch", action="store_true",
+        help="with --async: print job state/progress while polling",
+    )
+    p_mine.add_argument(
+        "--poll-interval", dest="poll_interval", type=float, default=0.2,
+        metavar="SECONDS", help="with --async: delay between status polls",
+    )
 
     p_rep = sub.add_parser("report", help="mine and write the Figure-3 HTML report")
     _add_dataset_flags(p_rep)
@@ -170,6 +183,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--store", help="JSON snapshot path for persistence")
     p_srv.add_argument("--preload", action="store_true",
                        help="pre-upload synthetic santander")
+    p_srv.add_argument("--job-workers", dest="job_workers", type=int, default=2,
+                       help="async mining executor width (POST /mine mode=async)")
 
     return parser
 
@@ -187,10 +202,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_mine(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args)
-    params = _params_from_args(args, dataset.name)
-    result = MiscelaMiner(params).mine(dataset)
+def _print_mine_result(result, params: MiningParameters, args: argparse.Namespace) -> None:
     print(f"{result.num_caps} CAPs in {result.elapsed_seconds:.3f}s "
           f"(ε={params.evolving_rate}, η={params.distance_threshold}, "
           f"μ={params.max_attributes}, ψ={params.min_support})")
@@ -209,6 +221,72 @@ def cmd_mine(args: argparse.Namespace) -> int:
             json.dumps([cap.to_document() for cap in result.caps], indent=2)
         )
         print(f"wrote {args.json}")
+
+
+def _mine_async(dataset: SensorDataset, params: MiningParameters,
+                args: argparse.Namespace) -> int:
+    """Submit-and-poll mode: the job queue runs the mine, we watch it."""
+    import time
+
+    from .cache.keys import cache_key
+    from .jobs import FAILED, SUCCEEDED, TERMINAL_STATES, JobQueue
+
+    queue = JobQueue(width=1)
+    miner = MiscelaMiner(params)
+    outcome: dict = {}
+
+    def runner(control):
+        outcome["result"] = miner.mine(dataset, control=control)
+        return cache_key(dataset.name, params)
+
+    job, _created = queue.submit(
+        dataset.name, params.to_document(), cache_key(dataset.name, params), runner
+    )
+    print(f"submitted {job.job_id} (dataset={dataset.name})")
+    last_line = ""
+    try:
+        while True:
+            snapshot = queue.get(job.job_id)
+            assert snapshot is not None
+            if args.watch:
+                line = (f"[{snapshot.job_id}] {snapshot.state} "
+                        f"{snapshot.progress:.0%} "
+                        f"({snapshot.shards_done}/{snapshot.shards_total} shards)")
+                if line != last_line:
+                    print(line)
+                    last_line = line
+            if snapshot.state in TERMINAL_STATES:
+                break
+            time.sleep(args.poll_interval)
+    except KeyboardInterrupt:
+        from .jobs import JobStateError
+
+        try:
+            queue.cancel(job.job_id)
+            print(f"cancel requested for {job.job_id}; waiting for the checkpoint...")
+        except JobStateError:
+            pass  # finished between the last poll and the interrupt
+        queue.shutdown(wait=True)
+        print(f"{job.job_id} {queue.get(job.job_id).state}")
+        return 130
+    queue.shutdown(wait=True)
+    final = queue.get(job.job_id)
+    if final.state == FAILED:
+        raise SystemExit(f"job {final.job_id} failed: "
+                         f"{final.error.type}: {final.error.message}")
+    if final.state != SUCCEEDED:
+        raise SystemExit(f"job {final.job_id} ended {final.state}")
+    _print_mine_result(outcome["result"], params, args)
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    params = _params_from_args(args, dataset.name)
+    if args.asynchronous:
+        return _mine_async(dataset, params, args)
+    result = MiscelaMiner(params).mine(dataset)
+    _print_mine_result(result, params, args)
     return 0
 
 
@@ -274,23 +352,27 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from wsgiref.simple_server import make_server
-
     from .server.app import TestClient, create_app
-    from .server.http import wsgi_adapter
+    from .server.http import make_threaded_server, wsgi_adapter
     from .store.database import Database
 
     database = Database(args.store) if args.store else None
-    app = create_app(database, with_logging=True)
+    app = create_app(database, with_logging=True, job_workers=args.job_workers)
     if args.preload:
         dataset = generate("santander", seed=7)
         response = TestClient(app).upload_dataset(dataset)
         print(f"pre-loaded santander: {response.status}")
-    server = make_server("127.0.0.1", args.port, wsgi_adapter(app))
-    print(f"Miscela-V API on http://127.0.0.1:{args.port} (Ctrl-C to stop)")
+    # Threaded server: status polls and map clicks stay responsive while a
+    # mine runs (async on the job executor, or sync on a request thread).
+    server = make_threaded_server("127.0.0.1", args.port, wsgi_adapter(app))
+    print(f"Miscela-V API on http://127.0.0.1:{args.port} "
+          f"(threaded, {args.job_workers} job workers; Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        # Wait for the workers: running jobs cancel at their next checkpoint,
+        # and the snapshot below must not race a result write.
+        app.close(wait=True)
         if args.store:
             app.state.database.save()
             print(f"saved store to {args.store}")

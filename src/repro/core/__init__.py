@@ -6,6 +6,8 @@ from .delayed import delayed_support, search_delayed
 from .evolving import co_evolution_count, extract_all_evolving, extract_evolving
 from .miner import MiningResult, MiscelaMiner, NaiveMiner
 from .parallel import (
+    MiningCancelled,
+    MiningControl,
     PackedEvolvingStore,
     ShardUnit,
     estimate_seed_cost,
@@ -43,6 +45,8 @@ __all__ = [
     "EVOLVING_BACKENDS",
     "EvolvingSet",
     "GridIndex",
+    "MiningCancelled",
+    "MiningControl",
     "MiningParameters",
     "MiningResult",
     "MiscelaMiner",

@@ -23,6 +23,7 @@ from typing import Mapping, Sequence
 from .baseline import naive_search
 from .delayed import search_delayed
 from .evolving import extract_all_evolving
+from .parallel import MiningControl, parallel_search_all, parallel_search_delayed
 from .parameters import MiningParameters
 from .search import search_all
 from .spatial import build_proximity_graph, connected_components
@@ -131,23 +132,47 @@ class MiscelaMiner:
         self.params = params
         self.spatial_method = spatial_method
 
-    def mine(self, dataset: SensorDataset) -> MiningResult:
-        """Run the four MISCELA steps over a dataset."""
+    def mine(
+        self, dataset: SensorDataset, control: MiningControl | None = None
+    ) -> MiningResult:
+        """Run the four MISCELA steps over a dataset.
+
+        ``control`` (optional) makes the run observable and cancellable: the
+        search reports per-shard/per-component progress through it and polls
+        it for cooperative cancellation, raising
+        :class:`~repro.core.parallel.MiningCancelled` at the next checkpoint
+        when requested.  The mined CAPs are identical with or without one.
+        """
         start = time.perf_counter()
+        if control is not None:
+            control.checkpoint()
         evolving = extract_all_evolving(dataset, self.params)
+        if control is not None:
+            control.checkpoint()
         adjacency = build_proximity_graph(
             list(dataset), self.params.distance_threshold, self.spatial_method
         )
+        sensors = list(dataset)
         if self.params.max_delay > 0:
-            caps = search_delayed(
-                list(dataset),
-                adjacency,
-                evolving,
-                self.params,
-                horizon=dataset.num_timestamps,
-            )
+            if control is None:
+                caps = search_delayed(
+                    sensors,
+                    adjacency,
+                    evolving,
+                    self.params,
+                    horizon=dataset.num_timestamps,
+                )
+            else:
+                caps = parallel_search_delayed(
+                    sensors, adjacency, evolving, self.params,
+                    dataset.num_timestamps, control=control,
+                )
+        elif control is None:
+            caps = search_all(sensors, adjacency, evolving, self.params)
         else:
-            caps = search_all(list(dataset), adjacency, evolving, self.params)
+            caps = parallel_search_all(
+                sensors, adjacency, evolving, self.params, control=control
+            )
         elapsed = time.perf_counter() - start
         return MiningResult(
             dataset_name=dataset.name,

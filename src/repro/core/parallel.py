@@ -47,7 +47,7 @@ import math
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -58,6 +58,8 @@ from .types import CAP, EvolvingSet, Sensor
 
 __all__ = [
     "resolve_jobs",
+    "MiningCancelled",
+    "MiningControl",
     "PackedEvolvingStore",
     "ShardUnit",
     "estimate_seed_cost",
@@ -66,6 +68,47 @@ __all__ = [
     "parallel_search_delayed",
     "parallel_naive_search",
 ]
+
+
+class MiningCancelled(RuntimeError):
+    """Raised inside a mining run when its controller requests cancellation.
+
+    Cancellation is cooperative: the engine polls
+    :meth:`MiningControl.checkpoint` between independent work units (between
+    shard completions on the pooled path, between components on the serial
+    path), never mid-component — so a cancelled run leaves no partially
+    merged output behind.
+    """
+
+
+@dataclass
+class MiningControl:
+    """Driver-side hooks a long mining run reports to.
+
+    The async job subsystem (:mod:`repro.jobs`) threads one of these into
+    :meth:`repro.core.miner.MiscelaMiner.mine`; anything else that wants
+    progress bars or cancellable mining can do the same.
+
+    Parameters
+    ----------
+    progress:
+        Called as ``progress(done, total)`` after each completed work unit
+        (component shard).  ``done`` only ever grows.
+    should_cancel:
+        Polled between work units; returning ``True`` makes the engine raise
+        :class:`MiningCancelled` at the next checkpoint.
+    """
+
+    progress: Callable[[int, int], None] | None = None
+    should_cancel: Callable[[], bool] | None = None
+
+    def report(self, done: int, total: int) -> None:
+        if self.progress is not None and total > 0:
+            self.progress(done, total)
+
+    def checkpoint(self) -> None:
+        if self.should_cancel is not None and self.should_cancel():
+            raise MiningCancelled("mining run cancelled by its controller")
 
 #: Shards per worker: more shards than workers lets the pool's dynamic
 #: scheduling absorb cost-model estimation error.
@@ -365,9 +408,19 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 def _run_sharded(
-    spec: _RunSpec, shards: list[list[ShardUnit]], n_workers: int
+    spec: _RunSpec,
+    shards: list[list[ShardUnit]],
+    n_workers: int,
+    control: MiningControl | None = None,
 ) -> list[CAP]:
-    """Run shards on a pool and merge in serial emission order."""
+    """Run shards on a pool and merge in serial emission order.
+
+    With a ``control``, shards stream back as they finish
+    (``imap_unordered`` — the merge re-sorts by tag, so completion order
+    never affects output), progress is reported per completed shard, and
+    cancellation is checked between completions; a cancel tears the pool
+    down via ``Pool.__exit__``'s ``terminate()``.
+    """
     ctx = _pool_context()
     forked = ctx.get_start_method() == "fork"
     if forked:
@@ -381,13 +434,74 @@ def _run_sharded(
         with ctx.Pool(
             processes=processes, initializer=initializer, initargs=initargs
         ) as pool:
-            shard_results = pool.map(_run_shard, shards, chunksize=1)
+            if control is None:
+                shard_results = pool.map(_run_shard, shards, chunksize=1)
+            else:
+                control.checkpoint()
+                shard_results = []
+                for result in pool.imap_unordered(_run_shard, shards):
+                    shard_results.append(result)
+                    control.report(len(shard_results), len(shards))
+                    control.checkpoint()
     finally:
         if forked:
             _install_spec(None)  # type: ignore[arg-type]
     tagged = [pair for result in shard_results for pair in result]
     tagged.sort(key=lambda pair: pair[0])
     return [cap for _tag, caps in tagged for cap in caps]
+
+
+def _run_serial_components(
+    mode: str,
+    sensors: Sequence[Sensor],
+    adjacency: Mapping[str, set[str]],
+    evolving: Mapping[str, EvolvingSet],
+    params: MiningParameters,
+    components: list[list[str]],
+    control: MiningControl,
+    horizon: int = 0,
+    max_component_size: int = 0,
+) -> list[CAP]:
+    """In-process component loop with per-component progress/cancellation.
+
+    The controllable twin of the serial fallback: each component runs whole,
+    in serial emission order, so the concatenated output is exactly a
+    one-unit-per-component sharded run (callers apply the same post-pass as
+    for the pooled merge).  Used when a control is attached but the run is
+    not worth a process pool.
+    """
+    from .baseline import naive_search
+    from .delayed import search_delayed_component
+    from .search import search_component
+
+    attributes = {s.sensor_id: s.attribute for s in sensors}
+    order = {sid: i for i, sid in enumerate(sorted(adjacency))}
+    out: list[CAP] = []
+    control.checkpoint()
+    for done, component in enumerate(components, start=1):
+        if mode == "search":
+            out.extend(
+                search_component(component, adjacency, attributes, evolving, params)
+            )
+        elif mode == "delayed":
+            out.extend(
+                search_delayed_component(
+                    component, adjacency, attributes, evolving, params, horizon,
+                    order=order,
+                )
+            )
+        else:
+            keep = set(component)
+            members = [s for s in sensors if s.sensor_id in keep]
+            out.extend(
+                naive_search(
+                    members, subgraph(adjacency, component), evolving, params,
+                    max_component_size=max_component_size,
+                )
+            )
+        control.report(done, len(components))
+        control.checkpoint()
+    return out
 
 
 def _mining_components(adjacency: Mapping[str, set[str]]) -> list[list[str]]:
@@ -411,21 +525,33 @@ def _try_sharded(
     horizon: int = 0,
     include_sensors: bool = False,
     max_component_size: int = 0,
+    control: MiningControl | None = None,
 ) -> list[CAP] | None:
     """Plan and run shards; ``None`` when the serial path should handle it.
 
     The common scaffolding of all three drivers: shard planning, the
     not-worth-a-pool fallback decision, spec assembly, pooled execution,
-    and the tag-ordered merge.
+    and the tag-ordered merge.  With a ``control`` attached, runs that are
+    not worth a pool still go through the controllable in-process component
+    loop (:func:`_run_serial_components`) so progress and cancellation work
+    at every worker count.
     """
     components = _mining_components(adjacency)
-    if n_workers <= 1 or not components:
+    if not components:
         return None
-    shards = plan_shards(
-        components, adjacency, evolving, serial_params, n_workers, splittable
-    )
-    if len(shards) <= 1:
-        return None
+    use_pool = n_workers > 1
+    if use_pool:
+        shards = plan_shards(
+            components, adjacency, evolving, serial_params, n_workers, splittable
+        )
+        use_pool = len(shards) > 1
+    if not use_pool:
+        if control is None:
+            return None
+        return _run_serial_components(
+            mode, sensors, adjacency, evolving, serial_params, components,
+            control, horizon=horizon, max_component_size=max_component_size,
+        )
     spec = _RunSpec(
         mode=mode,
         params=serial_params,
@@ -437,7 +563,7 @@ def _try_sharded(
         sensors=tuple(sensors) if include_sensors else (),
         max_component_size=max_component_size,
     )
-    return _run_sharded(spec, shards, n_workers)
+    return _run_sharded(spec, shards, n_workers, control)
 
 
 def parallel_search_all(
@@ -445,6 +571,7 @@ def parallel_search_all(
     adjacency: Mapping[str, set[str]],
     evolving: Mapping[str, EvolvingSet],
     params: MiningParameters,
+    control: MiningControl | None = None,
 ) -> list[CAP]:
     """Sharded tree search; identical output to serial ``search_all``.
 
@@ -458,7 +585,7 @@ def parallel_search_all(
     serial_params = params.with_updates(n_jobs=1)
     merged = _try_sharded(
         "search", sensors, adjacency, evolving, serial_params,
-        resolve_jobs(params.n_jobs),
+        resolve_jobs(params.n_jobs), control=control,
     )
     if merged is None:
         return search_all(sensors, adjacency, evolving, serial_params)
@@ -472,6 +599,7 @@ def parallel_search_delayed(
     params: MiningParameters,
     horizon: int,
     emit_all_assignments: bool = False,
+    control: MiningControl | None = None,
 ) -> list[CAP]:
     """Sharded delayed search; identical output to serial ``search_delayed``."""
     from .delayed import finalize_delayed, search_delayed
@@ -479,7 +607,7 @@ def parallel_search_delayed(
     serial_params = params.with_updates(n_jobs=1)
     merged = _try_sharded(
         "delayed", sensors, adjacency, evolving, serial_params,
-        resolve_jobs(params.n_jobs), horizon=horizon,
+        resolve_jobs(params.n_jobs), horizon=horizon, control=control,
     )
     if merged is None:
         return search_delayed(
@@ -495,6 +623,7 @@ def parallel_naive_search(
     evolving: Mapping[str, EvolvingSet],
     params: MiningParameters,
     max_component_size: int = 20,
+    control: MiningControl | None = None,
 ) -> list[CAP]:
     """Component-sharded naive baseline; identical output to serial."""
     from .baseline import naive_search
@@ -503,7 +632,7 @@ def parallel_naive_search(
     merged = _try_sharded(
         "naive", sensors, adjacency, evolving, serial_params,
         resolve_jobs(params.n_jobs), splittable=False, include_sensors=True,
-        max_component_size=max_component_size,
+        max_component_size=max_component_size, control=control,
     )
     if merged is None:
         return naive_search(

@@ -1,0 +1,41 @@
+"""Asynchronous mining jobs: queue, store, executor, lifecycle model.
+
+The serving tier's answer to long mines (ROADMAP's "async server offload"):
+``POST /mine mode=async`` opens a :class:`Job` here, a background executor
+thread drives the parallel engine, and the interactive endpoints keep
+answering while it runs.  See ``DESIGN.md`` ("Async job queue") for the
+state machine, cancellation points, and dedup semantics.
+"""
+
+from .executor import JobExecutor, run_job
+from .model import (
+    CANCELLED,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    Job,
+    JobError,
+    JobStateError,
+)
+from .queue import JobQueue
+from .store import JobStore
+
+__all__ = [
+    "CANCELLED",
+    "FAILED",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "TERMINAL_STATES",
+    "Job",
+    "JobError",
+    "JobExecutor",
+    "JobQueue",
+    "JobStateError",
+    "JobStore",
+    "run_job",
+]

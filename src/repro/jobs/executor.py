@@ -1,0 +1,76 @@
+"""The background executor: worker threads driving mining runs.
+
+A thin wrapper over :class:`concurrent.futures.ThreadPoolExecutor` —
+threads, not processes, because the heavy lifting already happens in the
+PR 2 process pool (:mod:`repro.core.parallel`): the job thread is the
+*driver* of that pool (or of the in-process component loop), spending its
+life waiting on shard completions, so a handful of threads oversees many
+cores without oversubscription.
+
+:func:`run_job` is the worker-side wrapper around one run: it performs the
+``queued → running`` transition, wires a
+:class:`~repro.core.parallel.MiningControl` to the store (progress ticks in,
+cancellation polls out), and maps the outcome onto the state machine —
+return value → ``succeeded``, :class:`MiningCancelled` → ``cancelled``, any
+other exception → ``failed`` with structured capture.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable
+
+from ..core.parallel import MiningCancelled, MiningControl
+from .model import QUEUED
+from .store import JobStore
+
+__all__ = ["JobExecutor", "run_job"]
+
+#: ``runner(control) -> result_key | None`` — the unit of work a job runs.
+JobRunner = Callable[[MiningControl], "str | None"]
+
+
+def run_job(store: JobStore, job_id: str, runner: JobRunner) -> None:
+    """Execute one job end to end, recording its lifecycle in ``store``."""
+    job = store.get(job_id)
+    if job is None or job.state != QUEUED:
+        # Cancelled (or otherwise finished) before this worker picked it up.
+        return
+    try:
+        store.mark_running(job_id)
+    except Exception:
+        # Lost the race with an immediate cancel between the check above
+        # and the transition; the job is terminal, nothing to run.
+        return
+    control = MiningControl(
+        progress=lambda done, total: store.set_progress(job_id, done, total),
+        should_cancel=lambda: store.cancel_requested(job_id),
+    )
+    try:
+        result_key = runner(control)
+    except MiningCancelled:
+        store.mark_cancelled(job_id)
+    except BaseException as exc:  # noqa: BLE001 - capture, never kill the worker
+        store.mark_failed(job_id, exc)
+    else:
+        store.mark_succeeded(job_id, result_key=result_key)
+
+
+class JobExecutor:
+    """A fixed-width pool of job-driver threads."""
+
+    def __init__(self, width: int = 2) -> None:
+        if width < 1:
+            raise ValueError(f"executor width must be >= 1, got {width}")
+        self.width = width
+        self._pool = ThreadPoolExecutor(
+            max_workers=width, thread_name_prefix="mining-job"
+        )
+
+    def submit(self, store: JobStore, job_id: str, runner: JobRunner) -> Future:
+        """Queue one job for execution; returns the underlying future."""
+        return self._pool.submit(run_job, store, job_id, runner)
+
+    def shutdown(self, wait: bool = False) -> None:
+        """Stop accepting work; pending queued futures are dropped."""
+        self._pool.shutdown(wait=wait, cancel_futures=True)

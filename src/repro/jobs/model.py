@@ -1,0 +1,158 @@
+"""Job model: lifecycle states, the transition table, structured errors.
+
+A *job* is one asynchronous mining run.  Its lifecycle is a small state
+machine::
+
+                      ┌──────────► cancelled
+                      │                ▲
+    queued ────► running ────► succeeded
+                      │
+                      └───────► failed
+
+``queued → cancelled`` is the immediate path (the job never started, so no
+cooperation is needed); ``running → cancelled`` is cooperative — the worker
+raises :class:`~repro.core.parallel.MiningCancelled` at the engine's next
+shard/component checkpoint.  Terminal states never transition again.
+
+Everything here is plain data; the thread-safety lives in
+:class:`~repro.jobs.store.JobStore`.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "FAILED",
+    "CANCELLED",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobStateError",
+    "JobError",
+    "Job",
+    "ensure_transition",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Every state, in lifecycle order (the ``GET /jobs?status=`` vocabulary).
+JOB_STATES = (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, CANCELLED})
+
+_TRANSITIONS: dict[str, frozenset[str]] = {
+    QUEUED: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({SUCCEEDED, FAILED, CANCELLED}),
+    SUCCEEDED: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+
+class JobStateError(ValueError):
+    """An illegal lifecycle transition (e.g. cancelling a finished job)."""
+
+
+def ensure_transition(old: str, new: str) -> None:
+    """Validate one state-machine edge; raises :class:`JobStateError`."""
+    if new not in _TRANSITIONS.get(old, frozenset()):
+        raise JobStateError(f"illegal job transition {old!r} -> {new!r}")
+
+
+@dataclass
+class JobError:
+    """Structured capture of a failed run (what ``GET /jobs/{id}`` shows)."""
+
+    type: str
+    message: str
+    traceback: str | None = None
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "JobError":
+        return cls(
+            type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+    def to_document(self) -> dict[str, Any]:
+        return {"type": self.type, "message": self.message, "traceback": self.traceback}
+
+
+@dataclass
+class Job:
+    """One asynchronous mining run and everything the API reports about it.
+
+    Attributes
+    ----------
+    job_id:
+        ``job-<seq>-<key prefix>`` — unique per store, prefix readable.
+    dataset, parameters:
+        What is being mined (parameters as their canonical document form).
+    key:
+        The result cache key of (dataset, parameters) — dedup identity and,
+        on success, where the result landed in ``cap_results``.
+    state:
+        One of :data:`JOB_STATES`.
+    progress:
+        Monotone fraction in [0, 1]; 1.0 exactly once succeeded.
+    shards_done, shards_total:
+        The progress fraction's numerator/denominator (component shards).
+    created_at, started_at, finished_at:
+        Epoch seconds; ``None`` until the phase is reached.
+    cancel_requested:
+        Set by ``POST /jobs/{id}/cancel``; the running worker polls it.
+    error:
+        Structured failure capture, only in the ``failed`` state.
+    result_key:
+        Cache key the stored result is retrievable under (success only;
+        equals ``key`` for mining jobs).
+    """
+
+    job_id: str
+    dataset: str
+    parameters: dict[str, Any]
+    key: str
+    created_at: float
+    state: str = QUEUED
+    progress: float = 0.0
+    shards_done: int = 0
+    shards_total: int = 0
+    started_at: float | None = None
+    finished_at: float | None = None
+    cancel_requested: bool = False
+    error: JobError | None = None
+    result_key: str | None = None
+    #: Insertion-order sequence number (stable ``GET /jobs`` ordering).
+    sequence: int = field(default=0, repr=False)
+
+    def to_document(self) -> dict[str, Any]:
+        """JSON-serialisable form — the ``GET /jobs/{id}`` payload core."""
+        return {
+            "job_id": self.job_id,
+            "dataset": self.dataset,
+            "parameters": self.parameters,
+            "key": self.key,
+            "state": self.state,
+            "progress": self.progress,
+            "shards_done": self.shards_done,
+            "shards_total": self.shards_total,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error.to_document() if self.error else None,
+            "result_key": self.result_key,
+        }

@@ -1,0 +1,87 @@
+"""The job queue facade: submit, cancel, observe.
+
+:class:`JobQueue` is what the server and CLI talk to — it composes the
+registry (:class:`~repro.jobs.store.JobStore`) with the background executor
+(:class:`~repro.jobs.executor.JobExecutor`) and owns the dedup rule:
+submissions are identified by the *result cache key* of their
+(dataset, parameters) pair, the same canonical hash Section 3.3 caches
+results under, so "identical job already in flight" and "result already
+cached" are decided by one piece of machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .executor import JobExecutor, JobRunner
+from .model import Job, JobStateError
+from .store import JobStore
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Asynchronous mining jobs: dedup'd submission over a thread pool."""
+
+    def __init__(
+        self,
+        store: JobStore | None = None,
+        executor: JobExecutor | None = None,
+        width: int = 2,
+    ) -> None:
+        self.store = store if store is not None else JobStore()
+        self.executor = executor if executor is not None else JobExecutor(width)
+
+    def submit(
+        self,
+        dataset: str,
+        parameters: Mapping[str, Any],
+        key: str,
+        runner: JobRunner,
+    ) -> tuple[Job, bool]:
+        """Submit a mining run; returns ``(job, created)``.
+
+        ``created=False`` means an identical job (same cache ``key``) was
+        already queued or running and is returned instead — the runner is
+        *not* scheduled again.  ``runner(control)`` executes on an executor
+        thread and returns the cache key its result was stored under.
+        """
+        job, created = self.store.open_job(dataset, parameters, key)
+        if created:
+            self.executor.submit(self.store, job.job_id, runner)
+        return job, created
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation (immediate when queued, cooperative when
+        running); raises ``KeyError`` for unknown ids and
+        :class:`~repro.jobs.model.JobStateError` for finished jobs."""
+        return self.store.request_cancel(job_id)
+
+    def get(self, job_id: str) -> Job | None:
+        return self.store.get(job_id)
+
+    def list(self, status: str | None = None) -> list[Job]:
+        return self.store.list(status)
+
+    def counters(self) -> dict[str, int]:
+        counts: dict[str, Any] = self.store.counters()
+        counts["executor_width"] = self.executor.width
+        return counts
+
+    def shutdown(self, wait: bool = False) -> None:
+        """Stop the queue: cancel every non-terminal job, stop the executor.
+
+        Cancelling first matters — running mines abort at their next
+        checkpoint instead of holding the (non-daemon) worker threads, so a
+        Ctrl-C on the server exits promptly rather than waiting out an
+        in-flight search.
+        """
+        from .model import TERMINAL_STATES
+
+        for job in self.store.list():
+            if job.state not in TERMINAL_STATES:
+                try:
+                    self.store.request_cancel(job.job_id)
+                except JobStateError:
+                    pass  # finished between the list and the cancel
+        self.executor.shutdown(wait=wait)

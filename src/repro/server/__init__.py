@@ -2,7 +2,14 @@
 
 from .app import App, TestClient, create_app, create_wsgi_app
 from .handlers import ServerState, register_routes
-from .http import HTTPError, Request, Response, html_response, json_response
+from .http import (
+    HTTPError,
+    Request,
+    Response,
+    html_response,
+    json_response,
+    make_threaded_server,
+)
 from .middleware import body_limit_middleware, error_middleware, logging_middleware
 from .routing import Route, Router
 
@@ -22,5 +29,6 @@ __all__ = [
     "html_response",
     "json_response",
     "logging_middleware",
+    "make_threaded_server",
     "register_routes",
 ]

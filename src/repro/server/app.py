@@ -36,11 +36,23 @@ class App:
     def __call__(self, request: Request) -> Response:
         return self._handler(request)
 
+    def close(self, wait: bool = False) -> None:
+        """Stop the background job executor (pending queued jobs dropped).
+
+        ``wait=True`` blocks until the worker threads exit — bounded,
+        because shutdown cancels running jobs first and they abort at their
+        next checkpoint.  Required before ``Database.save``: a snapshot
+        taken while a worker is still writing a result would iterate a
+        mutating collection.
+        """
+        self.state.jobs.shutdown(wait=wait)
+
 
 def create_app(
     database: Database | None = None,
     body_limit: int = DEFAULT_BODY_LIMIT,
     with_logging: bool = False,
+    job_workers: int = 2,
 ) -> App:
     """Build the Miscela-V API application.
 
@@ -53,8 +65,12 @@ def create_app(
         Maximum request body size (enforces the chunked-upload protocol).
     with_logging:
         Attach the request-logging middleware.
+    job_workers:
+        Width of the async mining executor (``POST /mine mode=async``).
+        Each worker is a *driver* thread — the mining itself may fan out
+        further through ``MiningParameters.n_jobs``.
     """
-    state = ServerState(database)
+    state = ServerState(database, job_workers=job_workers)
     router = Router()
     register_routes(router, state)
     handler: Callable[[Request], Response] = router.dispatch

@@ -18,14 +18,18 @@ Upload protocol (Section 3.2):
 from __future__ import annotations
 
 import io
+import threading
 from typing import Any, Mapping
 
 from ..cache.cache import ResultCache
-from ..core.miner import MiningResult
+from ..cache.keys import cache_key
+from ..core.miner import MiningResult, MiscelaMiner
 from ..core.parameters import MiningParameters
 from ..core.types import SensorDataset
 from ..data.csv_io import ChunkAssembler, read_attribute_csv, read_location_csv
 from ..data.documents import dataset_from_document, dataset_to_document
+from ..core.parallel import MiningCancelled
+from ..jobs import TERMINAL_STATES, Job, JobQueue, JobStateError
 from ..store.database import Database
 from .http import HTTPError, Request, Response, html_response, json_response
 
@@ -35,12 +39,22 @@ _DATASETS = "datasets"
 
 
 class ServerState:
-    """Shared state behind the handlers: store, cache, pending uploads."""
+    """Shared state behind the handlers: store, cache, uploads, job queue.
 
-    def __init__(self, database: Database | None = None) -> None:
+    With the threaded WSGI server and the background job executor, handlers
+    run concurrently; ``self.lock`` guards the in-memory mutable state
+    (dataset registry caches, the memoized-result LRU).  Mining itself never
+    holds the lock — only the bookkeeping around it does.
+    """
+
+    def __init__(
+        self, database: Database | None = None, job_workers: int = 2
+    ) -> None:
         self.database = database if database is not None else Database()
         self.cache = ResultCache(self.database)
         self.database.collection(_DATASETS).create_index("name", "hash")
+        self.lock = threading.RLock()
+        self.jobs = JobQueue(width=job_workers)
         self._pending: dict[str, ChunkAssembler] = {}
         self._pending_meta: dict[str, tuple[list, list]] = {}
         self._loaded: dict[str, SensorDataset] = {}
@@ -50,6 +64,9 @@ class ServerState:
         # LRU-bounded: a parameter sweep must not pin every result in RAM.
         self._results: dict[str, MiningResult] = {}
         self._results_capacity = 32
+        # Bumped on every re-upload/delete; async jobs snapshot it at submit
+        # and refuse to publish a result mined from superseded data.
+        self._generations: dict[str, int] = {}
 
     # -- dataset registry -----------------------------------------------------
 
@@ -59,31 +76,52 @@ class ServerState:
         )
 
     def get_dataset(self, name: str) -> SensorDataset:
-        if name in self._loaded:
-            return self._loaded[name]
+        with self.lock:
+            if name in self._loaded:
+                return self._loaded[name]
         document = self.database[_DATASETS].find_one({"name": name})
         if document is None:
             raise HTTPError(404, f"unknown dataset {name!r}")
         dataset = dataset_from_document(document["dataset"])
-        self._loaded[name] = dataset
+        with self.lock:
+            self._loaded[name] = dataset
         return dataset
 
     def put_dataset(self, dataset: SensorDataset) -> None:
-        collection = self.database[_DATASETS]
-        document = {"name": dataset.name, "dataset": dataset_to_document(dataset)}
-        if collection.replace_one({"name": dataset.name}, document) is None:
-            collection.insert_one(document)
-        # Re-uploading under an existing name invalidates its cached CAPs.
-        self.cache.invalidate_dataset(dataset.name)
-        self._drop_results(dataset.name)
-        self._loaded[dataset.name] = dataset
+        with self.lock:
+            collection = self.database[_DATASETS]
+            document = {"name": dataset.name, "dataset": dataset_to_document(dataset)}
+            if collection.replace_one({"name": dataset.name}, document) is None:
+                collection.insert_one(document)
+            # Re-uploading under an existing name invalidates its cached CAPs.
+            self.cache.invalidate_dataset(dataset.name)
+            self._drop_results(dataset.name)
+            self._loaded[dataset.name] = dataset
+            self._generations[dataset.name] = self._generations.get(dataset.name, 0) + 1
+        self._cancel_dataset_jobs(dataset.name)
 
     def delete_dataset(self, name: str) -> bool:
-        removed = self.database[_DATASETS].delete_many({"name": name})
-        self.cache.invalidate_dataset(name)
-        self._drop_results(name)
-        self._loaded.pop(name, None)
+        with self.lock:
+            removed = self.database[_DATASETS].delete_many({"name": name})
+            self.cache.invalidate_dataset(name)
+            self._drop_results(name)
+            self._loaded.pop(name, None)
+            self._generations[name] = self._generations.get(name, 0) + 1
+        self._cancel_dataset_jobs(name)
         return removed > 0
+
+    def _cancel_dataset_jobs(self, dataset_name: str) -> None:
+        """In-flight jobs for a replaced/deleted dataset are obsolete."""
+        for job in self.jobs.list():
+            if job.dataset == dataset_name and job.state not in TERMINAL_STATES:
+                try:
+                    self.jobs.cancel(job.job_id)
+                except (KeyError, JobStateError):
+                    pass  # finished in the meantime — the generation check below catches it
+
+    def dataset_generation(self, name: str) -> int:
+        with self.lock:
+            return self._generations.get(name, 0)
 
     def _drop_results(self, dataset_name: str) -> None:
         self._results = {
@@ -95,13 +133,66 @@ class ServerState:
     def result_from_document(self, document: Mapping[str, Any]) -> MiningResult:
         """The stored result behind one ``cap_results`` document, memoized."""
         key = str(document["key"])
-        result = self._results.pop(key, None)
-        if result is None:
-            result = MiningResult.from_document(document["result"])
-        self._results[key] = result  # re-insert: dict order is LRU order
-        while len(self._results) > self._results_capacity:
-            self._results.pop(next(iter(self._results)))
-        return result
+        with self.lock:
+            result = self._results.pop(key, None)
+            if result is not None:
+                self._results[key] = result  # re-insert: dict order is LRU order
+                return result
+        # Deserialize outside the lock — it can be slow for big results.
+        result = MiningResult.from_document(document["result"])
+        with self.lock:
+            self._results.setdefault(key, result)
+            while len(self._results) > self._results_capacity:
+                self._results.pop(next(iter(self._results)))
+            return self._results[key]
+
+    # -- async mining jobs ------------------------------------------------------
+
+    def submit_mine_job(
+        self, dataset: SensorDataset, params: MiningParameters
+    ) -> tuple[Job, bool]:
+        """Open (or dedup onto) the async mining job for (dataset, params).
+
+        The runner executes on an executor thread and funnels its result
+        through the exact sync path — :meth:`ResultCache.mine_cached` — so
+        async-mined CAPs land in the same ``cap_results`` documents (and
+        the same memoized-deserialization path) that ``GET /results`` and
+        map clicks read.
+
+        A re-upload or delete of the dataset while the job is in flight
+        makes the captured dataset object stale: :meth:`put_dataset` /
+        :meth:`delete_dataset` bump the dataset's generation and request
+        cancellation of its jobs, and the runner checks the generation
+        *before publishing* (so CAPs mined from replaced data normally
+        never reach the cache) plus once more after, withdrawing the entry
+        if a re-upload slipped between check and put.  Either way the job
+        ends ``cancelled``, never serving superseded data.
+        """
+        key = cache_key(dataset.name, params)
+        generation = self.dataset_generation(dataset.name)
+
+        def check_current() -> None:
+            if self.dataset_generation(dataset.name) != generation:
+                raise MiningCancelled(
+                    f"dataset {dataset.name!r} was replaced while mining"
+                )
+
+        def runner(control) -> str:
+            cached = self.cache.get(dataset.name, params)
+            if cached is None:
+                miner = MiscelaMiner(params)
+                result = miner.mine(dataset, control=control)
+                check_current()  # never publish a superseded result
+                self.cache.put(result)
+                try:
+                    check_current()
+                except MiningCancelled:
+                    # Re-upload interleaved with the put: withdraw it.
+                    self.cache.delete_key(key)
+                    raise
+            return key
+
+        return self.jobs.submit(dataset.name, params.to_document(), key, runner)
 
 
 def register_routes(router: Any, state: ServerState) -> None:
@@ -190,13 +281,66 @@ def register_routes(router: Any, state: ServerState) -> None:
             raise HTTPError(400, "expected a JSON object")
         if "dataset" not in payload or "parameters" not in payload:
             raise HTTPError(400, "body must contain 'dataset' and 'parameters'")
+        mode = str(payload.get("mode") or request.param("mode") or "sync")
+        if mode not in ("sync", "async"):
+            raise HTTPError(400, f"mode must be 'sync' or 'async', got {mode!r}")
         dataset = state.get_dataset(str(payload["dataset"]))
         try:
             params = MiningParameters.from_document(payload["parameters"])
         except (ValueError, TypeError) as exc:
             raise HTTPError(400, f"invalid parameters: {exc}") from exc
+        if mode == "async":
+            job, created = state.submit_mine_job(dataset, params)
+            return json_response(
+                {
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "deduplicated": not created,
+                },
+                status=202,
+            )
         result = state.cache.mine_cached(dataset, params)
         return json_response(_result_payload(result))
+
+    # -- async jobs (submit via POST /mine mode=async) -----------------------------
+
+    @router.get("/jobs")
+    def list_jobs(request: Request) -> Response:
+        status = request.param("status")
+        try:
+            jobs = state.jobs.list(status)
+        except JobStateError as exc:
+            raise HTTPError(400, str(exc)) from exc
+        return json_response({"jobs": [job.to_document() for job in jobs]})
+
+    @router.get("/jobs/{job_id}")
+    def job_status(request: Request) -> Response:
+        job_id = request.path_params["job_id"]
+        job = state.jobs.get(job_id)
+        if job is None:
+            raise HTTPError(404, f"unknown job {job_id!r}")
+        document = job.to_document()
+        if job.result_key is not None:
+            stored = state.database["cap_results"].find_one({"key": job.result_key})
+            if stored is not None:
+                # Rendered through the same memoized deserialization the
+                # sync cache-hit path uses, so the payload is byte-identical
+                # to ``POST /mine`` for the same (dataset, parameters).
+                document["result"] = _result_payload(
+                    state.result_from_document(stored)
+                )
+        return json_response(document)
+
+    @router.post("/jobs/{job_id}/cancel")
+    def job_cancel(request: Request) -> Response:
+        job_id = request.path_params["job_id"]
+        try:
+            job = state.jobs.cancel(job_id)
+        except KeyError as exc:
+            raise HTTPError(404, f"unknown job {job_id!r}") from exc
+        except JobStateError as exc:
+            raise HTTPError(409, str(exc)) from exc
+        return json_response(job.to_document())
 
     @router.get("/caps/{dataset}")
     def cached_results(request: Request) -> Response:
@@ -343,6 +487,7 @@ def register_routes(router: Any, state: ServerState) -> None:
                     "evictions": state.cache.stats.evictions,
                     "hit_rate": state.cache.stats.hit_rate,
                 },
+                "jobs": state.jobs.counters(),
             }
         )
 

@@ -20,6 +20,7 @@ __all__ = ["Request", "Response", "HTTPError", "json_response", "wsgi_adapter"]
 _STATUS_TEXT = {
     200: "OK",
     201: "Created",
+    202: "Accepted",
     204: "No Content",
     400: "Bad Request",
     404: "Not Found",
@@ -143,4 +144,24 @@ def wsgi_adapter(handler: Handler) -> Callable[..., Iterable[bytes]]:
     return application
 
 
+def make_threaded_server(host: str, port: int, wsgi_app: Callable[..., Iterable[bytes]]):
+    """A ``wsgiref`` server that handles each request on its own thread.
+
+    The stock ``make_server`` is single-threaded: one long ``POST /mine``
+    freezes every map click until mining finishes.  Mixing in
+    :class:`socketserver.ThreadingMixIn` gives a thread per request, so
+    job-status polls and visualization requests are answered while a mine
+    runs (sync on a request thread, or async on the job executor).  Daemon
+    threads: in-flight requests don't block interpreter exit on Ctrl-C.
+    """
+    from socketserver import ThreadingMixIn
+    from wsgiref.simple_server import WSGIServer, make_server
+
+    class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+        daemon_threads = True
+
+    return make_server(host, port, wsgi_app, server_class=ThreadingWSGIServer)
+
+
 __all__.append("html_response")
+__all__.append("make_threaded_server")

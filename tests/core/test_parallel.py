@@ -21,6 +21,8 @@ from repro.core.baseline import naive_search
 from repro.core.evolving import extract_all_evolving
 from repro.core.miner import MiscelaMiner, MiningResult
 from repro.core.parallel import (
+    MiningCancelled,
+    MiningControl,
     PackedEvolvingStore,
     plan_shards,
     resolve_jobs,
@@ -335,3 +337,61 @@ class TestMiningResultIndex:
         assert cap_fingerprint(replayed.caps_containing(sid)) == cap_fingerprint(
             result.caps_containing(sid)
         )
+
+
+class TestMiningControl:
+    """The control hooks: identical CAPs, monotone progress, prompt cancel."""
+
+    def test_serial_control_path_identical(self):
+        dataset = random_dataset(3)
+        params = base_params()  # n_jobs=1: the in-process component loop
+        plain = MiscelaMiner(params).mine(dataset).caps
+        ticks: list[tuple[int, int]] = []
+        controlled = MiscelaMiner(params).mine(
+            dataset, control=MiningControl(progress=lambda d, t: ticks.append((d, t)))
+        ).caps
+        assert cap_fingerprint(plain) == cap_fingerprint(controlled)
+        # One tick per component, counting up to completion.
+        assert ticks == [(i + 1, len(ticks)) for i in range(len(ticks))]
+        assert ticks[-1][0] == ticks[-1][1]
+
+    def test_pooled_control_path_identical(self):
+        dataset = random_dataset(3)
+        params = base_params()
+        plain = MiscelaMiner(params).mine(dataset).caps
+        ticks: list[tuple[int, int]] = []
+        controlled = MiscelaMiner(params.with_updates(n_jobs=4)).mine(
+            dataset, control=MiningControl(progress=lambda d, t: ticks.append((d, t)))
+        ).caps
+        assert cap_fingerprint(plain) == cap_fingerprint(controlled)
+        assert ticks and ticks[-1][0] == ticks[-1][1]
+        assert [d for d, _t in ticks] == list(range(1, len(ticks) + 1))
+
+    def test_delayed_control_path_identical(self):
+        dataset = random_dataset(1, n_clusters=2, cluster_size=3)
+        params = base_params(max_delay=1)
+        plain = MiscelaMiner(params).mine(dataset).caps
+        controlled = MiscelaMiner(params).mine(
+            dataset, control=MiningControl(progress=lambda d, t: None)
+        ).caps
+        assert cap_fingerprint(plain) == cap_fingerprint(controlled)
+
+    def test_cancellation_raises(self):
+        dataset = random_dataset(3)
+        control = MiningControl(should_cancel=lambda: True)
+        with pytest.raises(MiningCancelled):
+            MiscelaMiner(base_params()).mine(dataset, control=control)
+
+    def test_cancellation_mid_run_stops_between_components(self):
+        dataset = random_dataset(3)
+        seen: list[int] = []
+
+        def progress(done: int, total: int) -> None:
+            seen.append(done)
+
+        control = MiningControl(
+            progress=progress, should_cancel=lambda: len(seen) >= 1
+        )
+        with pytest.raises(MiningCancelled):
+            MiscelaMiner(base_params()).mine(dataset, control=control)
+        assert len(seen) == 1  # stopped at the first post-component checkpoint

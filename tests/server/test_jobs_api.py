@@ -1,0 +1,341 @@
+"""Async mining over the API: submit → poll → result parity, cancellation.
+
+The contract under test is the ISSUE-3 acceptance criteria: while an async
+mine runs, status polls and visualization requests are answered; progress
+only ever grows, ending at 1.0; and the completed job's result payload is
+byte-identical to what sync ``POST /mine`` returns for the same
+(dataset, parameters) — because both are served from the same cache
+document through the same memoized deserialization.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.miner import MiningResult, MiscelaMiner
+from repro.data.datasets import recommended_parameters
+from repro.data.synthetic import generate_santander
+from repro.jobs import TERMINAL_STATES
+from repro.server.app import TestClient, create_app
+
+PARAMS = recommended_parameters("santander").to_document()
+TIMEOUT = 60.0
+
+
+@pytest.fixture
+def dataset():
+    return generate_santander(seed=2, neighbourhoods=4, steps=240)
+
+
+@pytest.fixture
+def client(dataset):
+    app = create_app()
+    client = TestClient(app)
+    response = client.upload_dataset(dataset, chunk_lines=1000)
+    assert response.status == 201, response.json()
+    yield client
+    app.close()
+
+
+def submit_async(client, params=PARAMS) -> str:
+    response = client.post(
+        "/mine",
+        json_body={"dataset": "santander", "parameters": params, "mode": "async"},
+    )
+    assert response.status == 202, response.json()
+    payload = response.json()
+    assert payload["job_id"]
+    return payload["job_id"]
+
+
+def poll_until_terminal(client, job_id: str, timeout: float = TIMEOUT) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        doc = client.get(f"/jobs/{job_id}").json()
+        if doc["state"] in TERMINAL_STATES:
+            return doc
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} still {doc['state']} after {timeout}s")
+
+
+class SlowMine:
+    """A monkeypatched ``MiscelaMiner.mine``: cooperative, step-by-step.
+
+    Reports ``steps`` progress ticks through the control and pauses at a
+    checkpoint between each, so tests can observe a mid-flight job and
+    cancel it deterministically.
+    """
+
+    def __init__(self, steps: int = 50, delay: float = 0.05):
+        self.steps = steps
+        self.delay = delay
+        self.started = threading.Event()
+
+    def __call__(self, miner, dataset, control=None):
+        self.started.set()
+        for step in range(1, self.steps + 1):
+            if control is not None:
+                control.checkpoint()
+                control.report(step, self.steps)
+            time.sleep(self.delay)
+        return MiningResult(
+            dataset_name=dataset.name, parameters=miner.params, caps=[]
+        )
+
+
+class TestSubmitPollResult:
+    def test_async_result_matches_sync_byte_for_byte(self, client):
+        job_id = submit_async(client)
+        final = poll_until_terminal(client, job_id)
+        assert final["state"] == "succeeded", final.get("error")
+        assert final["progress"] == 1.0
+        assert "result" in final
+        sync = client.post(
+            "/mine", json_body={"dataset": "santander", "parameters": PARAMS}
+        )
+        assert sync.status == 200
+        assert json.dumps(final["result"], sort_keys=True) == json.dumps(
+            sync.json(), sort_keys=True
+        )
+        assert final["result"]["num_caps"] > 0
+
+    def test_async_result_lands_in_the_shared_cache(self, client):
+        job_id = submit_async(client)
+        poll_until_terminal(client, job_id)
+        # The cached-results listing and map-click lookup see the async CAPs
+        # exactly as if they had been mined synchronously.
+        listing = client.get("/caps/santander").json()
+        assert len(listing["cached_results"]) == 1
+        sensor = client.get(f"/jobs/{job_id}").json()["result"]["caps"][0]["sensors"][0]
+        clicked = client.get(f"/caps/santander/sensors/{sensor}")
+        assert clicked.status == 200
+        assert clicked.json()["correlated"]
+
+    def test_progress_is_monotone_and_completes(self, client, monkeypatch):
+        slow = SlowMine(steps=12, delay=0.01)
+        monkeypatch.setattr(MiscelaMiner, "mine", lambda s, d, control=None: slow(s, d, control))
+        job_id = submit_async(client)
+        seen: list[float] = []
+        deadline = time.monotonic() + TIMEOUT
+        while time.monotonic() < deadline:
+            doc = client.get(f"/jobs/{job_id}").json()
+            seen.append(doc["progress"])
+            if doc["state"] in TERMINAL_STATES:
+                break
+            time.sleep(0.01)
+        assert doc["state"] == "succeeded"
+        assert seen == sorted(seen), f"progress regressed: {seen}"
+        assert seen[-1] == 1.0
+        assert len(set(seen)) > 2  # actually observed intermediate fractions
+
+    def test_submit_returns_before_mining_finishes(self, client, monkeypatch):
+        slow = SlowMine(steps=200, delay=0.05)
+        monkeypatch.setattr(MiscelaMiner, "mine", lambda s, d, control=None: slow(s, d, control))
+        started = time.perf_counter()
+        job_id = submit_async(client)
+        submit_latency = time.perf_counter() - started
+        assert submit_latency < 2.0  # 202 comes back immediately, not after 10s
+        doc = client.get(f"/jobs/{job_id}").json()
+        assert doc["state"] in ("queued", "running")
+        # Interactive endpoints answer while the mine is in flight.
+        assert client.get("/viz/santander/map").status == 200
+        assert client.get("/admin/stats").json()["jobs"]["running"] == 1
+        assert client.post(f"/jobs/{job_id}/cancel").status == 200
+        assert poll_until_terminal(client, job_id)["state"] == "cancelled"
+
+    def test_sync_mode_unchanged(self, client):
+        response = client.post(
+            "/mine", json_body={"dataset": "santander", "parameters": PARAMS}
+        )
+        assert response.status == 200
+        payload = response.json()
+        assert payload["num_caps"] == len(payload["caps"]) > 0
+        assert not payload["from_cache"]
+
+    def test_bad_mode_rejected(self, client):
+        response = client.post(
+            "/mine",
+            json_body={"dataset": "santander", "parameters": PARAMS, "mode": "nope"},
+        )
+        assert response.status == 400
+
+    def test_unknown_dataset_rejected_at_submit(self, client):
+        response = client.post(
+            "/mine",
+            json_body={"dataset": "ghost", "parameters": PARAMS, "mode": "async"},
+        )
+        assert response.status == 404
+
+
+class TestDedup:
+    def test_identical_inflight_submission_reuses_job(self, client, monkeypatch):
+        slow = SlowMine(steps=200, delay=0.05)
+        monkeypatch.setattr(MiscelaMiner, "mine", lambda s, d, control=None: slow(s, d, control))
+        first = submit_async(client)
+        response = client.post(
+            "/mine",
+            json_body={"dataset": "santander", "parameters": PARAMS, "mode": "async"},
+        )
+        assert response.status == 202
+        assert response.json()["job_id"] == first
+        assert response.json()["deduplicated"] is True
+        # n_jobs is an execution knob, not an identity: it must dedup too.
+        tweaked = dict(PARAMS, n_jobs=4)
+        again = client.post(
+            "/mine",
+            json_body={"dataset": "santander", "parameters": tweaked, "mode": "async"},
+        )
+        assert again.json()["job_id"] == first
+        # Different parameters are a different job.
+        other = client.post(
+            "/mine",
+            json_body={
+                "dataset": "santander",
+                "parameters": dict(PARAMS, min_support=PARAMS["min_support"] + 1),
+                "mode": "async",
+            },
+        )
+        assert other.json()["job_id"] != first
+        client.post(f"/jobs/{first}/cancel")
+        client.post(f"/jobs/{other.json()['job_id']}/cancel")
+
+    def test_resubmit_after_completion_is_instant_cache_hit(self, client):
+        first = submit_async(client)
+        poll_until_terminal(client, first)
+        second = submit_async(client)
+        assert second != first
+        final = poll_until_terminal(client, second)
+        assert final["state"] == "succeeded"
+        assert final["result"]["from_cache"] is True
+
+
+class TestCancellation:
+    def test_cancel_mid_run(self, client, monkeypatch):
+        slow = SlowMine(steps=400, delay=0.05)
+        monkeypatch.setattr(MiscelaMiner, "mine", lambda s, d, control=None: slow(s, d, control))
+        job_id = submit_async(client)
+        assert slow.started.wait(TIMEOUT)
+        response = client.post(f"/jobs/{job_id}/cancel")
+        assert response.status == 200
+        assert response.json()["cancel_requested"] is True
+        final = poll_until_terminal(client, job_id)
+        assert final["state"] == "cancelled"
+        assert final["progress"] < 1.0
+        assert final["error"] is None
+        assert "result" not in final
+        # A cancelled run stored nothing: sync mining still has to compute.
+        assert client.get("/caps/santander").json()["cached_results"] == []
+
+    def test_reupload_during_inflight_job_withdraws_the_result(
+        self, client, dataset, monkeypatch
+    ):
+        """A job mining replaced data must not publish: the re-upload
+        cancels it, and even a photo-finish result is withdrawn."""
+        slow = SlowMine(steps=400, delay=0.05)
+        monkeypatch.setattr(MiscelaMiner, "mine", lambda s, d, control=None: slow(s, d, control))
+        job_id = submit_async(client)
+        assert slow.started.wait(TIMEOUT)
+        assert client.upload_dataset(dataset, chunk_lines=1000).status == 201
+        final = poll_until_terminal(client, job_id)
+        assert final["state"] == "cancelled"
+        assert client.get("/caps/santander").json()["cached_results"] == []
+
+    def test_cancel_unknown_job_404(self, client):
+        assert client.post("/jobs/job-0099-missing/cancel").status == 404
+
+    def test_cancel_finished_job_409(self, client):
+        job_id = submit_async(client)
+        poll_until_terminal(client, job_id)
+        assert client.post(f"/jobs/{job_id}/cancel").status == 409
+
+
+class TestJobListing:
+    def test_listing_and_status_filter(self, client):
+        job_id = submit_async(client)
+        poll_until_terminal(client, job_id)
+        everything = client.get("/jobs").json()["jobs"]
+        assert [job["job_id"] for job in everything] == [job_id]
+        assert "result" not in everything[0]  # listings stay light
+        done = client.get("/jobs?status=succeeded").json()["jobs"]
+        assert [job["job_id"] for job in done] == [job_id]
+        assert client.get("/jobs?status=queued").json()["jobs"] == []
+        assert client.get("/jobs?status=bogus").status == 400
+
+    def test_unknown_job_404(self, client):
+        assert client.get("/jobs/job-0042-nothing").status == 404
+
+    def test_admin_stats_counters(self, client):
+        stats = client.get("/admin/stats").json()["jobs"]
+        assert stats["total"] == 0
+        assert stats["executor_width"] == 2
+        job_id = submit_async(client)
+        poll_until_terminal(client, job_id)
+        stats = client.get("/admin/stats").json()["jobs"]
+        assert stats["succeeded"] == 1
+        assert stats["total"] == 1
+
+
+class TestThreadedServer:
+    """Over real sockets: the ThreadingMixIn server answers during a mine."""
+
+    def test_polls_served_while_async_mine_runs(self, dataset, monkeypatch):
+        import urllib.request
+
+        from repro.server.app import create_app
+        from repro.server.http import make_threaded_server, wsgi_adapter
+
+        app = create_app()
+        client = TestClient(app)
+        assert client.upload_dataset(dataset, chunk_lines=1000).status == 201
+        slow = SlowMine(steps=400, delay=0.05)
+        monkeypatch.setattr(MiscelaMiner, "mine", lambda s, d, control=None: slow(s, d, control))
+
+        server = make_threaded_server("127.0.0.1", 0, wsgi_adapter(app))
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{port}"
+
+        def fetch(method: str, path: str, body: dict | None = None):
+            request = urllib.request.Request(f"{base}{path}", method=method)
+            data = None
+            if body is not None:
+                data = json.dumps(body).encode()
+                request.add_header("Content-Type", "application/json")
+            with urllib.request.urlopen(request, data=data, timeout=10) as resp:
+                return resp.status, json.loads(resp.read() or b"null")
+
+        try:
+            status, payload = fetch(
+                "POST", "/mine",
+                {"dataset": "santander", "parameters": PARAMS, "mode": "async"},
+            )
+            assert status == 202
+            job_id = payload["job_id"]
+            assert slow.started.wait(TIMEOUT)
+            # While the mine runs, polls and admin calls are served promptly.
+            for _ in range(3):
+                t0 = time.perf_counter()
+                status, doc = fetch("GET", f"/jobs/{job_id}")
+                assert status == 200 and doc["state"] == "running"
+                assert time.perf_counter() - t0 < 5.0
+            status, stats = fetch("GET", "/admin/stats")
+            assert stats["jobs"]["running"] == 1
+            status, cancelled = fetch("POST", f"/jobs/{job_id}/cancel")
+            assert status == 200
+            deadline = time.monotonic() + TIMEOUT
+            while time.monotonic() < deadline:
+                _, doc = fetch("GET", f"/jobs/{job_id}")
+                if doc["state"] in TERMINAL_STATES:
+                    break
+                time.sleep(0.05)
+            assert doc["state"] == "cancelled"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            app.close()

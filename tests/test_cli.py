@@ -63,6 +63,29 @@ class TestMine:
         assert isinstance(caps, list) and caps
         assert "sensors" in caps[0]
 
+    def test_async_watch_submits_and_polls(self, capsys):
+        assert main(
+            ["mine", "--dataset", "covid19", "--top", "3",
+             "--async", "--watch", "--poll-interval", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "submitted job-" in out
+        assert "succeeded" in out
+        assert "CAPs in" in out  # the same result table as the sync path
+
+    def test_async_matches_sync_output_table(self, capsys):
+        assert main(["mine", "--dataset", "covid19", "--top", "5"]) == 0
+        sync_out = capsys.readouterr().out
+        assert main(["mine", "--dataset", "covid19", "--top", "5", "--async"]) == 0
+        async_out = capsys.readouterr().out
+        # Drop the submit banner and the timing line; the CAP table matches.
+        sync_table = sync_out.splitlines()[1:]
+        async_table = [
+            line for line in async_out.splitlines()
+            if not line.startswith("submitted ") and "CAPs in" not in line
+        ]
+        assert async_table == sync_table
+
     def test_mine_from_data_dir(self, tmp_path, capsys):
         gen_dir = tmp_path / "gen"
         main(["generate", "covid19", "--out", str(gen_dir)])
