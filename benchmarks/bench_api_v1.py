@@ -1,0 +1,160 @@
+"""API v1 serving economics: paginated CAP pages and conditional GETs.
+
+ISSUE 4 redesigned the HTTP surface around result resources; this bench
+quantifies the two serving-tier wins over the legacy RPC shape:
+
+* **page vs full payload** — the legacy ``POST /mine`` replays the *entire*
+  CAP list on every cache hit; v1 clients fetch
+  ``GET /api/v1/results/{key}/caps?offset=&limit=`` pages.  Measured: p50
+  latency and body size of a page against the full legacy payload, plus
+  the byte-identity of all pages concatenated (the acceptance criterion).
+* **304 hit rate** — result metadata carries an ``ETag`` (cache key +
+  dataset generation); a well-behaved client revalidates with
+  ``If-None-Match`` and pays a header-only 304 instead of a body.
+  Measured: the revalidation hit rate (must be 100% for an unchanged
+  dataset) and the 304 latency against an unconditional GET.
+
+Results land in ``BENCH_api_v1.json`` at the repository root (CI's bench
+lane uploads it).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.data.datasets import recommended_parameters
+from repro.data.synthetic import generate_santander
+from repro.server.app import TestClient, create_app
+
+from .conftest import print_table
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_api_v1.json"
+
+PAGE_LIMIT = 20
+SAMPLES = 40
+
+
+def _timed_ms(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    value = fn()
+    return (time.perf_counter() - start) * 1000.0, value
+
+
+def _p50(samples: list[float]) -> float:
+    return statistics.median(samples)
+
+
+def test_api_v1_pages_and_conditional_gets():
+    dataset = generate_santander(seed=3, neighbourhoods=10, steps=360)
+    params = recommended_parameters("santander").with_updates(min_support=5)
+    app = create_app(job_workers=1)
+    client = TestClient(app)
+    try:
+        assert client.upload_dataset(dataset).status == 201
+
+        created = client.post(
+            f"/api/v1/datasets/{dataset.name}/results",
+            json_body={"parameters": params.to_document()},
+        )
+        assert created.status == 201, created.json()
+        key = created.json()["key"]
+        num_caps = created.json()["num_caps"]
+        assert num_caps > PAGE_LIMIT, (
+            f"bench needs more than one page, got {num_caps} CAPs"
+        )
+
+        # -- legacy full payload (cache hits) vs one v1 page -----------------
+        mine_body = {"dataset": dataset.name, "parameters": params.to_document()}
+        full_ms: list[float] = []
+        for _ in range(SAMPLES):
+            elapsed, response = _timed_ms(lambda: client.post("/mine", json_body=mine_body))
+            assert response.status == 200
+            full_ms.append(elapsed)
+        full_bytes = len(response.body)
+
+        page_url = f"/api/v1/results/{key}/caps?offset=0&limit={PAGE_LIMIT}"
+        page_ms: list[float] = []
+        for _ in range(SAMPLES):
+            elapsed, response = _timed_ms(lambda: client.get(page_url))
+            assert response.status == 200
+            page_ms.append(elapsed)
+        page_bytes = len(response.body)
+
+        # -- acceptance criterion: pages concatenate to the legacy CAP list --
+        legacy_caps = client.post("/mine", json_body=mine_body).json()["caps"]
+        paged: list[dict] = []
+        offset = 0
+        while offset < num_caps:
+            body = client.get(
+                f"/api/v1/results/{key}/caps?offset={offset}&limit={PAGE_LIMIT}"
+            ).json()
+            paged.extend(body["caps"])
+            offset += PAGE_LIMIT
+        assert json.dumps(paged, sort_keys=True) == json.dumps(
+            legacy_caps, sort_keys=True
+        ), "concatenated v1 pages must be byte-identical to the legacy payload"
+
+        # -- conditional GETs: ETag revalidation --------------------------------
+        meta_url = f"/api/v1/results/{key}"
+        uncond_ms: list[float] = []
+        for _ in range(SAMPLES):
+            elapsed, response = _timed_ms(lambda: client.get(meta_url))
+            assert response.status == 200
+            uncond_ms.append(elapsed)
+        etag = response.headers["ETag"]
+
+        cond_ms: list[float] = []
+        not_modified = 0
+        for _ in range(SAMPLES):
+            elapsed, response = _timed_ms(
+                lambda: client.get(meta_url, headers={"If-None-Match": etag})
+            )
+            cond_ms.append(elapsed)
+            if response.status == 304:
+                not_modified += 1
+                assert response.body == b""
+        hit_rate = not_modified / SAMPLES
+
+        rows = [
+            {"metric": "POST /mine full payload p50 (v0)",
+             "ms": round(_p50(full_ms), 3), "bytes": full_bytes},
+            {"metric": f"GET caps page p50 (limit={PAGE_LIMIT})",
+             "ms": round(_p50(page_ms), 3), "bytes": page_bytes},
+            {"metric": "GET result metadata p50",
+             "ms": round(_p50(uncond_ms), 3), "bytes": len(client.get(meta_url).body)},
+            {"metric": "conditional GET p50 (If-None-Match)",
+             "ms": round(_p50(cond_ms), 3), "bytes": 0},
+            {"metric": "304 hit rate", "ms": "", "bytes": f"{hit_rate:.0%}"},
+        ]
+        print_table(
+            f"API v1 vs legacy full payload ({num_caps} CAPs)", rows
+        )
+
+        REPORT_PATH.write_text(json.dumps({
+            "benchmark": "bench_api_v1",
+            "timed_region": "in-process API request latencies (cache-hot)",
+            "num_caps": num_caps,
+            "page_limit": PAGE_LIMIT,
+            "samples": SAMPLES,
+            "full_payload_p50_ms": _p50(full_ms),
+            "full_payload_bytes": full_bytes,
+            "page_p50_ms": _p50(page_ms),
+            "page_bytes": page_bytes,
+            "metadata_p50_ms": _p50(uncond_ms),
+            "conditional_p50_ms": _p50(cond_ms),
+            "not_modified_hit_rate": hit_rate,
+            "payload_reduction": full_bytes / page_bytes,
+        }, indent=2) + "\n")
+
+        # The redesign's claims: every repeated conditional GET revalidates,
+        # and a page is strictly cheaper than the full legacy payload.
+        assert hit_rate == 1.0, "ETag revalidation must hit for unchanged data"
+        assert page_bytes < full_bytes, "a page must be smaller than the full payload"
+        assert _p50(page_ms) < _p50(full_ms), (
+            "serving one page must beat re-serializing the full payload"
+        )
+    finally:
+        app.close()

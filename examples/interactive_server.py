@@ -7,23 +7,40 @@ curl-able endpoints.
 Run:
     python examples/interactive_server.py [port]
 
-Then, from another shell:
+Then, from another shell (the versioned resource API):
 
-    curl localhost:8000/datasets
-    curl -X POST localhost:8000/mine -d '{"dataset": "santander", "parameters": \
-      {"evolving_rate": 3.0, "distance_threshold": 0.35, \
-       "max_attributes": 3, "min_support": 10}}'
-    curl localhost:8000/viz/santander/map > map.html
-    curl localhost:8000/admin/stats
+    curl localhost:8000/api/v1                    # service doc + links
+    curl localhost:8000/api/v1/schema             # generated route schema
+    curl localhost:8000/api/v1/datasets
+    curl -i -X POST localhost:8000/api/v1/datasets/santander/results \
+      -d '{"parameters": {"evolving_rate": 3.0, "distance_threshold": 0.35, \
+           "max_attributes": 3, "min_support": 10}}'
+    # -> 201 with "Location: /api/v1/results/<key>" and an ETag
+
+    curl localhost:8000/api/v1/results/<key>      # metadata (ETag again)
+    curl -i localhost:8000/api/v1/results/<key> -H 'If-None-Match: <etag>'
+    # -> 304 Not Modified
+
+    curl 'localhost:8000/api/v1/results/<key>/caps?offset=0&limit=20'
+    curl 'localhost:8000/api/v1/results/<key>/caps?sensor=<id>'
+    curl localhost:8000/api/v1/datasets/santander/viz/map > map.html
+    curl -H 'Accept: image/svg+xml' \
+      localhost:8000/api/v1/datasets/santander/viz/map > map.svg
+    curl localhost:8000/api/v1/admin/stats
 
 Long mines need not block the map — submit asynchronously and poll:
 
-    curl -X POST localhost:8000/mine -d '{"dataset": "santander", \
-      "mode": "async", "parameters": {"evolving_rate": 3.0, \
-      "distance_threshold": 0.35, "max_attributes": 3, "min_support": 10}}'
-    curl localhost:8000/jobs                      # all jobs
-    curl localhost:8000/jobs/<job_id>             # status + progress + result
-    curl -X POST localhost:8000/jobs/<job_id>/cancel
+    curl -i -X POST localhost:8000/api/v1/datasets/santander/results \
+      -d '{"mode": "async", "parameters": {"evolving_rate": 3.0, \
+           "distance_threshold": 0.35, "max_attributes": 3, "min_support": 10}}'
+    # -> 202 with "Location: /api/v1/jobs/<job_id>"
+    curl localhost:8000/api/v1/jobs               # all jobs (with links)
+    curl localhost:8000/api/v1/jobs/<job_id>      # status + result link
+    curl -X POST localhost:8000/api/v1/jobs/<job_id>/cancel
+
+The pre-v1 unversioned routes (``POST /mine``, ``GET /caps/...``) still
+answer, marked with a ``Deprecation: true`` header and a ``Link`` to the
+v1 successor.
 """
 
 from __future__ import annotations
@@ -49,8 +66,9 @@ def main(port: int = 8000) -> None:
     # Thread-per-request: job polls and map clicks answer during a mine.
     server = make_threaded_server("127.0.0.1", port, wsgi_adapter(app))
     print(f"Miscela-V API listening on http://127.0.0.1:{port}")
-    print("try:  curl localhost:%d/          (route index)" % port)
-    print("      curl localhost:%d/datasets" % port)
+    print("try:  curl localhost:%d/api/v1          (service doc + links)" % port)
+    print("      curl localhost:%d/api/v1/schema   (generated route schema)" % port)
+    print("      curl localhost:%d/api/v1/datasets" % port)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

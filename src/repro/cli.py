@@ -9,7 +9,10 @@ Everything the demo's web UI drives is reachable from a terminal:
 * ``report``    — mine and write the Figure-3 HTML report;
 * ``sweep``     — the §2.1 sensitivity sweep, as a table and optional SVG;
 * ``compare``   — the Figure-4 before/after diff at a split date;
-* ``serve``     — start the Figure-2 API server.
+* ``serve``     — start the Figure-2 API server (the versioned ``/api/v1``
+  resource API plus the deprecated unversioned shims);
+* ``schema``    — emit the generated API schema (JSON), regenerate the
+  ``API.md`` reference, or check route/reference parity.
 
 Examples::
 
@@ -22,6 +25,8 @@ Examples::
         --values 2,5,10,20 --svg sweep.svg
     repro-miscela compare --dataset covid19 --split 2020-01-23
     repro-miscela serve --port 8000
+    repro-miscela schema --out API.md
+    repro-miscela schema --check API.md
 """
 
 from __future__ import annotations
@@ -184,7 +189,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--preload", action="store_true",
                        help="pre-upload synthetic santander")
     p_srv.add_argument("--job-workers", dest="job_workers", type=int, default=2,
-                       help="async mining executor width (POST /mine mode=async)")
+                       help="async mining executor width (mode=async submissions)")
+
+    p_schema = sub.add_parser(
+        "schema", help="emit the generated API schema / reference"
+    )
+    p_schema.add_argument("--out", help="write the Markdown reference (API.md) here")
+    p_schema.add_argument(
+        "--check", metavar="API_MD",
+        help="fail if any registered route is missing from the schema or "
+             "from this Markdown file",
+    )
 
     return parser
 
@@ -367,6 +382,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     server = make_threaded_server("127.0.0.1", args.port, wsgi_adapter(app))
     print(f"Miscela-V API on http://127.0.0.1:{args.port} "
           f"(threaded, {args.job_workers} job workers; Ctrl-C to stop)")
+    print(f"  v1 API:  http://127.0.0.1:{args.port}/api/v1 "
+          f"(schema at /api/v1/schema; unversioned routes are deprecated shims)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -379,6 +396,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_schema(args: argparse.Namespace) -> int:
+    from .server.schema import main as schema_main
+
+    argv: list[str] = []
+    if args.out:
+        argv += ["--out", args.out]
+    if args.check:
+        argv += ["--check", args.check]
+    return schema_main(argv)
+
+
 _COMMANDS = {
     "inventory": cmd_inventory,
     "generate": cmd_generate,
@@ -387,6 +415,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "compare": cmd_compare,
     "serve": cmd_serve,
+    "schema": cmd_schema,
 }
 
 

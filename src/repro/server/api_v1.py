@@ -1,0 +1,630 @@
+"""The versioned resource-oriented HTTP API: ``/api/v1``.
+
+Where the legacy surface translated the paper's Figure-2 flow
+endpoint-by-endpoint into RPC calls (``POST /mine`` sometimes mines,
+sometimes replays cache, sometimes enqueues a job), v1 models the system as
+resources with durable identities:
+
+* **Datasets** — ``/api/v1/datasets/{name}``: uploaded through the same
+  chunked session protocol, now race-safe and abortable.
+* **Results** — ``/api/v1/results/{key}``: a mined (dataset, parameters)
+  outcome, addressed by its cache key.  ``POST
+  /api/v1/datasets/{name}/results`` creates (or dedups onto) one and
+  returns ``201 Location: /api/v1/results/{key}`` for sync mining or
+  ``202 Location: /api/v1/jobs/{id}`` for async.  Metadata GETs carry an
+  ``ETag`` derived from the cache key + the dataset *generation*, so
+  conditional requests (``If-None-Match``) revalidate for free with a 304.
+* **CAP pages** — ``/api/v1/results/{key}/caps?offset=&limit=&sensor=&attribute=``:
+  paginated, filterable slices of the CAP list, served from the memoized
+  result object (the sensor filter rides its inverted index) with RFC-5988
+  ``Link`` headers for next/prev/first/last.
+* **Jobs** — ``/api/v1/jobs/{id}``: the async lifecycle, every
+  representation carrying links from submission through the result
+  resource.
+* **Schema** — ``GET /api/v1/schema``: a generated OpenAPI-style
+  description of every registered route (see :mod:`repro.server.schema`);
+  `API.md` is rendered from it and CI enforces parity.
+
+Visualization endpoints content-negotiate: ``Accept: image/svg+xml``
+returns the bare SVG document, ``text/html`` (the default) the standalone
+page.
+
+Every error rendered under this prefix uses the uniform envelope
+``{"error": {"code", "message", "detail"}}`` (see
+:mod:`repro.server.middleware`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+from urllib.parse import urlencode
+
+from ..cache.keys import cache_key
+from ..jobs import SUCCEEDED, TERMINAL_STATES, Job, JobStateError
+from .handlers import (
+    ServerState,
+    admin_stats_payload,
+    correlated_sensors_core,
+    dataset_result_documents,
+    parse_mine_mode,
+    parse_parameters,
+    parse_upload_begin,
+    render_viz_svg,
+    results_by_dataset_payload,
+)
+from .http import (
+    HTTPError,
+    Request,
+    Response,
+    html_response,
+    json_response,
+    negotiate_media_type,
+    svg_response,
+)
+
+__all__ = ["register_v1_routes", "API_PREFIX", "DEFAULT_PAGE_LIMIT", "MAX_PAGE_LIMIT"]
+
+API_PREFIX = "/api/v1"
+
+#: Page sizing for ``GET /api/v1/results/{key}/caps``.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 1000
+
+
+def _url(path: str) -> str:
+    return f"{API_PREFIX}{path}"
+
+
+# -- representation helpers ----------------------------------------------------
+
+
+def _dataset_links(name: str) -> dict[str, str]:
+    return {
+        "self": _url(f"/datasets/{name}"),
+        "results": _url(f"/datasets/{name}/results"),
+        "viz_map": _url(f"/datasets/{name}/viz/map"),
+    }
+
+
+def _result_links(key: str, dataset: str) -> dict[str, str]:
+    return {
+        "self": _url(f"/results/{key}"),
+        "caps": _url(f"/results/{key}/caps"),
+        "dataset": _url(f"/datasets/{dataset}"),
+    }
+
+
+def _job_resource(job: Job) -> dict[str, Any]:
+    document = job.to_document()
+    links = {
+        "self": _url(f"/jobs/{job.job_id}"),
+        "dataset": _url(f"/datasets/{job.dataset}"),
+    }
+    if job.state not in TERMINAL_STATES:
+        links["cancel"] = _url(f"/jobs/{job.job_id}/cancel")
+    if job.state == SUCCEEDED and job.result_key is not None:
+        links["result"] = _url(f"/results/{job.result_key}")
+    document["links"] = links
+    return document
+
+
+def _result_resource(state: ServerState, document: Mapping[str, Any]) -> dict[str, Any]:
+    """Result *metadata* — identity, shape, and links; never the CAP list.
+
+    The CAPs themselves are a sub-resource (``…/caps``) so a big mine's
+    metadata stays a small constant-size payload.
+    """
+    key = str(document["key"])
+    dataset = str(document["payload"]["dataset"])
+    return {
+        "key": key,
+        "dataset": dataset,
+        "parameters": document["payload"]["parameters"],
+        "num_caps": len(document["result"]["caps"]),
+        "elapsed_seconds": document["result"].get("elapsed_seconds", 0.0),
+        "links": _result_links(key, dataset),
+    }
+
+
+def _result_etag(state: ServerState, key: str, dataset: str, *parts: object) -> str:
+    """A strong ETag for one result representation.
+
+    Keyed off the cache key (content identity) and the dataset generation
+    (a re-upload/delete invalidates every representation even if a key were
+    ever resurrected from a snapshot); paginated representations append a
+    digest of their offset/limit/filters so each page validates
+    independently.  The digest keeps distinct parameter combinations from
+    colliding (and arbitrary filter strings out of the header value).
+    """
+    generation = state.dataset_generation(dataset)
+    suffix = ""
+    if any(part is not None and part != "" for part in parts):
+        import hashlib
+        import json as _json
+
+        digest = hashlib.sha256(
+            _json.dumps([None if p == "" else p for p in parts]).encode("utf-8")
+        ).hexdigest()[:12]
+        suffix = f"-p{digest}"
+    return f'"{key[:24]}-g{generation}{suffix}"'
+
+
+def _not_modified(request: Request, etag: str) -> Response | None:
+    """A 304 when ``If-None-Match`` revalidates ``etag``, else None."""
+    header = (request.headers or {}).get("if-none-match", "")
+    if not header:
+        return None
+    tags = [tag.strip() for tag in header.split(",")]
+    if "*" in tags or etag in tags:
+        return Response(status=304, headers={"ETag": etag})
+    return None
+
+
+def _int_param(request: Request, name: str, default: int, minimum: int, maximum: int) -> int:
+    raw = request.param(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise HTTPError(
+            400, f"{name} must be an integer, got {raw!r}", code="invalid_pagination"
+        ) from exc
+    if not minimum <= value <= maximum:
+        raise HTTPError(
+            400,
+            f"{name} must be between {minimum} and {maximum}, got {value}",
+            code="invalid_pagination",
+        )
+    return value
+
+
+def _page_link_header(
+    base_path: str, offset: int, limit: int, total: int, filters: Mapping[str, str]
+) -> str:
+    """RFC-5988 ``Link`` header with first/prev/next/last page relations."""
+
+    def page_url(page_offset: int) -> str:
+        query = {"offset": page_offset, "limit": limit, **filters}
+        return f"{base_path}?{urlencode(query)}"
+
+    last_offset = ((total - 1) // limit) * limit if total > 0 else 0
+    links = [f'<{page_url(0)}>; rel="first"', f'<{page_url(last_offset)}>; rel="last"']
+    if offset > 0:
+        links.append(f'<{page_url(max(0, offset - limit))}>; rel="prev"')
+    if offset + limit < total:
+        links.append(f'<{page_url(offset + limit)}>; rel="next"')
+    return ", ".join(links)
+
+
+def register_v1_routes(router: Any, state: ServerState) -> None:
+    """Attach the ``/api/v1`` resource routes to a router."""
+
+    @router.get(
+        "/api/v1",
+        responses={"200": "service document with top-level resource links"},
+    )
+    def v1_index(request: Request) -> Response:
+        """Service document: version, top-level links, deprecation policy."""
+        return json_response(
+            {
+                "service": "miscela-v",
+                "api_version": "v1",
+                "links": {
+                    "self": API_PREFIX,
+                    "schema": _url("/schema"),
+                    "datasets": _url("/datasets"),
+                    "jobs": _url("/jobs"),
+                    "admin_stats": _url("/admin/stats"),
+                },
+                "deprecation_policy": (
+                    "unversioned routes answer with 'Deprecation: true' and a "
+                    "'Link: rel=\"successor-version\"' header pointing here"
+                ),
+            }
+        )
+
+    @router.get(
+        "/api/v1/schema",
+        responses={"200": "OpenAPI-style description of every registered route"},
+    )
+    def v1_schema(request: Request) -> Response:
+        """Self-describing schema generated from router introspection."""
+        from .schema import build_schema  # local: schema imports nothing from here
+
+        return json_response(build_schema(router))
+
+    # -- datasets -------------------------------------------------------------
+
+    @router.get(
+        "/api/v1/datasets",
+        responses={"200": "dataset collection with per-item links"},
+    )
+    def v1_list_datasets(request: Request) -> Response:
+        """List uploaded datasets as linked resources."""
+        return json_response(
+            {
+                "datasets": [
+                    {"name": name, "links": _dataset_links(name)}
+                    for name in state.dataset_names()
+                ]
+            }
+        )
+
+    @router.get(
+        "/api/v1/datasets/{name}",
+        responses={"200": "dataset summary", "404": "unknown dataset"},
+    )
+    def v1_describe_dataset(request: Request) -> Response:
+        """Describe one dataset (sensors, records, attributes, time span)."""
+        name = request.path_params["name"]
+        dataset = state.get_dataset(name)
+        payload = dict(dataset.describe())
+        payload["links"] = _dataset_links(name)
+        return json_response(payload)
+
+    @router.delete(
+        "/api/v1/datasets/{name}",
+        responses={"204": "dataset deleted", "404": "unknown dataset"},
+    )
+    def v1_delete_dataset(request: Request) -> Response:
+        """Delete a dataset and every result mined from it."""
+        name = request.path_params["name"]
+        if not state.delete_dataset(name):
+            raise HTTPError(404, f"unknown dataset {name!r}", code="unknown_dataset")
+        return Response(status=204)
+
+    # -- uploads --------------------------------------------------------------
+
+    @router.post(
+        "/api/v1/datasets/{name}/upload/begin",
+        responses={"201": "upload session opened",
+                   "409": "a session is already open for this name"},
+    )
+    def v1_upload_begin(request: Request) -> Response:
+        """Open a chunked-upload session (location + attribute CSVs)."""
+        name = request.path_params["name"]
+        locations, attributes = parse_upload_begin(request)
+        state.begin_upload(name, locations, attributes)
+        return json_response(
+            {
+                "dataset": name,
+                "status": "upload started",
+                "links": {
+                    "chunk": _url(f"/datasets/{name}/upload/chunk"),
+                    "finish": _url(f"/datasets/{name}/upload/finish"),
+                    "abort": _url(f"/datasets/{name}/upload/abort"),
+                },
+            },
+            status=201,
+        )
+
+    @router.post(
+        "/api/v1/datasets/{name}/upload/chunk",
+        responses={"200": "chunk accepted", "400": "malformed chunk",
+                   "409": "no session open"},
+    )
+    def v1_upload_chunk(request: Request) -> Response:
+        """Append one ≤10,000-line data.csv chunk to the open session."""
+        name = request.path_params["name"]
+        chunks, rows, total = state.append_upload_chunk(name, request.text())
+        return json_response(
+            {"dataset": name, "chunk": chunks, "rows_in_chunk": rows,
+             "rows_total": total}
+        )
+
+    @router.post(
+        "/api/v1/datasets/{name}/upload/finish",
+        responses={"201": "dataset validated and stored",
+                   "400": "validation failed", "409": "no session open"},
+    )
+    def v1_upload_finish(request: Request) -> Response:
+        """Validate, assemble, and store the uploaded dataset."""
+        name = request.path_params["name"]
+        dataset = state.finish_upload(name)
+        response = json_response(
+            {"dataset": name, "summary": dataset.describe(),
+             "links": _dataset_links(name)},
+            status=201,
+        )
+        response.headers["Location"] = _url(f"/datasets/{name}")
+        return response
+
+    @router.post(
+        "/api/v1/datasets/{name}/upload/abort",
+        responses={"200": "session discarded", "409": "no session open"},
+    )
+    def v1_upload_abort(request: Request) -> Response:
+        """Discard an open upload session (e.g. after a rejected chunk)."""
+        name = request.path_params["name"]
+        if not state.abort_upload(name):
+            raise HTTPError(
+                409,
+                f"no upload in progress for dataset {name!r}",
+                code="no_upload_in_progress",
+            )
+        return json_response({"dataset": name, "status": "upload aborted"})
+
+    # -- results --------------------------------------------------------------
+
+    @router.post(
+        "/api/v1/datasets/{name}/results",
+        responses={
+            "201": "result resource created (or dedup'd onto); Location set",
+            "202": "async job accepted; Location points at the job",
+            "400": "bad body/parameters/mode",
+            "404": "unknown dataset",
+        },
+    )
+    def v1_create_result(request: Request) -> Response:
+        """Mine (or dedup onto) the result resource for (dataset, parameters)."""
+        name = request.path_params["name"]
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "expected a JSON object")
+        if "parameters" not in payload:
+            raise HTTPError(
+                400, "body must contain 'parameters'", code="missing_fields"
+            )
+        mode = parse_mine_mode(payload, request)
+        dataset = state.get_dataset(name)
+        params = parse_parameters(payload["parameters"])
+        if mode == "async":
+            job, created = state.submit_mine_job(dataset, params)
+            body = _job_resource(job)
+            body["deduplicated"] = not created
+            response = json_response(body, status=202)
+            response.headers["Location"] = _url(f"/jobs/{job.job_id}")
+            return response
+        result = state.cache.mine_cached(dataset, params)
+        key = cache_key(name, params)
+        body = {
+            "key": key,
+            "dataset": name,
+            "parameters": params.to_document(),
+            "num_caps": result.num_caps,
+            "elapsed_seconds": result.elapsed_seconds,
+            "from_cache": result.from_cache,
+            "links": _result_links(key, name),
+        }
+        response = json_response(body, status=201)
+        response.headers["Location"] = _url(f"/results/{key}")
+        response.headers["ETag"] = _result_etag(state, key, name)
+        return response
+
+    @router.get(
+        "/api/v1/datasets/{name}/results",
+        responses={"200": "result resources mined from this dataset",
+                   "404": "unknown dataset"},
+    )
+    def v1_list_results(request: Request) -> Response:
+        """List the result resources mined from one dataset."""
+        name = request.path_params["name"]
+        documents = dataset_result_documents(state, name)
+        return json_response(
+            {
+                "dataset": name,
+                "results": [_result_resource(state, doc) for doc in documents],
+            }
+        )
+
+    @router.get(
+        "/api/v1/results/{key}",
+        responses={"200": "result metadata with ETag",
+                   "304": "If-None-Match revalidated", "404": "unknown result"},
+    )
+    def v1_get_result(request: Request) -> Response:
+        """Result metadata; conditional via ETag/If-None-Match."""
+        key = request.path_params["key"]
+        document = state.get_result_document(key)
+        dataset = str(document["payload"]["dataset"])
+        etag = _result_etag(state, key, dataset)
+        not_modified = _not_modified(request, etag)
+        if not_modified is not None:
+            return not_modified
+        response = json_response(_result_resource(state, document))
+        response.headers["ETag"] = etag
+        return response
+
+    @router.delete(
+        "/api/v1/results/{key}",
+        responses={"204": "result deleted", "404": "unknown result"},
+    )
+    def v1_delete_result(request: Request) -> Response:
+        """Evict one cached result resource."""
+        key = request.path_params["key"]
+        state.get_result_document(key)  # 404 when absent
+        state.forget_result(key)
+        return Response(status=204)
+
+    @router.get(
+        "/api/v1/results/{key}/caps",
+        query=(
+            {"name": "offset", "type": "integer",
+             "description": "first CAP position to return (default 0)"},
+            {"name": "limit", "type": "integer",
+             "description": f"page size, 1–{MAX_PAGE_LIMIT} "
+                            f"(default {DEFAULT_PAGE_LIMIT})"},
+            {"name": "sensor", "type": "string",
+             "description": "only CAPs containing this sensor id "
+                            "(served from the inverted index)"},
+            {"name": "attribute", "type": "string",
+             "description": "only CAPs involving this attribute"},
+        ),
+        responses={"200": "one CAP page with Link pagination headers",
+                   "304": "If-None-Match revalidated",
+                   "400": "invalid pagination", "404": "unknown result"},
+    )
+    def v1_result_caps(request: Request) -> Response:
+        """Paginated, filterable CAP pages of one result.
+
+        Pages preserve mining order, so concatenating every page (no
+        filters) reproduces the legacy full-payload CAP list exactly.
+        """
+        key = request.path_params["key"]
+        document = state.get_result_document(key)
+        dataset = str(document["payload"]["dataset"])
+        offset = _int_param(request, "offset", 0, 0, 10**9)
+        limit = _int_param(request, "limit", DEFAULT_PAGE_LIMIT, 1, MAX_PAGE_LIMIT)
+        sensor = request.param("sensor")
+        attribute = request.param("attribute")
+
+        etag = _result_etag(state, key, dataset, offset, limit, sensor, attribute)
+        not_modified = _not_modified(request, etag)
+        if not_modified is not None:
+            return not_modified
+
+        result = state.result_from_document(document)
+        caps = result.caps_containing(sensor) if sensor else result.caps
+        if attribute:
+            caps = [cap for cap in caps if attribute in cap.attributes]
+        total = len(caps)
+        page = caps[offset : offset + limit]
+        filters: dict[str, str] = {}
+        if sensor:
+            filters["sensor"] = sensor
+        if attribute:
+            filters["attribute"] = attribute
+        response = json_response(
+            {
+                "key": key,
+                "dataset": dataset,
+                "total": total,
+                "offset": offset,
+                "limit": limit,
+                "caps": [cap.to_document() for cap in page],
+                "links": _result_links(key, dataset),
+            }
+        )
+        response.headers["ETag"] = etag
+        response.headers["Link"] = _page_link_header(
+            _url(f"/results/{key}/caps"), offset, limit, total, filters
+        )
+        return response
+
+    # -- interaction ----------------------------------------------------------
+
+    @router.get(
+        "/api/v1/datasets/{name}/sensors/{sensor_id}/correlated",
+        responses={"200": "correlated sensors with shared attributes",
+                   "404": "unknown dataset/sensor", "409": "nothing mined yet"},
+    )
+    def v1_correlated_sensors(request: Request) -> Response:
+        """The map's click interaction: who is correlated with this sensor?"""
+        name = request.path_params["name"]
+        sensor_id = request.path_params["sensor_id"]
+        correlated = correlated_sensors_core(state, name, sensor_id)
+        return json_response(
+            {
+                "dataset": name,
+                "sensor": sensor_id,
+                "correlated": correlated,
+                "links": {"dataset": _url(f"/datasets/{name}")},
+            }
+        )
+
+    # -- jobs -----------------------------------------------------------------
+
+    @router.get(
+        "/api/v1/jobs",
+        query=({"name": "status", "type": "string",
+                "description": "filter by job state"},),
+        responses={"200": "job resources", "400": "unknown status"},
+    )
+    def v1_list_jobs(request: Request) -> Response:
+        """List mining jobs as linked resources."""
+        status = request.param("status")
+        try:
+            jobs = state.jobs.list(status)
+        except JobStateError as exc:
+            raise HTTPError(400, str(exc), code="invalid_status") from exc
+        return json_response({"jobs": [_job_resource(job) for job in jobs]})
+
+    @router.get(
+        "/api/v1/jobs/{job_id}",
+        responses={"200": "job resource (links to the result once succeeded)",
+                   "404": "unknown job"},
+    )
+    def v1_job_status(request: Request) -> Response:
+        """One job's status/progress; links to the result resource on success."""
+        job_id = request.path_params["job_id"]
+        job = state.jobs.get(job_id)
+        if job is None:
+            raise HTTPError(404, f"unknown job {job_id!r}", code="unknown_job")
+        response = json_response(_job_resource(job))
+        if job.state == SUCCEEDED and job.result_key is not None:
+            response.headers["Link"] = (
+                f'<{_url(f"/results/{job.result_key}")}>; rel="result"'
+            )
+        return response
+
+    @router.post(
+        "/api/v1/jobs/{job_id}/cancel",
+        responses={"200": "cancellation requested", "404": "unknown job",
+                   "409": "job already finished"},
+    )
+    def v1_job_cancel(request: Request) -> Response:
+        """Request cooperative cancellation of a queued/running job."""
+        job_id = request.path_params["job_id"]
+        try:
+            job = state.jobs.cancel(job_id)
+        except KeyError as exc:
+            raise HTTPError(404, f"unknown job {job_id!r}", code="unknown_job") from exc
+        except JobStateError as exc:
+            raise HTTPError(409, str(exc), code="job_finished") from exc
+        return json_response(_job_resource(job))
+
+    # -- visualization --------------------------------------------------------
+
+    def _viz_handler(kind: str):
+        def handler(request: Request) -> Response:
+            name = request.path_params["name"]
+            media = negotiate_media_type(request, ("text/html", "image/svg+xml"))
+            svg, title = render_viz_svg(state, kind, name, request)
+            if media == "image/svg+xml":
+                return svg_response(svg.to_string())
+            return html_response(svg.to_html_page(title=title))
+
+        handler.__name__ = f"v1_viz_{kind}"
+        handler.__doc__ = (
+            f"{kind.capitalize()} visualization; negotiates text/html vs image/svg+xml."
+        )
+        return handler
+
+    viz_query = {
+        "map": ({"name": "highlight", "type": "string",
+                 "description": "comma-separated sensor ids to highlight"},),
+        "heatmap": ({"name": "sensors", "type": "string",
+                     "description": "comma-separated sensor ids (default: first 20)"},),
+        "timeseries": ({"name": "sensors", "type": "string",
+                        "description": "comma-separated sensor ids (required)"},),
+    }
+    for kind in ("map", "heatmap", "timeseries"):
+        router.add(
+            "GET",
+            f"/api/v1/datasets/{{name}}/viz/{kind}",
+            _viz_handler(kind),
+            query=viz_query[kind],
+            responses={"200": "text/html page or image/svg+xml document "
+                              "(content-negotiated)",
+                       "404": "unknown dataset/sensor",
+                       "406": "Accept matches neither offered type"},
+        )
+
+    # -- admin ----------------------------------------------------------------
+
+    @router.get(
+        "/api/v1/admin/stats",
+        responses={"200": "store/cache/job counters"},
+    )
+    def v1_admin_stats(request: Request) -> Response:
+        """Store, cache, and job-queue counters."""
+        return json_response(admin_stats_payload(state))
+
+    @router.get(
+        "/api/v1/admin/results-by-dataset",
+        responses={"200": "per-dataset cached-result aggregation"},
+    )
+    def v1_admin_results_by_dataset(request: Request) -> Response:
+        """Aggregation-pipeline summary of the cached results per dataset."""
+        return json_response(results_by_dataset_payload(state))

@@ -4,6 +4,12 @@
 a single callable, and :func:`create_wsgi_app` adapts it to WSGI so it runs
 under any WSGI server (``wsgiref.simple_server`` in the example).
 
+Two route sets share one router and one :class:`ServerState`: the versioned
+resource API (:func:`repro.server.api_v1.register_v1_routes`, the canonical
+surface) and the legacy unversioned routes
+(:func:`repro.server.handlers.register_routes`), which answer with their
+historical payloads plus deprecation headers.
+
 The in-process :class:`TestClient` drives the app without sockets; the
 integration tests and the pipeline benchmark use it, which keeps the whole
 "system" benchmarkable in-process.
@@ -11,10 +17,10 @@ integration tests and the pipeline benchmark use it, which keeps the whole
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
-from urllib.parse import parse_qs, urlsplit
+from typing import Callable, Iterable, Mapping
 
 from ..store.database import Database
+from .api_v1 import register_v1_routes
 from .handlers import ServerState, register_routes
 from .http import Request, Response, wsgi_adapter
 from .middleware import body_limit_middleware, error_middleware, logging_middleware
@@ -29,8 +35,14 @@ DEFAULT_BODY_LIMIT = 4 * 1024 * 1024
 class App:
     """The assembled application: a ``Request -> Response`` callable."""
 
-    def __init__(self, state: ServerState, handler: Callable[[Request], Response]) -> None:
+    def __init__(
+        self,
+        state: ServerState,
+        handler: Callable[[Request], Response],
+        router: Router,
+    ) -> None:
         self.state = state
+        self.router = router
         self._handler = handler
 
     def __call__(self, request: Request) -> Response:
@@ -66,19 +78,21 @@ def create_app(
     with_logging:
         Attach the request-logging middleware.
     job_workers:
-        Width of the async mining executor (``POST /mine mode=async``).
-        Each worker is a *driver* thread — the mining itself may fan out
+        Width of the async mining executor (``POST
+        /api/v1/datasets/{name}/results`` with ``mode=async``).  Each
+        worker is a *driver* thread — the mining itself may fan out
         further through ``MiningParameters.n_jobs``.
     """
     state = ServerState(database, job_workers=job_workers)
     router = Router()
-    register_routes(router, state)
+    register_v1_routes(router, state)
+    register_routes(router, state)  # legacy shims, deprecation-flagged
     handler: Callable[[Request], Response] = router.dispatch
     handler = body_limit_middleware(body_limit)(handler)
     if with_logging:
         handler = logging_middleware(handler)
     handler = error_middleware(handler)
-    return App(state, handler)
+    return App(state, handler, router)
 
 
 def create_wsgi_app(
@@ -102,8 +116,10 @@ class TestClient:
         url: str,
         json_body: object = None,
         text_body: str | None = None,
+        headers: Mapping[str, str] | None = None,
     ) -> Response:
         import json as _json
+        from urllib.parse import parse_qs, urlsplit
 
         if json_body is not None and text_body is not None:
             raise ValueError("pass json_body or text_body, not both")
@@ -117,21 +133,36 @@ class TestClient:
             method=method.upper(),
             path=split.path,
             query=parse_qs(split.query),
+            headers={key.lower(): value for key, value in (headers or {}).items()},
             body=body,
         )
         return self.app(request)
 
-    def get(self, url: str) -> Response:
-        return self.request("GET", url)
+    def get(self, url: str, headers: Mapping[str, str] | None = None) -> Response:
+        return self.request("GET", url, headers=headers)
 
-    def post(self, url: str, json_body: object = None, text_body: str | None = None) -> Response:
-        return self.request("POST", url, json_body=json_body, text_body=text_body)
+    def post(
+        self,
+        url: str,
+        json_body: object = None,
+        text_body: str | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> Response:
+        return self.request(
+            "POST", url, json_body=json_body, text_body=text_body, headers=headers
+        )
 
-    def delete(self, url: str) -> Response:
-        return self.request("DELETE", url)
+    def delete(self, url: str, headers: Mapping[str, str] | None = None) -> Response:
+        return self.request("DELETE", url, headers=headers)
 
-    def upload_dataset(self, dataset, chunk_lines: int = 10_000) -> Response:
-        """Run the full three-step chunked upload for a dataset object."""
+    def upload_dataset(
+        self, dataset, chunk_lines: int = 10_000, base: str = "/api/v1"
+    ) -> Response:
+        """Run the full three-step chunked upload for a dataset object.
+
+        Goes through the v1 session endpoints by default; pass ``base=""``
+        to exercise the legacy shims (same state methods either way).
+        """
         import csv
         import io
 
@@ -146,7 +177,7 @@ class TestClient:
             writer.writerow([row.sensor_id, row.attribute, repr(row.lat), repr(row.lon)])
         attr_text = "\n".join(dataset.attributes) + "\n"
         begin = self.post(
-            f"/datasets/{dataset.name}/upload/begin",
+            f"{base}/datasets/{dataset.name}/upload/begin",
             json_body={
                 "location_csv": loc_buffer.getvalue(),
                 "attribute_csv": attr_text,
@@ -156,8 +187,8 @@ class TestClient:
             return begin
         for chunk in iter_chunks(data_rows, chunk_lines):
             response = self.post(
-                f"/datasets/{dataset.name}/upload/chunk", text_body=chunk
+                f"{base}/datasets/{dataset.name}/upload/chunk", text_body=chunk
             )
             if response.status != 200:
                 return response
-        return self.post(f"/datasets/{dataset.name}/upload/finish")
+        return self.post(f"{base}/datasets/{dataset.name}/upload/finish")

@@ -1,18 +1,29 @@
-"""API handlers: upload, parameter input, CAP results, visualization.
+"""Server state, shared handler cores, and the legacy (unversioned) routes.
 
-These implement the three-stage flow of the paper's Figure 2 —
-"Data upload → Parameter input → CAP mining results" — plus the
-interactive-analysis endpoints (correlated-sensor lookup, cached-result
-listing).  Handlers hold no state of their own; everything lives in
-:class:`ServerState` (datasets + cache, both backed by the document store).
+The canonical HTTP surface is the versioned resource API registered by
+:mod:`repro.server.api_v1`.  This module keeps two things:
+
+* :class:`ServerState` — store, cache, upload sessions, job queue: the
+  shared state every handler (v1 and legacy) runs against;
+* the *legacy* unversioned routes of the paper's Figure-2 flow
+  (``POST /mine``, ``GET /caps/{dataset}``, …), registered as thin
+  deprecation shims: each delegates to the same core helpers the v1
+  handlers use and answers with its historical payload shape plus
+  ``Deprecation: true`` and a ``Link: <successor>; rel="successor-version"``
+  header pointing at the v1 resource that replaces it.
 
 Upload protocol (Section 3.2):
 
-1. ``POST /datasets/{name}/upload/begin`` — JSON body with the contents of
+1. ``POST .../upload/begin`` — JSON body with the contents of
    ``location.csv`` and ``attribute.csv``;
-2. ``POST /datasets/{name}/upload/chunk`` — one ≤10,000-line piece of
-   ``data.csv`` per request (text body);
-3. ``POST /datasets/{name}/upload/finish`` — validate, assemble, store.
+2. ``POST .../upload/chunk`` — one ≤10,000-line piece of ``data.csv`` per
+   request (text body);
+3. ``POST .../upload/finish`` — validate, assemble, store.
+
+Upload sessions are serialized behind ``ServerState.lock`` (the threaded
+WSGI server runs handlers concurrently); beginning an upload for a name
+whose session is already open is a 409, and ``.../upload/abort`` discards a
+session (e.g. after a rejected chunk).
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from .http import HTTPError, Request, Response, html_response, json_response
 __all__ = ["ServerState", "register_routes"]
 
 _DATASETS = "datasets"
+_RESULTS = "cap_results"
 
 
 class ServerState:
@@ -43,8 +55,9 @@ class ServerState:
 
     With the threaded WSGI server and the background job executor, handlers
     run concurrently; ``self.lock`` guards the in-memory mutable state
-    (dataset registry caches, the memoized-result LRU).  Mining itself never
-    holds the lock — only the bookkeeping around it does.
+    (dataset registry caches, upload sessions, the memoized-result LRU).
+    Mining itself never holds the lock — only the bookkeeping around it
+    does.
     """
 
     def __init__(
@@ -57,6 +70,11 @@ class ServerState:
         self.jobs = JobQueue(width=job_workers)
         self._pending: dict[str, ChunkAssembler] = {}
         self._pending_meta: dict[str, tuple[list, list]] = {}
+        # One lock per open upload session: chunks of the same session must
+        # serialize (the assembler's row stream would interleave), but CSV
+        # parsing must not happen under the global ``self.lock`` — one
+        # client streaming a big upload would stall every other handler.
+        self._pending_locks: dict[str, threading.Lock] = {}
         self._loaded: dict[str, SensorDataset] = {}
         # Deserialized mining results memoized per cache key so the
         # map-click hot path reuses each result's sensor→CAP inverted index
@@ -65,8 +83,81 @@ class ServerState:
         self._results: dict[str, MiningResult] = {}
         self._results_capacity = 32
         # Bumped on every re-upload/delete; async jobs snapshot it at submit
-        # and refuse to publish a result mined from superseded data.
+        # and refuse to publish a result mined from superseded data, and v1
+        # result ETags embed it so conditional GETs never revalidate a
+        # representation derived from replaced data.
         self._generations: dict[str, int] = {}
+
+    # -- upload sessions ------------------------------------------------------
+
+    def begin_upload(self, name: str, locations: list, attributes: list) -> None:
+        """Open the chunked-upload session for ``name``.
+
+        One session per name: a concurrent ``begin`` while a session is
+        open is a 409 (two interleaved uploaders would corrupt each other's
+        chunk stream).  Sessions end at ``finish`` or ``abort``.
+        """
+        with self.lock:
+            if name in self._pending:
+                raise HTTPError(
+                    409,
+                    f"an upload for dataset {name!r} is already in progress; "
+                    f"finish or abort it first",
+                    code="upload_in_progress",
+                )
+            self._pending[name] = ChunkAssembler(name)
+            self._pending_meta[name] = (locations, attributes)
+            self._pending_locks[name] = threading.Lock()
+
+    def append_upload_chunk(self, name: str, text: str) -> tuple[int, int, int]:
+        """Add one data.csv chunk; returns (chunks, rows_in_chunk, rows_total).
+
+        Chunks of one session serialize on the *session* lock; the global
+        lock is held only for the registry lookup, so parsing a chunk never
+        blocks handlers for other datasets.
+        """
+        with self.lock:
+            assembler = self._pending.get(name)
+            session_lock = self._pending_locks.get(name)
+            if assembler is None or session_lock is None:
+                raise HTTPError(
+                    409,
+                    f"no upload in progress for dataset {name!r}",
+                    code="no_upload_in_progress",
+                )
+        with session_lock:
+            rows = assembler.add_chunk(text)
+            return assembler.chunks_received, rows, assembler.rows_received
+
+    def finish_upload(self, name: str) -> SensorDataset:
+        """Close the session, validate and store the assembled dataset."""
+        with self.lock:
+            assembler = self._pending.pop(name, None)
+            meta = self._pending_meta.pop(name, None)
+            session_lock = self._pending_locks.pop(name, None)
+        if assembler is None or meta is None or session_lock is None:
+            raise HTTPError(
+                409,
+                f"no upload in progress for dataset {name!r}",
+                code="no_upload_in_progress",
+            )
+        locations, attributes = meta
+        # Assembly runs outside the global lock — it scales with the
+        # dataset, and the session is already detached from the registry.
+        # Taking the session lock first lets an in-flight chunk parse
+        # complete before the rows are assembled.
+        with session_lock:
+            dataset = assembler.finish(locations, attributes)
+        self.put_dataset(dataset)
+        return dataset
+
+    def abort_upload(self, name: str) -> bool:
+        """Discard an open session; True when one existed."""
+        with self.lock:
+            assembler = self._pending.pop(name, None)
+            self._pending_meta.pop(name, None)
+            self._pending_locks.pop(name, None)
+            return assembler is not None
 
     # -- dataset registry -----------------------------------------------------
 
@@ -81,7 +172,7 @@ class ServerState:
                 return self._loaded[name]
         document = self.database[_DATASETS].find_one({"name": name})
         if document is None:
-            raise HTTPError(404, f"unknown dataset {name!r}")
+            raise HTTPError(404, f"unknown dataset {name!r}", code="unknown_dataset")
         dataset = dataset_from_document(document["dataset"])
         with self.lock:
             self._loaded[name] = dataset
@@ -101,14 +192,22 @@ class ServerState:
         self._cancel_dataset_jobs(dataset.name)
 
     def delete_dataset(self, name: str) -> bool:
+        """Delete a dataset; only an *actual* delete invalidates anything.
+
+        Deleting a name that was never uploaded must not bump the dataset
+        generation or cancel its jobs — a stray DELETE for a typo'd name
+        would otherwise withdraw in-flight mining results for nothing.
+        """
         with self.lock:
             removed = self.database[_DATASETS].delete_many({"name": name})
+            if not removed:
+                return False
             self.cache.invalidate_dataset(name)
             self._drop_results(name)
             self._loaded.pop(name, None)
             self._generations[name] = self._generations.get(name, 0) + 1
         self._cancel_dataset_jobs(name)
-        return removed > 0
+        return True
 
     def _cancel_dataset_jobs(self, dataset_name: str) -> None:
         """In-flight jobs for a replaced/deleted dataset are obsolete."""
@@ -130,6 +229,15 @@ class ServerState:
             if result.dataset_name != dataset_name
         }
 
+    # -- result resources -------------------------------------------------------
+
+    def get_result_document(self, key: str) -> Mapping[str, Any]:
+        """The stored ``cap_results`` document for one key; 404 when absent."""
+        document = self.database[_RESULTS].find_one({"key": key})
+        if document is None:
+            raise HTTPError(404, f"unknown result {key!r}", code="unknown_result")
+        return document
+
     def result_from_document(self, document: Mapping[str, Any]) -> MiningResult:
         """The stored result behind one ``cap_results`` document, memoized."""
         key = str(document["key"])
@@ -146,6 +254,12 @@ class ServerState:
                 self._results.pop(next(iter(self._results)))
             return self._results[key]
 
+    def forget_result(self, key: str) -> None:
+        """Drop one result: the stored document and its memoized object."""
+        self.cache.delete_key(key)
+        with self.lock:
+            self._results.pop(key, None)
+
     # -- async mining jobs ------------------------------------------------------
 
     def submit_mine_job(
@@ -156,8 +270,8 @@ class ServerState:
         The runner executes on an executor thread and funnels its result
         through the exact sync path — :meth:`ResultCache.mine_cached` — so
         async-mined CAPs land in the same ``cap_results`` documents (and
-        the same memoized-deserialization path) that ``GET /results`` and
-        map clicks read.
+        the same memoized-deserialization path) that result reads and map
+        clicks use.
 
         A re-upload or delete of the dataset while the job is in flight
         makes the captured dataset object stale: :meth:`put_dataset` /
@@ -195,11 +309,193 @@ class ServerState:
         return self.jobs.submit(dataset.name, params.to_document(), key, runner)
 
 
-def register_routes(router: Any, state: ServerState) -> None:
-    """Attach every API route to a router."""
+# -- shared handler cores (used by both the legacy shims and the v1 API) -------
 
-    @router.get("/")
+
+def parse_upload_begin(request: Request) -> tuple[list, list]:
+    """Parse an upload/begin body into (locations, attributes)."""
+    payload = request.json()
+    if not isinstance(payload, dict):
+        raise HTTPError(400, "expected a JSON object")
+    missing = {"location_csv", "attribute_csv"} - set(payload)
+    if missing:
+        raise HTTPError(400, f"missing fields: {sorted(missing)}", code="missing_fields")
+    locations = read_location_csv(io.StringIO(payload["location_csv"]))
+    attributes = read_attribute_csv(io.StringIO(payload["attribute_csv"]))
+    return locations, attributes
+
+
+def parse_parameters(document: Any) -> MiningParameters:
+    """Parameters from their JSON document; 400 on anything invalid."""
+    try:
+        return MiningParameters.from_document(document)
+    except (ValueError, TypeError) as exc:
+        raise HTTPError(
+            400, f"invalid parameters: {exc}", code="invalid_parameters"
+        ) from exc
+
+
+def parse_mine_mode(payload: Mapping[str, Any], request: Request) -> str:
+    mode = str(payload.get("mode") or request.param("mode") or "sync")
+    if mode not in ("sync", "async"):
+        raise HTTPError(
+            400, f"mode must be 'sync' or 'async', got {mode!r}", code="invalid_mode"
+        )
+    return mode
+
+
+def dataset_result_documents(state: ServerState, name: str) -> list[Mapping[str, Any]]:
+    """Every stored result document for one dataset (404s unknown names)."""
+    state.get_dataset(name)  # 404 for unknown datasets
+    return state.database[_RESULTS].find({"payload.dataset": name})
+
+
+def correlated_sensors_core(
+    state: ServerState, name: str, sensor_id: str
+) -> dict[str, list[str]]:
+    """The map's click interaction: who is correlated with this sensor?"""
+    dataset = state.get_dataset(name)
+    if sensor_id not in dataset:
+        raise HTTPError(
+            404,
+            f"unknown sensor {sensor_id!r} in dataset {name!r}",
+            code="unknown_sensor",
+        )
+    documents = state.database[_RESULTS].find({"payload.dataset": name})
+    if not documents:
+        raise HTTPError(
+            409,
+            f"no mined results for dataset {name!r}; mine first",
+            code="no_results",
+        )
+    correlated: dict[str, set[str]] = {}
+    for doc in documents:
+        result = state.result_from_document(doc)
+        for cap in result.caps_containing(sensor_id):
+            for other in cap.sensor_ids:
+                if other != sensor_id:
+                    correlated.setdefault(other, set()).update(cap.attributes)
+    return {sid: sorted(attrs) for sid, attrs in sorted(correlated.items())}
+
+
+def render_viz_svg(state: ServerState, kind: str, name: str, request: Request):
+    """Render one visualization; returns ``(svg, title)``.
+
+    Shared by the legacy HTML endpoints and the content-negotiating v1
+    endpoints — only the final wrapping (HTML page vs raw SVG) differs.
+    """
+    dataset = state.get_dataset(name)
+    if kind == "map":
+        from ..viz.map_view import render_map  # local import: viz is optional at runtime
+
+        highlight = request.param("highlight")
+        highlighted = set(highlight.split(",")) if highlight else set()
+        return render_map(dataset, highlighted_sensors=highlighted), f"{dataset.name} sensors"
+    if kind == "heatmap":
+        from ..core.evolving import extract_all_evolving
+        from ..viz.heatmap import render_coevolution_heatmap
+
+        sensors_param = request.param("sensors")
+        sensor_ids = sensors_param.split(",") if sensors_param else list(
+            dataset.sensor_ids[:20]
+        )
+        for sid in sensor_ids:
+            if sid not in dataset:
+                raise HTTPError(404, f"unknown sensor {sid!r}", code="unknown_sensor")
+        # Use the most recently cached parameters for this dataset, or a
+        # neutral default, to derive evolving sets for the heatmap.
+        documents = state.database[_RESULTS].find({"payload.dataset": dataset.name})
+        if documents:
+            params = MiningParameters.from_document(
+                documents[-1]["payload"]["parameters"]
+            )
+        else:
+            params = MiningParameters(
+                evolving_rate=1.0, distance_threshold=1.0,
+                max_attributes=2, min_support=1,
+            )
+        evolving = extract_all_evolving(dataset, params)
+        svg = render_coevolution_heatmap(dataset, evolving, sensor_ids)
+        return svg, f"{dataset.name} co-evolution"
+    if kind == "timeseries":
+        from ..viz.timeseries_view import render_timeseries
+
+        sensors_param = request.param("sensors")
+        if not sensors_param:
+            raise HTTPError(400, "pass ?sensors=id1,id2,...", code="missing_sensors")
+        sensor_ids = sensors_param.split(",")
+        for sid in sensor_ids:
+            if sid not in dataset:
+                raise HTTPError(404, f"unknown sensor {sid!r}", code="unknown_sensor")
+        return render_timeseries(dataset, sensor_ids), f"{dataset.name} measurements"
+    raise HTTPError(404, f"unknown visualization {kind!r}")  # pragma: no cover
+
+
+def admin_stats_payload(state: ServerState) -> dict[str, Any]:
+    return {
+        "store": state.database.stats(),
+        "cache": {
+            "entries": len(state.cache),
+            "hits": state.cache.stats.hits,
+            "misses": state.cache.stats.misses,
+            "evictions": state.cache.stats.evictions,
+            "hit_rate": state.cache.stats.hit_rate,
+        },
+        "jobs": state.jobs.counters(),
+    }
+
+
+def results_by_dataset_payload(state: ServerState) -> dict[str, Any]:
+    """Aggregation-pipeline summary of the cached results per dataset."""
+    rows = state.database[_RESULTS].aggregate(
+        [
+            {"$project": {
+                "dataset": "$payload.dataset",
+                "num_caps": "$result.caps",
+                "min_support": "$payload.parameters.min_support",
+            }},
+            {"$unwind": "$num_caps"},
+            {"$group": {"_id": "$dataset", "total_caps": {"$count": 1}}},
+            {"$sort": {"_id": 1}},
+        ]
+    )
+    settings = state.database[_RESULTS].aggregate(
+        [
+            {"$group": {"_id": "$payload.dataset", "settings": {"$count": 1}}},
+            {"$sort": {"_id": 1}},
+        ]
+    )
+    per_dataset = {row["_id"]: {"total_caps": row["total_caps"]} for row in rows}
+    for row in settings:
+        per_dataset.setdefault(row["_id"], {"total_caps": 0})["settings"] = row["settings"]
+    return {"results_by_dataset": per_dataset}
+
+
+def result_payload(result: MiningResult) -> dict[str, Any]:
+    """The legacy full-fat result payload (``POST /mine``'s 200 body)."""
+    return {
+        "dataset": result.dataset_name,
+        "parameters": result.parameters.to_document(),
+        "num_caps": result.num_caps,
+        "caps": [cap.to_document() for cap in result.caps],
+        "from_cache": result.from_cache,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+
+
+# Kept under the old private name: tests and older callers import it.
+_result_payload = result_payload
+
+
+def register_routes(router: Any, state: ServerState) -> None:
+    """Attach the legacy unversioned routes as v1 deprecation shims."""
+
+    @router.get(
+        "/", deprecated=True, successor="/api/v1",
+        responses={"200": "service banner and the full route list"},
+    )
     def index(request: Request) -> Response:
+        """Service banner with every registered route (legacy index)."""
         return json_response(
             {
                 "service": "miscela-v",
@@ -209,86 +505,122 @@ def register_routes(router: Any, state: ServerState) -> None:
 
     # -- upload (Figure 2, stage 1) -------------------------------------------
 
-    @router.post("/datasets/{name}/upload/begin")
+    @router.post(
+        "/datasets/{name}/upload/begin",
+        deprecated=True, successor="/api/v1/datasets/{name}/upload/begin",
+        responses={"201": "upload session opened", "409": "session already open"},
+    )
     def upload_begin(request: Request) -> Response:
+        """Open a chunked-upload session (location + attribute CSVs)."""
         name = request.path_params["name"]
-        payload = request.json()
-        if not isinstance(payload, dict):
-            raise HTTPError(400, "expected a JSON object")
-        missing = {"location_csv", "attribute_csv"} - set(payload)
-        if missing:
-            raise HTTPError(400, f"missing fields: {sorted(missing)}")
-        locations = read_location_csv(io.StringIO(payload["location_csv"]))
-        attributes = read_attribute_csv(io.StringIO(payload["attribute_csv"]))
-        self_assembler = ChunkAssembler(name)
-        state._pending[name] = self_assembler
-        state._pending_meta[name] = (locations, attributes)
+        locations, attributes = parse_upload_begin(request)
+        state.begin_upload(name, locations, attributes)
         return json_response({"dataset": name, "status": "upload started"}, status=201)
 
-    @router.post("/datasets/{name}/upload/chunk")
+    @router.post(
+        "/datasets/{name}/upload/chunk",
+        deprecated=True, successor="/api/v1/datasets/{name}/upload/chunk",
+        responses={"200": "chunk accepted", "409": "no session open"},
+    )
     def upload_chunk(request: Request) -> Response:
+        """Append one ≤10,000-line data.csv chunk to the open session."""
         name = request.path_params["name"]
-        assembler = state._pending.get(name)
-        if assembler is None:
-            raise HTTPError(409, f"no upload in progress for dataset {name!r}")
-        rows = assembler.add_chunk(request.text())
+        chunks, rows, total = state.append_upload_chunk(name, request.text())
         return json_response(
             {
                 "dataset": name,
-                "chunk": assembler.chunks_received,
+                "chunk": chunks,
                 "rows_in_chunk": rows,
-                "rows_total": assembler.rows_received,
+                "rows_total": total,
             }
         )
 
-    @router.post("/datasets/{name}/upload/finish")
+    @router.post(
+        "/datasets/{name}/upload/finish",
+        deprecated=True, successor="/api/v1/datasets/{name}/upload/finish",
+        responses={"201": "dataset validated and stored", "409": "no session open"},
+    )
     def upload_finish(request: Request) -> Response:
+        """Validate, assemble, and store the uploaded dataset."""
         name = request.path_params["name"]
-        assembler = state._pending.pop(name, None)
-        meta = state._pending_meta.pop(name, None)
-        if assembler is None or meta is None:
-            raise HTTPError(409, f"no upload in progress for dataset {name!r}")
-        locations, attributes = meta
-        dataset = assembler.finish(locations, attributes)
-        state.put_dataset(dataset)
+        dataset = state.finish_upload(name)
         return json_response(
             {"dataset": name, "summary": dataset.describe()}, status=201
         )
 
+    @router.post(
+        "/datasets/{name}/upload/abort",
+        deprecated=True, successor="/api/v1/datasets/{name}/upload/abort",
+        responses={"200": "session discarded", "409": "no session open"},
+    )
+    def upload_abort(request: Request) -> Response:
+        """Discard an open upload session (recover from a failed upload)."""
+        name = request.path_params["name"]
+        if not state.abort_upload(name):
+            raise HTTPError(
+                409,
+                f"no upload in progress for dataset {name!r}",
+                code="no_upload_in_progress",
+            )
+        return json_response({"dataset": name, "status": "upload aborted"})
+
     # -- dataset registry -------------------------------------------------------
 
-    @router.get("/datasets")
+    @router.get(
+        "/datasets", deprecated=True, successor="/api/v1/datasets",
+        responses={"200": "uploaded dataset names"},
+    )
     def list_datasets(request: Request) -> Response:
+        """List the uploaded dataset names."""
         return json_response({"datasets": state.dataset_names()})
 
-    @router.get("/datasets/{name}")
+    @router.get(
+        "/datasets/{name}", deprecated=True, successor="/api/v1/datasets/{name}",
+        responses={"200": "dataset summary", "404": "unknown dataset"},
+    )
     def describe_dataset(request: Request) -> Response:
+        """Describe one dataset (sensors, records, attributes, time span)."""
         dataset = state.get_dataset(request.path_params["name"])
         return json_response(dataset.describe())
 
-    @router.delete("/datasets/{name}")
+    @router.delete(
+        "/datasets/{name}", deprecated=True, successor="/api/v1/datasets/{name}",
+        responses={"200": "dataset deleted", "404": "unknown dataset"},
+    )
     def delete_dataset(request: Request) -> Response:
+        """Delete a dataset and every result mined from it."""
         if not state.delete_dataset(request.path_params["name"]):
-            raise HTTPError(404, f"unknown dataset {request.path_params['name']!r}")
+            raise HTTPError(
+                404,
+                f"unknown dataset {request.path_params['name']!r}",
+                code="unknown_dataset",
+            )
         return json_response({"deleted": request.path_params["name"]})
 
     # -- mining (Figure 2, stages 2 and 3) ----------------------------------------
 
-    @router.post("/mine")
+    @router.post(
+        "/mine", deprecated=True, successor="/api/v1/datasets/{name}/results",
+        responses={
+            "200": "the full mined result (sync mode)",
+            "202": "job accepted (mode=async)",
+            "400": "bad body/parameters/mode",
+            "404": "unknown dataset",
+        },
+    )
     def mine(request: Request) -> Response:
+        """RPC-style mining: full payload sync, or job submission async."""
         payload = request.json()
         if not isinstance(payload, dict):
             raise HTTPError(400, "expected a JSON object")
         if "dataset" not in payload or "parameters" not in payload:
-            raise HTTPError(400, "body must contain 'dataset' and 'parameters'")
-        mode = str(payload.get("mode") or request.param("mode") or "sync")
-        if mode not in ("sync", "async"):
-            raise HTTPError(400, f"mode must be 'sync' or 'async', got {mode!r}")
+            raise HTTPError(
+                400, "body must contain 'dataset' and 'parameters'",
+                code="missing_fields",
+            )
+        mode = parse_mine_mode(payload, request)
         dataset = state.get_dataset(str(payload["dataset"]))
-        try:
-            params = MiningParameters.from_document(payload["parameters"])
-        except (ValueError, TypeError) as exc:
-            raise HTTPError(400, f"invalid parameters: {exc}") from exc
+        params = parse_parameters(payload["parameters"])
         if mode == "async":
             job, created = state.submit_mine_job(dataset, params)
             return json_response(
@@ -300,53 +632,74 @@ def register_routes(router: Any, state: ServerState) -> None:
                 status=202,
             )
         result = state.cache.mine_cached(dataset, params)
-        return json_response(_result_payload(result))
+        return json_response(result_payload(result))
 
     # -- async jobs (submit via POST /mine mode=async) -----------------------------
 
-    @router.get("/jobs")
+    @router.get(
+        "/jobs", deprecated=True, successor="/api/v1/jobs",
+        query=({"name": "status", "type": "string",
+                "description": "filter by job state"},),
+        responses={"200": "job documents", "400": "unknown status"},
+    )
     def list_jobs(request: Request) -> Response:
+        """List mining jobs, optionally filtered by state."""
         status = request.param("status")
         try:
             jobs = state.jobs.list(status)
         except JobStateError as exc:
-            raise HTTPError(400, str(exc)) from exc
+            raise HTTPError(400, str(exc), code="invalid_status") from exc
         return json_response({"jobs": [job.to_document() for job in jobs]})
 
-    @router.get("/jobs/{job_id}")
+    @router.get(
+        "/jobs/{job_id}", deprecated=True, successor="/api/v1/jobs/{job_id}",
+        responses={"200": "job document (result inlined on success)",
+                   "404": "unknown job"},
+    )
     def job_status(request: Request) -> Response:
+        """One job's status/progress; inlines the result once succeeded."""
         job_id = request.path_params["job_id"]
         job = state.jobs.get(job_id)
         if job is None:
-            raise HTTPError(404, f"unknown job {job_id!r}")
+            raise HTTPError(404, f"unknown job {job_id!r}", code="unknown_job")
         document = job.to_document()
         if job.result_key is not None:
-            stored = state.database["cap_results"].find_one({"key": job.result_key})
+            stored = state.database[_RESULTS].find_one({"key": job.result_key})
             if stored is not None:
                 # Rendered through the same memoized deserialization the
                 # sync cache-hit path uses, so the payload is byte-identical
                 # to ``POST /mine`` for the same (dataset, parameters).
-                document["result"] = _result_payload(
+                document["result"] = result_payload(
                     state.result_from_document(stored)
                 )
         return json_response(document)
 
-    @router.post("/jobs/{job_id}/cancel")
+    @router.post(
+        "/jobs/{job_id}/cancel", deprecated=True,
+        successor="/api/v1/jobs/{job_id}/cancel",
+        responses={"200": "cancellation requested", "404": "unknown job",
+                   "409": "job already finished"},
+    )
     def job_cancel(request: Request) -> Response:
+        """Request cooperative cancellation of a queued/running job."""
         job_id = request.path_params["job_id"]
         try:
             job = state.jobs.cancel(job_id)
         except KeyError as exc:
-            raise HTTPError(404, f"unknown job {job_id!r}") from exc
+            raise HTTPError(404, f"unknown job {job_id!r}", code="unknown_job") from exc
         except JobStateError as exc:
-            raise HTTPError(409, str(exc)) from exc
+            raise HTTPError(409, str(exc), code="job_finished") from exc
         return json_response(job.to_document())
 
-    @router.get("/caps/{dataset}")
+    @router.get(
+        "/caps/{dataset}", deprecated=True,
+        successor="/api/v1/datasets/{name}/results",
+        responses={"200": "cached result listing", "404": "unknown dataset"},
+    )
     def cached_results(request: Request) -> Response:
+        """List the cached mining results for one dataset."""
         name = request.path_params["dataset"]
-        state.get_dataset(name)  # 404 for unknown datasets
-        documents = state.database["cap_results"].find({"payload.dataset": name})
+        documents = dataset_result_documents(state, name)
         return json_response(
             {
                 "dataset": name,
@@ -361,143 +714,78 @@ def register_routes(router: Any, state: ServerState) -> None:
             }
         )
 
-    @router.get("/caps/{dataset}/sensors/{sensor_id}")
+    @router.get(
+        "/caps/{dataset}/sensors/{sensor_id}", deprecated=True,
+        successor="/api/v1/datasets/{name}/sensors/{sensor_id}/correlated",
+        responses={"200": "correlated sensors with shared attributes",
+                   "404": "unknown dataset/sensor", "409": "nothing mined yet"},
+    )
     def correlated_sensors(request: Request) -> Response:
         """The map's click interaction: who is correlated with this sensor?"""
         name = request.path_params["dataset"]
         sensor_id = request.path_params["sensor_id"]
-        dataset = state.get_dataset(name)
-        if sensor_id not in dataset:
-            raise HTTPError(404, f"unknown sensor {sensor_id!r} in dataset {name!r}")
-        documents = state.database["cap_results"].find({"payload.dataset": name})
-        if not documents:
-            raise HTTPError(409, f"no mined results for dataset {name!r}; POST /mine first")
-        correlated: dict[str, set[str]] = {}
-        for doc in documents:
-            result = state.result_from_document(doc)
-            for cap in result.caps_containing(sensor_id):
-                for other in cap.sensor_ids:
-                    if other != sensor_id:
-                        correlated.setdefault(other, set()).update(cap.attributes)
+        correlated = correlated_sensors_core(state, name, sensor_id)
         return json_response(
-            {
-                "dataset": name,
-                "sensor": sensor_id,
-                "correlated": {
-                    sid: sorted(attrs) for sid, attrs in sorted(correlated.items())
-                },
-            }
+            {"dataset": name, "sensor": sensor_id, "correlated": correlated}
         )
 
     # -- visualization ------------------------------------------------------------
 
-    @router.get("/viz/{dataset}/map")
+    @router.get(
+        "/viz/{dataset}/map", deprecated=True,
+        successor="/api/v1/datasets/{name}/viz/map",
+        query=({"name": "highlight", "type": "string",
+                "description": "comma-separated sensor ids to highlight"},),
+        responses={"200": "HTML page with the sensor map"},
+    )
     def viz_map(request: Request) -> Response:
-        from ..viz.map_view import render_map  # local import: viz is optional at runtime
+        """Sensor map as an HTML page."""
+        svg, title = render_viz_svg(state, "map", request.path_params["dataset"], request)
+        return html_response(svg.to_html_page(title=title))
 
-        dataset = state.get_dataset(request.path_params["dataset"])
-        highlight = request.param("highlight")
-        highlighted = set(highlight.split(",")) if highlight else set()
-        svg = render_map(dataset, highlighted_sensors=highlighted)
-        return html_response(svg.to_html_page(title=f"{dataset.name} sensors"))
-
-    @router.get("/viz/{dataset}/heatmap")
+    @router.get(
+        "/viz/{dataset}/heatmap", deprecated=True,
+        successor="/api/v1/datasets/{name}/viz/heatmap",
+        query=({"name": "sensors", "type": "string",
+                "description": "comma-separated sensor ids (default: first 20)"},),
+        responses={"200": "HTML page with the co-evolution heatmap"},
+    )
     def viz_heatmap(request: Request) -> Response:
-        from ..core.evolving import extract_all_evolving
-        from ..viz.heatmap import render_coevolution_heatmap
-
-        dataset = state.get_dataset(request.path_params["dataset"])
-        sensors_param = request.param("sensors")
-        sensor_ids = sensors_param.split(",") if sensors_param else list(
-            dataset.sensor_ids[:20]
+        """Co-evolution heatmap as an HTML page."""
+        svg, title = render_viz_svg(
+            state, "heatmap", request.path_params["dataset"], request
         )
-        for sid in sensor_ids:
-            if sid not in dataset:
-                raise HTTPError(404, f"unknown sensor {sid!r}")
-        # Use the most recently cached parameters for this dataset, or a
-        # neutral default, to derive evolving sets for the heatmap.
-        documents = state.database["cap_results"].find(
-            {"payload.dataset": dataset.name}
-        )
-        if documents:
-            params = MiningParameters.from_document(
-                documents[-1]["payload"]["parameters"]
-            )
-        else:
-            params = MiningParameters(
-                evolving_rate=1.0, distance_threshold=1.0,
-                max_attributes=2, min_support=1,
-            )
-        evolving = extract_all_evolving(dataset, params)
-        svg = render_coevolution_heatmap(dataset, evolving, sensor_ids)
-        return html_response(svg.to_html_page(title=f"{dataset.name} co-evolution"))
+        return html_response(svg.to_html_page(title=title))
 
-    @router.get("/viz/{dataset}/timeseries")
+    @router.get(
+        "/viz/{dataset}/timeseries", deprecated=True,
+        successor="/api/v1/datasets/{name}/viz/timeseries",
+        query=({"name": "sensors", "type": "string",
+                "description": "comma-separated sensor ids (required)"},),
+        responses={"200": "HTML page with measurement time series"},
+    )
     def viz_timeseries(request: Request) -> Response:
-        from ..viz.timeseries_view import render_timeseries
-
-        dataset = state.get_dataset(request.path_params["dataset"])
-        sensors_param = request.param("sensors")
-        if not sensors_param:
-            raise HTTPError(400, "pass ?sensors=id1,id2,...")
-        sensor_ids = sensors_param.split(",")
-        for sid in sensor_ids:
-            if sid not in dataset:
-                raise HTTPError(404, f"unknown sensor {sid!r}")
-        svg = render_timeseries(dataset, sensor_ids)
-        return html_response(svg.to_html_page(title=f"{dataset.name} measurements"))
+        """Measurement time series as an HTML page."""
+        svg, title = render_viz_svg(
+            state, "timeseries", request.path_params["dataset"], request
+        )
+        return html_response(svg.to_html_page(title=title))
 
     # -- admin ----------------------------------------------------------------------
 
-    @router.get("/admin/results-by-dataset")
+    @router.get(
+        "/admin/results-by-dataset", deprecated=True,
+        successor="/api/v1/admin/results-by-dataset",
+        responses={"200": "per-dataset cached-result aggregation"},
+    )
     def admin_results_by_dataset(request: Request) -> Response:
         """Aggregation-pipeline summary of the cached results per dataset."""
-        rows = state.database["cap_results"].aggregate(
-            [
-                {"$project": {
-                    "dataset": "$payload.dataset",
-                    "num_caps": "$result.caps",
-                    "min_support": "$payload.parameters.min_support",
-                }},
-                {"$unwind": "$num_caps"},
-                {"$group": {"_id": "$dataset", "total_caps": {"$count": 1}}},
-                {"$sort": {"_id": 1}},
-            ]
-        )
-        settings = state.database["cap_results"].aggregate(
-            [
-                {"$group": {"_id": "$payload.dataset", "settings": {"$count": 1}}},
-                {"$sort": {"_id": 1}},
-            ]
-        )
-        per_dataset = {row["_id"]: {"total_caps": row["total_caps"]} for row in rows}
-        for row in settings:
-            per_dataset.setdefault(row["_id"], {"total_caps": 0})["settings"] = row["settings"]
-        return json_response({"results_by_dataset": per_dataset})
+        return json_response(results_by_dataset_payload(state))
 
-    @router.get("/admin/stats")
+    @router.get(
+        "/admin/stats", deprecated=True, successor="/api/v1/admin/stats",
+        responses={"200": "store/cache/job counters"},
+    )
     def admin_stats(request: Request) -> Response:
-        return json_response(
-            {
-                "store": state.database.stats(),
-                "cache": {
-                    "entries": len(state.cache),
-                    "hits": state.cache.stats.hits,
-                    "misses": state.cache.stats.misses,
-                    "evictions": state.cache.stats.evictions,
-                    "hit_rate": state.cache.stats.hit_rate,
-                },
-                "jobs": state.jobs.counters(),
-            }
-        )
-
-
-def _result_payload(result: MiningResult) -> dict[str, Any]:
-    return {
-        "dataset": result.dataset_name,
-        "parameters": result.parameters.to_document(),
-        "num_caps": result.num_caps,
-        "caps": [cap.to_document() for cap in result.caps],
-        "from_cache": result.from_cache,
-        "elapsed_seconds": result.elapsed_seconds,
-    }
+        """Store, cache, and job-queue counters."""
+        return json_response(admin_stats_payload(state))

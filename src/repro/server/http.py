@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 from urllib.parse import parse_qs
 
 __all__ = ["Request", "Response", "HTTPError", "json_response", "wsgi_adapter"]
@@ -22,23 +22,53 @@ _STATUS_TEXT = {
     201: "Created",
     202: "Accepted",
     204: "No Content",
+    301: "Moved Permanently",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    406: "Not Acceptable",
     409: "Conflict",
+    410: "Gone",
     413: "Payload Too Large",
     500: "Internal Server Error",
 }
 
+#: Machine-readable error codes for the v1 error envelope, by status.
+_DEFAULT_ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    406: "not_acceptable",
+    409: "conflict",
+    410: "gone",
+    413: "payload_too_large",
+    500: "internal_error",
+}
+
 
 class HTTPError(Exception):
-    """An error with an HTTP status; the middleware renders it as JSON."""
+    """An error with an HTTP status; the middleware renders it as JSON.
 
-    def __init__(self, status: int, message: str, details: Any = None) -> None:
+    ``code`` is the stable machine-readable identifier the v1 error
+    envelope exposes (defaults to a per-status constant); ``headers`` are
+    merged into the rendered error response (e.g. ``Allow`` on a 405).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        details: Any = None,
+        code: str | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
         self.details = details
+        self.code = code if code is not None else _DEFAULT_ERROR_CODES.get(status, "error")
+        self.headers = dict(headers or {})
 
 
 @dataclass
@@ -52,6 +82,9 @@ class Request:
     body: bytes = b""
     #: Filled by the router with the matched path parameters.
     path_params: dict[str, str] = field(default_factory=dict)
+    #: Filled by the router with the matched route, so the error envelope
+    #: can add deprecation headers even when the handler raises.
+    route: Any = field(default=None, repr=False, compare=False)
 
     def param(self, name: str, default: str | None = None) -> str | None:
         """First query-string value for ``name``."""
@@ -111,6 +144,71 @@ def html_response(markup: str, status: int = 200) -> Response:
     )
 
 
+def svg_response(markup: str, status: int = 200) -> Response:
+    """A raw SVG response (``Accept: image/svg+xml`` on viz endpoints)."""
+    return Response(
+        status=status,
+        headers={"Content-Type": "image/svg+xml; charset=utf-8"},
+        body=markup.encode("utf-8"),
+    )
+
+
+def negotiate_media_type(request: Request, offered: Sequence[str]) -> str:
+    """Pick the best of ``offered`` media types for the request's Accept.
+
+    Standard q-value negotiation, simplified to what the viz endpoints
+    need: exact types beat ``type/*`` beat ``*/*``; among equal matches the
+    client's header order wins, and with no ``Accept`` header (or an
+    unweighted wildcard tie) the server's first offer is the default.
+    Raises a 406 when the header excludes every offered type.
+    """
+    header = (request.headers or {}).get("accept", "")
+    if not header.strip():
+        return offered[0]
+    ranges: list[tuple[str, float, int]] = []
+    for position, part in enumerate(header.split(",")):
+        part = part.strip()
+        if not part:
+            continue
+        pieces = part.split(";")
+        media = pieces[0].strip().lower()
+        quality = 1.0
+        for piece in pieces[1:]:
+            piece = piece.strip()
+            if piece.startswith("q="):
+                try:
+                    quality = float(piece[2:])
+                except ValueError:
+                    quality = 0.0
+        ranges.append((media, quality, position))
+    best: tuple[float, int, int] | None = None
+    best_offer = ""
+    for offer in offered:
+        main_type = offer.split("/", 1)[0]
+        for media, quality, position in ranges:
+            if quality <= 0.0:
+                continue
+            if media == offer:
+                specificity = 2
+            elif media == f"{main_type}/*":
+                specificity = 1
+            elif media == "*/*":
+                specificity = 0
+            else:
+                continue
+            candidate = (quality, specificity, -position)
+            if best is None or candidate > best:
+                best = candidate
+                best_offer = offer
+    if best is None:
+        raise HTTPError(
+            406,
+            f"cannot satisfy Accept: {header!r}; offered types: {', '.join(offered)}",
+            details={"offered": list(offered)},
+        )
+    return best_offer
+
+
 Handler = Callable[[Request], Response]
 
 
@@ -164,4 +262,6 @@ def make_threaded_server(host: str, port: int, wsgi_app: Callable[..., Iterable[
 
 
 __all__.append("html_response")
+__all__.append("svg_response")
+__all__.append("negotiate_media_type")
 __all__.append("make_threaded_server")

@@ -1,24 +1,72 @@
 """Middleware: error rendering, request logging, and body-size limits.
 
 Composable request wrappers in the WSGI/django tradition.  The error
-middleware is what turns :class:`~repro.server.http.HTTPError` and
-validation failures into clean JSON error payloads instead of stack traces.
+middleware is the API's single error-envelope layer: every failure —
+:class:`~repro.server.http.HTTPError`, dataset validation, or an unexpected
+exception — renders through :func:`render_error`, which picks the response
+shape by path:
+
+* ``/api/v1/...`` requests get the uniform v1 error document
+  ``{"error": {"code", "message", "detail"}}`` — one shape for 400s, 404s,
+  405s and 500s alike, with a stable machine-readable ``code``;
+* legacy unversioned routes keep their historical
+  ``{"error": <message>, "details": ...}`` shape so pre-v1 clients and
+  tests are unaffected.
+
+Headers attached to an :class:`HTTPError` (e.g. ``Allow`` on a 405) are
+merged into the rendered response in both shapes.
 """
 
 from __future__ import annotations
 
 import logging
 import time
-from typing import Callable
+from typing import Any, Callable, Mapping
 
 from ..data.validation import DatasetValidationError
 from .http import HTTPError, Request, Response, json_response
+from .routing import apply_deprecation_headers
 
-__all__ = ["error_middleware", "logging_middleware", "body_limit_middleware"]
+__all__ = [
+    "error_middleware",
+    "logging_middleware",
+    "body_limit_middleware",
+    "render_error",
+]
 
 Handler = Callable[[Request], Response]
 
 logger = logging.getLogger("repro.server")
+
+#: The versioned API prefix the envelope layer keys off.
+V1_PREFIX = "/api/v1"
+
+
+def _is_v1(path: str) -> bool:
+    return path == V1_PREFIX or path.startswith(V1_PREFIX + "/")
+
+
+def render_error(
+    request: Request,
+    status: int,
+    code: str,
+    message: str,
+    detail: Any = None,
+    headers: Mapping[str, str] | None = None,
+) -> Response:
+    """Render one error in the shape the request's API version expects."""
+    if _is_v1(request.path):
+        payload: dict[str, Any] = {
+            "error": {"code": code, "message": message, "detail": detail}
+        }
+    else:
+        payload = {"error": message}
+        if detail is not None:
+            payload["details"] = detail
+    response = json_response(payload, status=status)
+    if headers:
+        response.headers.update(headers)
+    return response
 
 
 def error_middleware(handler: Handler) -> Handler:
@@ -28,18 +76,24 @@ def error_middleware(handler: Handler) -> Handler:
         try:
             return handler(request)
         except HTTPError as exc:
-            payload = {"error": exc.message}
-            if exc.details is not None:
-                payload["details"] = exc.details
-            return json_response(payload, status=exc.status)
+            response = render_error(
+                request, exc.status, exc.code, exc.message,
+                detail=exc.details, headers=exc.headers,
+            )
         except DatasetValidationError as exc:
-            return json_response(
-                {"error": "dataset validation failed", "details": exc.errors},
-                status=400,
+            response = render_error(
+                request, 400, "validation_failed",
+                "dataset validation failed", detail=exc.errors,
             )
         except Exception as exc:  # noqa: BLE001 - the server must not crash
             logger.exception("unhandled error for %s %s", request.method, request.path)
-            return json_response({"error": f"internal error: {exc}"}, status=500)
+            response = render_error(
+                request, 500, "internal_error", f"internal error: {exc}"
+            )
+        # Errors raised by a deprecated route's handler carry the
+        # deprecation headers too (dispatch never saw a response to mark).
+        apply_deprecation_headers(getattr(request, "route", None), response)
+        return response
 
     return wrapped
 

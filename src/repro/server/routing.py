@@ -3,19 +3,43 @@
 A tiny django-style URL dispatcher: routes are method + path patterns with
 ``{name}`` placeholders, matched in registration order.  ``{name}``
 captures one path segment; captured values land in ``request.path_params``.
+
+Routes carry *metadata* beyond the handler — a name, a one-line summary
+(defaulting to the handler's docstring), declared query parameters and
+response descriptions, and a deprecation flag with a pointer at the v1
+successor route.  The metadata feeds two consumers:
+
+* ``GET /api/v1/schema`` — :mod:`repro.server.schema` walks
+  :meth:`Router.describe` and emits an OpenAPI-style document covering
+  every registered route (the CI route-parity check keeps `API.md` in
+  sync with it);
+* the dispatcher itself — deprecated routes answer normally but gain
+  ``Deprecation: true`` and a ``Link: <successor>; rel="successor-version"``
+  header, and a method mismatch raises a 405 carrying the ``Allow`` header.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
 
 from .http import HTTPError, Request, Response
 
-__all__ = ["Router", "Route"]
+__all__ = ["Router", "Route", "apply_deprecation_headers"]
 
 Handler = Callable[[Request], Response]
+
+
+def apply_deprecation_headers(route: "Route | None", response: Response) -> None:
+    """Mark a response served by a deprecated route (success or error)."""
+    if route is None or not route.deprecated:
+        return
+    response.headers.setdefault("Deprecation", "true")
+    if route.successor:
+        response.headers.setdefault(
+            "Link", f'<{route.successor}>; rel="successor-version"'
+        )
 
 _PLACEHOLDER = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
 
@@ -39,53 +63,126 @@ class Route:
     pattern: str
     regex: re.Pattern[str]
     handler: Handler
+    #: Operation id for the schema (defaults to the handler's ``__name__``).
+    name: str = ""
+    #: One-line human description (defaults to the docstring's first line).
+    summary: str = ""
+    #: Declared query parameters: ``{"name", "type", "description"}`` dicts.
+    query: tuple[Mapping[str, str], ...] = ()
+    #: Response descriptions keyed by status code string.
+    responses: Mapping[str, str] = field(default_factory=dict)
+    #: Deprecated routes still answer, but with deprecation headers.
+    deprecated: bool = False
+    #: The v1 route that replaces this one (``Link rel="successor-version"``).
+    successor: str | None = None
+
+    @property
+    def path_params(self) -> list[str]:
+        return _PLACEHOLDER.findall(self.pattern)
 
 
 class Router:
-    """Ordered route table with 404/405 semantics."""
+    """Ordered route table with 404/405 semantics and schema introspection."""
 
     def __init__(self) -> None:
         self._routes: list[Route] = []
 
-    def add(self, method: str, pattern: str, handler: Handler) -> None:
+    def add(
+        self,
+        method: str,
+        pattern: str,
+        handler: Handler,
+        *,
+        name: str | None = None,
+        summary: str | None = None,
+        query: Sequence[Mapping[str, str]] = (),
+        responses: Mapping[str, str] | None = None,
+        deprecated: bool = False,
+        successor: str | None = None,
+    ) -> None:
         method = method.upper()
         if method not in ("GET", "POST", "PUT", "DELETE", "PATCH", "HEAD"):
             raise ValueError(f"unsupported method {method!r}")
-        self._routes.append(Route(method, pattern, _compile_pattern(pattern), handler))
+        if name is None:
+            name = getattr(handler, "__name__", "") or ""
+        if summary is None:
+            doc = (getattr(handler, "__doc__", "") or "").strip()
+            summary = doc.splitlines()[0].strip() if doc else ""
+        self._routes.append(
+            Route(
+                method,
+                pattern,
+                _compile_pattern(pattern),
+                handler,
+                name=name,
+                summary=summary,
+                query=tuple(dict(q) for q in query),
+                responses=dict(responses or {}),
+                deprecated=deprecated,
+                successor=successor,
+            )
+        )
 
-    def get(self, pattern: str) -> Callable[[Handler], Handler]:
+    def get(self, pattern: str, **meta: Any) -> Callable[[Handler], Handler]:
         """Decorator form: ``@router.get("/caps/{dataset}")``."""
-        return self._decorator("GET", pattern)
+        return self._decorator("GET", pattern, **meta)
 
-    def post(self, pattern: str) -> Callable[[Handler], Handler]:
-        return self._decorator("POST", pattern)
+    def post(self, pattern: str, **meta: Any) -> Callable[[Handler], Handler]:
+        return self._decorator("POST", pattern, **meta)
 
-    def delete(self, pattern: str) -> Callable[[Handler], Handler]:
-        return self._decorator("DELETE", pattern)
+    def delete(self, pattern: str, **meta: Any) -> Callable[[Handler], Handler]:
+        return self._decorator("DELETE", pattern, **meta)
 
-    def _decorator(self, method: str, pattern: str) -> Callable[[Handler], Handler]:
+    def _decorator(
+        self, method: str, pattern: str, **meta: Any
+    ) -> Callable[[Handler], Handler]:
         def register(handler: Handler) -> Handler:
-            self.add(method, pattern, handler)
+            self.add(method, pattern, handler, **meta)
             return handler
 
         return register
 
     def dispatch(self, request: Request) -> Response:
         """Route a request; raises 404/405 HTTPError when nothing matches."""
-        path_matched = False
+        allowed: set[str] = set()
         for route in self._routes:
             match = route.regex.match(request.path)
             if match is None:
                 continue
-            path_matched = True
             if route.method != request.method:
+                allowed.add(route.method)
                 continue
             request.path_params = dict(match.groupdict())
-            return route.handler(request)
-        if path_matched:
-            raise HTTPError(405, f"method {request.method} not allowed for {request.path}")
-        raise HTTPError(404, f"no route for {request.path}")
+            request.route = route
+            response = route.handler(request)
+            apply_deprecation_headers(route, response)
+            return response
+        if allowed:
+            raise HTTPError(
+                405,
+                f"method {request.method} not allowed for {request.path}",
+                code="method_not_allowed",
+                headers={"Allow": ", ".join(sorted(allowed))},
+            )
+        raise HTTPError(404, f"no route for {request.path}", code="not_found")
 
     def routes(self) -> list[tuple[str, str]]:
         """(method, pattern) pairs — the API index endpoint's payload."""
         return [(r.method, r.pattern) for r in self._routes]
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Full metadata per route — the schema generator's input."""
+        return [
+            {
+                "method": route.method,
+                "pattern": route.pattern,
+                "name": route.name,
+                "summary": route.summary,
+                "path_params": route.path_params,
+                "query": [dict(q) for q in route.query],
+                "responses": dict(route.responses),
+                "deprecated": route.deprecated,
+                "successor": route.successor,
+            }
+            for route in self._routes
+        ]

@@ -72,3 +72,71 @@ class TestLogging:
         with caplog.at_level(logging.INFO, logger="repro.server"):
             handler(Request("GET", "/datasets"))
         assert any("/datasets" in r.message and "200" in r.message for r in caplog.records)
+
+
+class TestV1ErrorEnvelope:
+    """Under /api/v1 every failure renders the uniform error document."""
+
+    def test_http_error_uses_envelope(self):
+        def handler(request):
+            raise HTTPError(404, "nope", details={"hint": "x"}, code="unknown_thing")
+
+        resp = error_middleware(handler)(Request("GET", "/api/v1/things/1"))
+        assert resp.status == 404
+        assert resp.json() == {
+            "error": {"code": "unknown_thing", "message": "nope",
+                      "detail": {"hint": "x"}}
+        }
+
+    def test_default_code_derived_from_status(self):
+        def handler(request):
+            raise HTTPError(409, "busy")
+
+        resp = error_middleware(handler)(Request("GET", "/api/v1/x"))
+        assert resp.json()["error"]["code"] == "conflict"
+
+    def test_validation_error_envelope(self):
+        def handler(request):
+            raise DatasetValidationError(["bad row 1"])
+
+        resp = error_middleware(handler)(Request("POST", "/api/v1/x"))
+        assert resp.status == 400
+        body = resp.json()["error"]
+        assert body["code"] == "validation_failed"
+        assert body["detail"] == ["bad row 1"]
+
+    def test_unexpected_error_envelope(self, caplog):
+        def handler(request):
+            raise RuntimeError("boom")
+
+        with caplog.at_level(logging.ERROR, logger="repro.server"):
+            resp = error_middleware(handler)(Request("GET", "/api/v1/x"))
+        assert resp.status == 500
+        assert resp.json()["error"]["code"] == "internal_error"
+        assert "boom" in resp.json()["error"]["message"]
+
+    def test_malformed_json_body_is_400(self):
+        def handler(request):
+            return json_response(request.json())
+
+        resp = error_middleware(handler)(
+            Request("POST", "/api/v1/datasets/x/results", body=b"{nope")
+        )
+        assert resp.status == 400
+        assert resp.json()["error"]["code"] == "bad_request"
+        assert "malformed" in resp.json()["error"]["message"]
+
+    def test_legacy_paths_keep_the_old_shape(self):
+        def handler(request):
+            raise HTTPError(404, "nope", details={"hint": "x"})
+
+        resp = error_middleware(handler)(Request("GET", "/datasets/x"))
+        assert resp.json() == {"error": "nope", "details": {"hint": "x"}}
+
+    def test_error_headers_merged_into_response(self):
+        def handler(request):
+            raise HTTPError(405, "no", headers={"Allow": "GET, POST"})
+
+        resp = error_middleware(handler)(Request("PUT", "/api/v1/x"))
+        assert resp.status == 405
+        assert resp.headers["Allow"] == "GET, POST"

@@ -85,3 +85,78 @@ class TestRegistration:
         with pytest.raises(HTTPError):
             r.dispatch(Request("GET", "/aXb"))  # '.' must not be a wildcard
         assert r.dispatch(Request("GET", "/a.b")).json() == {"ok": 1}
+
+
+class TestErrorMetadata:
+    """The 404/405 contract the v1 error envelope renders."""
+
+    def test_404_carries_not_found_code(self, router):
+        with pytest.raises(HTTPError) as exc:
+            router.dispatch(Request("GET", "/api/v1/nope"))
+        assert exc.value.status == 404
+        assert exc.value.code == "not_found"
+
+    def test_405_lists_allowed_methods(self, router):
+        with pytest.raises(HTTPError) as exc:
+            router.dispatch(Request("POST", "/datasets/x"))
+        assert exc.value.status == 405
+        assert exc.value.code == "method_not_allowed"
+        assert exc.value.headers["Allow"] == "DELETE, GET"
+
+
+class TestRouteMetadata:
+    def test_summary_defaults_to_docstring(self):
+        r = Router()
+
+        @r.get("/x")
+        def handler(request):
+            """First line wins.
+
+            Not this one.
+            """
+            return json_response({})
+
+        description = r.describe()[0]
+        assert description["summary"] == "First line wins."
+        assert description["name"] == "handler"
+
+    def test_declared_metadata_round_trips(self):
+        r = Router()
+        r.add(
+            "GET", "/things/{thing_id}",
+            lambda req: json_response({}),
+            name="get_thing",
+            summary="One thing.",
+            query=({"name": "verbose", "type": "string", "description": "d"},),
+            responses={"200": "the thing"},
+            deprecated=True,
+            successor="/api/v1/things/{thing_id}",
+        )
+        description = r.describe()[0]
+        assert description["path_params"] == ["thing_id"]
+        assert description["query"] == [
+            {"name": "verbose", "type": "string", "description": "d"}
+        ]
+        assert description["responses"] == {"200": "the thing"}
+        assert description["deprecated"] is True
+        assert description["successor"] == "/api/v1/things/{thing_id}"
+
+    def test_deprecated_route_gets_headers_on_dispatch(self):
+        r = Router()
+        r.add(
+            "GET", "/old", lambda req: json_response({"ok": 1}),
+            deprecated=True, successor="/api/v1/new",
+        )
+        response = r.dispatch(Request("GET", "/old"))
+        assert response.headers["Deprecation"] == "true"
+        assert response.headers["Link"] == '</api/v1/new>; rel="successor-version"'
+
+    def test_active_route_gets_no_deprecation_headers(self, router):
+        response = router.dispatch(Request("GET", "/datasets"))
+        assert "Deprecation" not in response.headers
+
+    def test_dispatch_records_matched_route(self, router):
+        request = Request("GET", "/datasets/x")
+        router.dispatch(request)
+        assert request.route is not None
+        assert request.route.pattern == "/datasets/{name}"

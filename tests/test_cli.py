@@ -36,6 +36,20 @@ class TestInventory:
         assert "2329936" in out  # the paper's Santander record count
 
 
+class TestSchema:
+    def test_prints_json_schema(self, capsys):
+        assert main(["schema"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "/api/v1/results/{key}/caps" in payload["paths"]
+
+    def test_out_then_check_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "API.md"
+        assert main(["schema", "--out", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["schema", "--check", str(target)]) == 0
+        assert "route parity OK" in capsys.readouterr().out
+
+
 class TestGenerate:
     def test_writes_csv_directory(self, tmp_path, capsys):
         out = tmp_path / "csvs"
