@@ -10,7 +10,11 @@ Everything the demo's web UI drives is reachable from a terminal:
 * ``sweep``     — the §2.1 sensitivity sweep, as a table and optional SVG;
 * ``compare``   — the Figure-4 before/after diff at a split date;
 * ``serve``     — start the Figure-2 API server (the versioned ``/api/v1``
-  resource API plus the deprecated unversioned shims);
+  resource API plus the deprecated unversioned shims); with ``--store``
+  the job registry is durable: jobs survive restarts and several server
+  processes sharing the snapshot claim work through leases;
+* ``jobs``      — inspect (``list``) or recover (``recover``) the durable
+  job registry of a store snapshot without starting a server;
 * ``schema``    — emit the generated API schema (JSON), regenerate the
   ``API.md`` reference, or check route/reference parity.
 
@@ -25,6 +29,8 @@ Examples::
         --values 2,5,10,20 --svg sweep.svg
     repro-miscela compare --dataset covid19 --split 2020-01-23
     repro-miscela serve --port 8000
+    repro-miscela serve --store ./miscela.json --lease-seconds 10
+    repro-miscela jobs recover --store ./miscela.json
     repro-miscela schema --out API.md
     repro-miscela schema --check API.md
 """
@@ -184,12 +190,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--split", required=True, help="split date, YYYY-MM-DD")
 
     p_srv = sub.add_parser("serve", help="start the Figure-2 API server")
-    p_srv.add_argument("--port", type=int, default=8000)
-    p_srv.add_argument("--store", help="JSON snapshot path for persistence")
+    p_srv.add_argument("--port", type=int, default=8000,
+                       help="TCP port (0 = pick a free one; the chosen port "
+                            "is announced on the MISCELA_READY line)")
+    p_srv.add_argument("--store", help="JSON snapshot path for persistence; "
+                       "also enables the durable job registry (jobs survive "
+                       "restarts, several processes may share one store)")
     p_srv.add_argument("--preload", action="store_true",
                        help="pre-upload synthetic santander")
+    p_srv.add_argument("--preload-dataset", dest="preload_dataset",
+                       choices=list(DATASET_NAMES),
+                       help="pre-upload this synthetic dataset instead")
+    p_srv.add_argument("--preload-seed", dest="preload_seed", type=int, default=7,
+                       help="generator seed for --preload/--preload-dataset")
     p_srv.add_argument("--job-workers", dest="job_workers", type=int, default=2,
                        help="async mining executor width (mode=async submissions)")
+    p_srv.add_argument("--lease-seconds", dest="lease_seconds", type=float,
+                       default=30.0,
+                       help="with --store: how long a claimed job's lease "
+                            "lasts without a progress renewal")
+    p_srv.add_argument("--worker-poll", dest="worker_poll", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="with --store: poll interval of the lease worker "
+                            "that claims jobs other processes enqueued "
+                            "(0 disables the worker)")
+    p_srv.add_argument("--worker-id", dest="worker_id",
+                       help="with --store: stable worker identity stamped on "
+                            "claimed jobs (default: pid-derived)")
+
+    p_jobs = sub.add_parser(
+        "jobs", help="inspect / recover the durable job registry of a store"
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+    p_jrec = jobs_sub.add_parser(
+        "recover",
+        help="requeue interrupted jobs and republish finished ones",
+    )
+    p_jrec.add_argument("--store", required=True, help="JSON snapshot path")
+    p_jrec.add_argument("--lease-seconds", dest="lease_seconds", type=float,
+                        default=30.0)
+    p_jlist = jobs_sub.add_parser("list", help="print the registry's jobs")
+    p_jlist.add_argument("--store", required=True, help="JSON snapshot path")
+    p_jlist.add_argument("--status", help="filter by job state")
 
     p_schema = sub.add_parser(
         "schema", help="emit the generated API schema / reference"
@@ -372,18 +414,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .store.database import Database
 
     database = Database(args.store) if args.store else None
-    app = create_app(database, with_logging=True, job_workers=args.job_workers)
-    if args.preload:
-        dataset = generate("santander", seed=7)
+    app = create_app(
+        database,
+        with_logging=True,
+        job_workers=args.job_workers,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease_seconds,
+    )
+    preload_name = args.preload_dataset or ("santander" if args.preload else None)
+    if preload_name:
+        dataset = generate(preload_name, seed=args.preload_seed)
         response = TestClient(app).upload_dataset(dataset)
-        print(f"pre-loaded santander: {response.status}")
+        print(f"pre-loaded {preload_name}: {response.status}", flush=True)
+    if app.state.durable_jobs and args.worker_poll > 0:
+        # Multi-process worker mode: this process also claims (and, after
+        # lease expiry, reclaims) jobs any process sharing the store enqueued.
+        app.state.start_job_worker(interval=args.worker_poll)
     # Threaded server: status polls and map clicks stay responsive while a
     # mine runs (async on the job executor, or sync on a request thread).
     server = make_threaded_server("127.0.0.1", args.port, wsgi_adapter(app))
-    print(f"Miscela-V API on http://127.0.0.1:{args.port} "
-          f"(threaded, {args.job_workers} job workers; Ctrl-C to stop)")
-    print(f"  v1 API:  http://127.0.0.1:{args.port}/api/v1 "
-          f"(schema at /api/v1/schema; unversioned routes are deprecated shims)")
+    port = server.server_address[1]
+    print(f"Miscela-V API on http://127.0.0.1:{port} "
+          f"(threaded, {args.job_workers} job workers; Ctrl-C to stop)", flush=True)
+    print(f"  v1 API:  http://127.0.0.1:{port}/api/v1 "
+          f"(schema at /api/v1/schema; unversioned routes are deprecated shims)",
+          flush=True)
+    if app.state.durable_jobs:
+        worker = app.state.jobs.store.worker_id
+        poll = f"worker poll {args.worker_poll}s" if args.worker_poll > 0 \
+            else "worker disabled"
+        print(f"  durable jobs: store={args.store} worker_id={worker} "
+              f"lease={args.lease_seconds}s ({poll})", flush=True)
+    # Machine-readable readiness line: the fault-injection harness (and any
+    # supervisor) parses the actual port from it, which makes --port 0 usable.
+    print(f"MISCELA_READY port={port}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -393,6 +457,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.store:
             app.state.database.save()
             print(f"saved store to {args.store}")
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from .jobs import DurableJobStore
+    from .store.database import Database
+
+    path = Path(args.store)
+    if not path.exists():
+        raise SystemExit(f"no store snapshot at {path}")
+    store = DurableJobStore(
+        Database(path),
+        lease_seconds=getattr(args, "lease_seconds", 30.0),
+        worker_id="cli-recover",
+    )
+    if args.jobs_command == "recover":
+        summary = store.recover()
+        for field in ("requeued", "republished", "missing_results", "queued"):
+            print(f"{field}: {len(summary[field])}"
+                  + (f" ({', '.join(summary[field])})" if summary[field] else ""))
+        return 0
+    jobs = store.list(args.status)
+    _print_table(
+        [
+            {
+                "job_id": job.job_id,
+                "state": job.state,
+                "dataset": job.dataset,
+                "progress": f"{job.progress:.0%}",
+                "attempt": job.attempt,
+                "worker": job.worker_id or "-",
+            }
+            for job in jobs
+        ]
+    )
     return 0
 
 
@@ -415,6 +514,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "compare": cmd_compare,
     "serve": cmd_serve,
+    "jobs": cmd_jobs,
     "schema": cmd_schema,
 }
 

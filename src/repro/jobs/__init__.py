@@ -3,11 +3,16 @@
 The serving tier's answer to long mines (ROADMAP's "async server offload"):
 ``POST /mine mode=async`` opens a :class:`Job` here, a background executor
 thread drives the parallel engine, and the interactive endpoints keep
-answering while it runs.  See ``DESIGN.md`` ("Async job queue") for the
-state machine, cancellation points, and dedup semantics.
+answering while it runs.  With a snapshot-bound store the registry is
+*durable* (:class:`DurableJobStore`): jobs survive restarts, several
+processes share one registry through lease-based claiming, and a
+:class:`JobWorker` thread lets any process execute jobs any other process
+enqueued.  See ``DESIGN.md`` ("Async job queue", "Durable jobs") for the
+state machine, lease protocol, and recovery rules.
 """
 
-from .executor import JobExecutor, run_job
+from .durable import DurableJobStore
+from .executor import JobExecutor, run_claimed_job, run_job
 from .model import (
     CANCELLED,
     FAILED,
@@ -22,6 +27,7 @@ from .model import (
 )
 from .queue import JobQueue
 from .store import JobStore
+from .worker import JobWorker
 
 __all__ = [
     "CANCELLED",
@@ -31,11 +37,14 @@ __all__ = [
     "RUNNING",
     "SUCCEEDED",
     "TERMINAL_STATES",
+    "DurableJobStore",
     "Job",
     "JobError",
     "JobExecutor",
     "JobQueue",
     "JobStateError",
     "JobStore",
+    "JobWorker",
+    "run_claimed_job",
     "run_job",
 ]

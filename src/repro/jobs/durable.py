@@ -1,0 +1,785 @@
+"""The durable job registry: store-backed lifecycle + lease-based claiming.
+
+:class:`DurableJobStore` keeps the PR 3 :class:`~repro.jobs.store.JobStore`
+contract — the queued→running→succeeded/failed/cancelled state machine,
+monotone progress, atomic cache-key dedup — but every job lives as a
+document in the ``jobs`` collection of a :class:`~repro.store.Database`
+and every transition writes through :meth:`Database.save`.  A submitted
+job therefore survives the process that accepted it: a restarted server
+finds it in the snapshot and :meth:`recover` puts it back to work.
+
+**Multi-process protocol.**  Several server processes may share one
+snapshot path.  All job mutations happen inside one critical section
+(process-local lock + an ``flock`` on ``<snapshot>.lock``) that first
+*refreshes* this process's view from disk, then mutates, then persists —
+so the on-disk snapshot is the single source of truth and a
+compare-and-set through :meth:`repro.store.Collection.update_if` decides
+every claim exactly once across processes:
+
+* **claiming** — a worker moves a job ``queued → running`` only via CAS,
+  stamping ``{worker_id, lease_expires_at}``;
+* **leases** — progress updates renew the lease; a running job whose
+  lease lapsed is presumed orphaned (its worker died) and *any* process
+  may requeue it (:meth:`reclaim_expired`), which is the only legal
+  ``running → queued`` edge;
+* **publication** — terminal transitions CAS on ``worker_id`` too, so a
+  worker that lost its lease (and whose job was reclaimed and re-run
+  elsewhere) cannot clobber the newer attempt's outcome.
+
+**Fault injection.**  The crash points the recovery tests kill the server
+at are real code paths here, selected by the ``REPRO_JOBS_FAULT``
+environment variable (see :data:`FAULT_POINTS`): the process hard-exits
+(``os._exit``) at the named point, exactly like a ``kill -9`` landing
+there.  In production the variable is unset and the checks are no-ops.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..cache.keys import short_key
+from ..store.database import Database
+from .model import (
+    CANCELLED,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    Job,
+    JobError,
+    JobStateError,
+    ensure_transition,
+)
+
+__all__ = ["DurableJobStore", "FAULT_ENV", "FAULT_POINTS"]
+
+_JOBS = "jobs"
+
+#: Environment variable naming the crash point to hard-exit at (tests only).
+FAULT_ENV = "REPRO_JOBS_FAULT"
+
+#: The supported crash points, in lifecycle order.
+FAULT_POINTS = (
+    "after-enqueue",           # queued job persisted; submitter never answered
+    "after-claim",             # running + lease persisted; worker dies pre-mine
+    "before-succeed-persist",  # mine finished; success/result never hit disk
+    "after-succeed-persist",   # success + result durable; process dies after
+)
+
+#: Exit status used by fault-point exits (distinct from SIGKILL's 137).
+FAULT_EXIT_CODE = 70
+
+
+class DurableJobStore:
+    """Store-backed registry of async jobs with lease-based claiming.
+
+    Drop-in for :class:`~repro.jobs.store.JobStore` wherever the queue,
+    executor, and handlers are concerned; the additional surface
+    (:meth:`claim_next`, :meth:`reclaim_expired`, :meth:`recover`,
+    :meth:`refresh`) is what multi-process serving and crash recovery
+    build on.
+
+    Parameters
+    ----------
+    database:
+        The backing store.  With ``database.path`` set, every transition
+        persists a snapshot and cross-process claiming is coordinated
+        through ``<path>.lock``; without a path the registry is
+        process-local (unit tests) but keeps identical semantics.
+    worker_id:
+        Stable identity stamped onto claimed jobs; defaults to a
+        pid-derived token unique per store instance.
+    lease_seconds:
+        How long a claim stays valid without renewal.  Progress ticks
+        renew it; pick a small value in tests so orphaned jobs are
+        reclaimed quickly.
+    terminal_capacity:
+        Retention bound for finished jobs, as in the in-memory store.
+        Evicted *succeeded* jobs leave their ``job_id → result_key``
+        mapping behind (see :meth:`evicted_result_key`) so result
+        ``Location`` links issued this process lifetime keep resolving.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        worker_id: str | None = None,
+        clock=time.time,
+        lease_seconds: float = 30.0,
+        terminal_capacity: int = 1024,
+        results_collection: str = "cap_results",
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
+        if terminal_capacity < 1:
+            raise ValueError(
+                f"terminal_capacity must be >= 1, got {terminal_capacity}"
+            )
+        self.database = database
+        self.worker_id = (
+            worker_id
+            if worker_id is not None
+            else f"w{os.getpid()}-{os.urandom(3).hex()}"
+        )
+        self.lease_seconds = float(lease_seconds)
+        self._clock = clock
+        self._terminal_capacity = terminal_capacity
+        self._results_collection = results_collection
+        self._lock = threading.RLock()
+        self._lock_depth = 0
+        #: (mtime_ns, size) of the snapshot this process last merged.
+        self._disk_state: tuple[int, int] | None = None
+        #: job_id -> locally observed progress not yet persisted, survives
+        #: collection refreshes (monotone re-application).
+        self._progress_cache: dict[str, dict[str, Any]] = {}
+        #: job_id -> result_key for evicted succeeded jobs (process lifetime).
+        self._evicted_results: dict[str, str] = {}
+        self._fault = os.environ.get(FAULT_ENV)
+        #: Collections other processes also write, merged on refresh by a
+        #: unique field (never overwriting local documents).
+        self.merge_collections: dict[str, str] = {
+            results_collection: "key",
+            "datasets": "name",
+        }
+        #: Minimum age between snapshot reloads on the *cancellation poll*
+        #: (the engine checkpoints between every work unit; re-parsing the
+        #: whole snapshot each time a peer renews a lease would put a
+        #: multi-MB JSON load on the hot mining path).  Bounds cancel
+        #: latency; set to 0 for immediate cross-process visibility.
+        self.poll_refresh_seconds = 0.2
+        self._last_refresh_mono = float("-inf")
+        self._ensure_indexes()
+
+    # -- locking / refresh / persistence ---------------------------------------
+
+    def _ensure_indexes(self) -> None:
+        collection = self.database.collection(_JOBS)
+        collection.create_index("job_id", "hash")
+        collection.create_index("key", "hash")
+        collection.create_index("state", "hash")
+
+    @property
+    def _lock_path(self) -> Path | None:
+        if self.database.path is None:
+            return None
+        return self.database.path.with_name(self.database.path.name + ".lock")
+
+    @contextmanager
+    def _exclusive(self) -> Iterator[None]:
+        """The cross-process critical section: lock, refresh, then mutate.
+
+        Reentrant: nested sections piggyback on the outer one's file lock
+        (``flock`` self-deadlocks across fds of one process otherwise).
+        """
+        with self._lock:
+            if self._lock_depth > 0:
+                self._lock_depth += 1
+                try:
+                    yield
+                finally:
+                    self._lock_depth -= 1
+                return
+            handle = None
+            lock_path = self._lock_path
+            if lock_path is not None:
+                handle = open(lock_path, "a+")
+                try:
+                    import fcntl
+
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                except ImportError:  # pragma: no cover - non-POSIX fallback
+                    pass
+            self._lock_depth = 1
+            try:
+                self._refresh_locked()
+                yield
+            finally:
+                self._lock_depth = 0
+                if handle is not None:
+                    handle.close()  # closing the fd releases the flock
+
+    def refresh(self) -> None:
+        """Adopt any changes other processes persisted since the last look.
+
+        Cheap when nothing changed (one ``stat``).  Readers call this; the
+        mutating paths refresh inside :meth:`_exclusive` automatically.
+        """
+        with self._lock:
+            self._refresh_locked()
+
+    def _refresh_locked(self, max_age: float | None = None) -> None:
+        path = self.database.path
+        if path is None or not path.exists():
+            return
+        if (
+            max_age is not None
+            and time.monotonic() - self._last_refresh_mono < max_age
+        ):
+            return
+        self._last_refresh_mono = time.monotonic()
+        stat = path.stat()
+        disk_state = (stat.st_mtime_ns, stat.st_size)
+        if disk_state == self._disk_state:
+            return
+        fresh = Database(path)
+        # Jobs: the on-disk registry is the source of truth — every writer
+        # persists before leaving the critical section.  Locally cached
+        # progress (ticks between lease renewals) is re-applied on top.
+        if _JOBS in fresh:
+            jobs = fresh[_JOBS]
+            self._reapply_progress(jobs)
+            self.database.replace_collection(jobs)
+            self._ensure_indexes()
+        # Shared artifact collections: union in documents another process
+        # wrote (a worker's mined result, a dataset uploaded elsewhere).
+        # Local documents win — this process may hold newer unsaved state.
+        for name, unique in self.merge_collections.items():
+            if name not in fresh:
+                continue
+            local = self.database.collection(name)
+            for document in fresh[name].find():
+                document.pop("_id", None)
+                if local.find_one({unique: document[unique]}) is None:
+                    local.insert_one(document)
+        self._disk_state = disk_state
+
+    def _reapply_progress(self, jobs_collection) -> None:
+        for job_id, cached in list(self._progress_cache.items()):
+            document = jobs_collection.find_one({"job_id": job_id})
+            if (
+                document is None
+                or document["state"] != RUNNING
+                or document.get("worker_id") != self.worker_id
+                or document.get("attempt") != cached["attempt"]
+            ):
+                del self._progress_cache[job_id]
+                continue
+            if cached["progress"] > document.get("progress", 0.0):
+                jobs_collection.update_one(
+                    {"job_id": job_id},
+                    {
+                        "progress": cached["progress"],
+                        "shards_done": cached["shards_done"],
+                        "shards_total": cached["shards_total"],
+                    },
+                )
+
+    def _persist(self) -> None:
+        """Write the snapshot (when bound to one) and remember its identity."""
+        if self.database.path is None:
+            return
+        target = self.database.save()
+        stat = target.stat()
+        self._disk_state = (stat.st_mtime_ns, stat.st_size)
+
+    def _fault_point(self, name: str) -> None:
+        if self._fault == name:
+            # Simulate `kill -9` landing exactly here: no cleanup, no
+            # flushing, no snapshot — the lock file's flock dies with us.
+            os._exit(FAULT_EXIT_CODE)
+
+    # -- document helpers -------------------------------------------------------
+
+    def _collection(self):
+        return self.database.collection(_JOBS)
+
+    def _doc(self, job_id: str) -> dict[str, Any] | None:
+        return self._collection().find_one({"job_id": job_id})
+
+    def _require_doc(self, job_id: str) -> dict[str, Any]:
+        document = self._doc(job_id)
+        if document is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return document
+
+    def _job(self, document: Mapping[str, Any]) -> Job:
+        return Job.from_document(document)
+
+    def _store_document(self, job: Job) -> dict[str, Any]:
+        return {**job.to_document(), "sequence": job.sequence}
+
+    def _next_sequence(self) -> int:
+        return 1 + max(
+            (doc.get("sequence", 0) for doc in self._collection().find()),
+            default=0,
+        )
+
+    # -- creation / dedup -------------------------------------------------------
+
+    def open_job(
+        self, dataset: str, parameters: Mapping[str, Any], key: str
+    ) -> tuple[Job, bool]:
+        """The active job for ``key``, or a new queued one — atomically.
+
+        Same contract as the in-memory store, but the decision is made
+        against the *shared* registry: a job another process opened for the
+        same key dedups here too.
+        """
+        with self._exclusive():
+            for document in self._collection().find({"key": key}):
+                if document["state"] in (QUEUED, RUNNING):
+                    return self._job(document), False
+            sequence = self._next_sequence()
+            job = Job(
+                job_id=f"job-{sequence:04d}-{short_key(key)}",
+                dataset=dataset,
+                parameters=dict(parameters),
+                key=key,
+                created_at=self._clock(),
+                sequence=sequence,
+            )
+            self._collection().insert_one(self._store_document(job))
+            self._prune_terminal_locked()
+            self._persist()
+            self._fault_point("after-enqueue")
+            return job, True
+
+    # -- lookup -----------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            self._refresh_locked()
+            document = self._doc(job_id)
+            return self._job(document) if document is not None else None
+
+    def list(self, status: str | None = None) -> list[Job]:
+        """Jobs in submission order, optionally filtered by state."""
+        if status is not None and status not in JOB_STATES:
+            raise JobStateError(
+                f"unknown job status {status!r}; expected one of {JOB_STATES}"
+            )
+        with self._lock:
+            self._refresh_locked()
+            query = {"state": status} if status is not None else None
+            documents = self._collection().find(query, sort="sequence")
+            return [self._job(document) for document in documents]
+
+    def counters(self) -> dict[str, Any]:
+        """Per-state job counts plus lease health (``/admin/stats``)."""
+        with self._lock:
+            self._refresh_locked()
+            counts: dict[str, Any] = {state: 0 for state in JOB_STATES}
+            active = expired = 0
+            now = self._clock()
+            documents = self._collection().find()
+            for document in documents:
+                counts[document["state"]] += 1
+                if document["state"] == RUNNING:
+                    lease = document.get("lease_expires_at")
+                    if lease is not None and lease < now:
+                        expired += 1
+                    else:
+                        active += 1
+            counts["total"] = len(documents)
+            counts["leases"] = {"active": active, "expired": expired}
+            return counts
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """The cooperative-cancellation poll — sees flags set by *any*
+        process sharing the store (a cancel posted to server A stops the
+        worker mining in server B, within ``poll_refresh_seconds``)."""
+        with self._lock:
+            self._refresh_locked(max_age=self.poll_refresh_seconds)
+            document = self._doc(job_id)
+            return bool(document and document.get("cancel_requested"))
+
+    def evicted_result_key(self, job_id: str) -> str | None:
+        """The result key of a succeeded job whose metadata was evicted."""
+        with self._lock:
+            return self._evicted_results.get(job_id)
+
+    def persist_removal(self, collection_name: str, query: Mapping[str, Any]) -> int:
+        """Apply a deletion to the *shared* snapshot; returns the count.
+
+        A plain local ``delete_many`` is not enough in multi-process mode:
+        the union-merge of :meth:`refresh` would re-adopt the documents
+        from disk on the next peer write.  This runs the deletion inside
+        the critical section — refresh first (so the on-disk copies are
+        local and get deleted too), then persist — making the removal the
+        snapshot's new truth.  (A peer that still holds the documents
+        locally re-publishes them with its next persist; full multi-writer
+        deletion needs tombstones — see ROADMAP.)
+        """
+        with self._exclusive():
+            removed = self.database.collection(collection_name).delete_many(
+                dict(query)
+            )
+            self._persist()
+            return removed
+
+    # -- claiming / leases ------------------------------------------------------
+
+    def mark_running(self, job_id: str) -> Job:
+        """Claim one specific queued job (the executor's path).
+
+        Atomic: the ``queued → running`` edge is a compare-and-set that
+        stamps this store's ``worker_id`` and a fresh lease, so of all the
+        executors and pollers racing for a job — in this process or
+        another — exactly one wins.
+        """
+        with self._exclusive():
+            document = self._require_doc(job_id)
+            claimed = self._claim_locked(document)
+            if claimed is None:
+                # CAS failed: surface the illegal edge the state machine saw.
+                ensure_transition(self._require_doc(job_id)["state"], RUNNING)
+                raise JobStateError(  # pragma: no cover - ensure raises first
+                    f"job {job_id} could not be claimed"
+                )
+            return claimed
+
+    def claim_next(self) -> Job | None:
+        """Claim the oldest queued job, or ``None`` when the queue is empty.
+
+        The polling worker's path: lets a process execute jobs *other*
+        processes enqueued (it reconstructs the runner from the job's
+        stored dataset + parameters).
+        """
+        with self._exclusive():
+            queued = self._collection().find({"state": QUEUED}, sort="sequence")
+            for document in queued:
+                claimed = self._claim_locked(document)
+                if claimed is not None:
+                    return claimed
+            return None
+
+    def _claim_locked(self, document: Mapping[str, Any]) -> Job | None:
+        if document["state"] != QUEUED:
+            return None
+        now = self._clock()
+        matched = self._collection().update_if(
+            {"job_id": document["job_id"]},
+            {"state": QUEUED},
+            {
+                "state": RUNNING,
+                "worker_id": self.worker_id,
+                "lease_expires_at": now + self.lease_seconds,
+                "started_at": now,
+                "attempt": int(document.get("attempt", 0)) + 1,
+            },
+        )
+        if matched is None:  # pragma: no cover - CAS races need no lock here
+            return None
+        self._persist()
+        self._fault_point("after-claim")
+        return self._job(self._require_doc(document["job_id"]))
+
+    def renew_lease(self, job_id: str, attempt: int | None = None) -> None:
+        """Extend this worker's lease on a running job (progress does this).
+
+        ``attempt`` scopes the renewal to one claim: a stale thread whose
+        claim was reclaimed (same process, same ``worker_id``, newer
+        attempt) must not keep the newer claim's lease alive.
+        """
+        expected: dict[str, Any] = {"state": RUNNING, "worker_id": self.worker_id}
+        if attempt is not None:
+            expected["attempt"] = attempt
+        with self._exclusive():
+            now = self._clock()
+            matched = self._collection().update_if(
+                {"job_id": job_id},
+                expected,
+                {"lease_expires_at": now + self.lease_seconds},
+            )
+            if matched is not None:
+                self._persist()
+
+    def reclaim_expired(self) -> list[Job]:
+        """Requeue running jobs whose lease lapsed (their worker died).
+
+        The only legal ``running → queued`` edge.  A lapsed job whose
+        cancellation was requested finishes ``cancelled`` instead — its
+        worker can no longer honour the flag cooperatively.
+        """
+        with self._exclusive():
+            now = self._clock()
+            processed = 0
+            reclaimed: list[Job] = []
+            for document in self._collection().find({"state": RUNNING}):
+                lease = document.get("lease_expires_at")
+                if lease is None or lease >= now:
+                    continue
+                job = self._requeue_locked(document, now)
+                processed += 1
+                if job.state == QUEUED:
+                    reclaimed.append(job)
+            if processed:
+                self._persist()
+            return reclaimed
+
+    def _requeue_locked(self, document: Mapping[str, Any], now: float) -> Job:
+        if document.get("cancel_requested"):
+            changes = {
+                "state": CANCELLED,
+                "worker_id": None,
+                "lease_expires_at": None,
+                "finished_at": now,
+            }
+        else:
+            changes = {
+                "state": QUEUED,
+                "worker_id": None,
+                "lease_expires_at": None,
+                "started_at": None,
+                "progress": 0.0,
+                "shards_done": 0,
+                "shards_total": 0,
+            }
+        self._collection().update_if(
+            {"job_id": document["job_id"]},
+            {"state": RUNNING, "lease_expires_at": document.get("lease_expires_at")},
+            changes,
+        )
+        self._progress_cache.pop(document["job_id"], None)
+        return self._job(self._require_doc(document["job_id"]))
+
+    # -- progress ---------------------------------------------------------------
+
+    def set_progress(
+        self, job_id: str, done: int, total: int, attempt: int | None = None
+    ) -> Job:
+        """Record a progress tick; monotone, capped below 1.0, lease-renewing.
+
+        Ticks mutate the local view immediately; the snapshot is only
+        rewritten when the lease is due for renewal (writing the whole
+        database per shard would drown the mine in IO).  The monotone rule
+        is per *attempt* — a requeued job legitimately starts over at 0 —
+        and a tick carrying an ``attempt`` is ignored unless it matches the
+        current claim (a stale thread of this same process must not touch a
+        newer attempt's progress or lease).
+        """
+        with self._lock:
+            document = self._doc(job_id)
+            if (
+                document is None
+                or document["state"] != RUNNING
+                or document.get("worker_id") != self.worker_id
+                or (attempt is not None and document.get("attempt") != attempt)
+                or total <= 0
+            ):
+                return self._job(document) if document else None  # type: ignore[return-value]
+            fraction = min(max(done / total, 0.0), 1.0)
+            fraction = min(fraction, 0.99)
+            changes: dict[str, Any] = {}
+            if fraction >= document.get("progress", 0.0):
+                changes["progress"] = fraction
+                if (
+                    document.get("shards_total") != total
+                    or done > document.get("shards_done", 0)
+                ):
+                    changes["shards_done"] = done
+                    changes["shards_total"] = total
+            if changes:
+                self._collection().update_one({"job_id": job_id}, changes)
+                document = self._require_doc(job_id)
+                self._progress_cache[job_id] = {
+                    "progress": document["progress"],
+                    "shards_done": document["shards_done"],
+                    "shards_total": document["shards_total"],
+                    "attempt": document.get("attempt", 0),
+                }
+            lease = document.get("lease_expires_at")
+            renew_due = (
+                lease is not None
+                and lease - self._clock() < self.lease_seconds * (2.0 / 3.0)
+            )
+        if renew_due:
+            self.renew_lease(job_id, attempt=attempt)
+            with self._lock:
+                self._progress_cache.pop(job_id, None)  # persisted with renewal
+                document = self._doc(job_id) or document
+        return self._job(document)
+
+    # -- terminal transitions ---------------------------------------------------
+
+    def mark_succeeded(
+        self,
+        job_id: str,
+        result_key: str | None = None,
+        attempt: int | None = None,
+    ) -> Job:
+        with self._exclusive():
+            document = self._require_doc(job_id)
+            ensure_transition(document["state"], SUCCEEDED)
+            self._finish_locked(
+                document,
+                SUCCEEDED,
+                {
+                    "progress": 1.0,
+                    "shards_done": document.get("shards_total", 0)
+                    or document.get("shards_done", 0),
+                    "result_key": result_key,
+                },
+                expected_attempt=attempt,
+                fault_before="before-succeed-persist",
+                fault_after="after-succeed-persist",
+            )
+            return self._job(self._require_doc(job_id))
+
+    def mark_failed(
+        self, job_id: str, exc: BaseException, attempt: int | None = None
+    ) -> Job:
+        with self._exclusive():
+            document = self._require_doc(job_id)
+            ensure_transition(document["state"], FAILED)
+            self._finish_locked(
+                document,
+                FAILED,
+                {"error": JobError.from_exception(exc).to_document()},
+                expected_attempt=attempt,
+            )
+            return self._job(self._require_doc(job_id))
+
+    def mark_cancelled(self, job_id: str, attempt: int | None = None) -> Job:
+        with self._exclusive():
+            document = self._require_doc(job_id)
+            ensure_transition(document["state"], CANCELLED)
+            self._finish_locked(document, CANCELLED, {}, expected_attempt=attempt)
+            return self._job(self._require_doc(job_id))
+
+    def _finish_locked(
+        self,
+        document: Mapping[str, Any],
+        state: str,
+        extra: Mapping[str, Any],
+        expected_attempt: int | None = None,
+        fault_before: str | None = None,
+        fault_after: str | None = None,
+    ) -> None:
+        """One terminal transition, ownership-checked and persisted.
+
+        From ``running``, the CAS re-checks ``worker_id`` *and* — when the
+        caller passes its claim's ``expected_attempt`` — the attempt
+        counter: a worker whose lease lapsed and whose job was requeued and
+        re-claimed gets a :class:`JobStateError` instead of clobbering the
+        newer attempt.  The attempt check matters within one process too,
+        where the executor and the polling worker share a ``worker_id``.
+        """
+        expected: dict[str, Any] = {"state": document["state"]}
+        if document["state"] == RUNNING:
+            expected["worker_id"] = self.worker_id
+            if expected_attempt is not None:
+                expected["attempt"] = expected_attempt
+        changes = {
+            **extra,
+            "state": state,
+            "finished_at": self._clock(),
+            "lease_expires_at": None,
+        }
+        matched = self._collection().update_if(
+            {"job_id": document["job_id"]}, expected, changes
+        )
+        if matched is None:
+            raise JobStateError(
+                f"job {document['job_id']} is no longer owned by "
+                f"{self.worker_id!r} (lease lost); refusing the "
+                f"{document['state']!r} -> {state!r} transition"
+            )
+        self._progress_cache.pop(document["job_id"], None)
+        if fault_before is not None:
+            self._fault_point(fault_before)
+        self._persist()
+        if fault_after is not None:
+            self._fault_point(fault_after)
+
+    def request_cancel(self, job_id: str) -> Job:
+        """Ask a job to stop; immediate when queued, cooperative when running.
+
+        The flag is persisted, so whichever process's worker holds the
+        lease sees it at its next checkpoint poll.
+        """
+        with self._exclusive():
+            document = self._require_doc(job_id)
+            if document["state"] == CANCELLED:
+                return self._job(document)
+            if document["state"] in TERMINAL_STATES:
+                raise JobStateError(
+                    f"job {job_id} already finished ({document['state']}); "
+                    f"cannot cancel"
+                )
+            self._collection().update_one(
+                {"job_id": job_id}, {"cancel_requested": True}
+            )
+            if document["state"] == QUEUED:
+                self._collection().update_if(
+                    {"job_id": job_id},
+                    {"state": QUEUED},
+                    {"state": CANCELLED, "finished_at": self._clock()},
+                )
+            self._persist()
+            return self._job(self._require_doc(job_id))
+
+    # -- recovery ---------------------------------------------------------------
+
+    def recover(self) -> dict[str, list[str]]:
+        """Startup recovery over the shared registry.
+
+        * ``running`` jobs with a lapsed lease are requeued (their worker
+          died mid-mine); live leases are left alone — another process may
+          legitimately be mining them right now.
+        * ``succeeded`` jobs are *republished*: their result documents are
+          checked against the results collection, so the job resource keeps
+          answering (and linking to its PR 4 result resource) after a
+          restart; a succeeded job whose result document is gone is
+          reported, not re-run (results are only deleted deliberately).
+        * ``queued`` jobs are reported so the caller can schedule them onto
+          its executor — a restart must finish what the dead process
+          accepted.
+        """
+        summary: dict[str, list[str]] = {
+            "requeued": [],
+            "republished": [],
+            "missing_results": [],
+            "queued": [],
+        }
+        with self._exclusive():
+            results = self.database.collection(self._results_collection)
+            now = self._clock()
+            changed = False
+            for document in self._collection().find(sort="sequence"):
+                state = document["state"]
+                if state == RUNNING:
+                    lease = document.get("lease_expires_at")
+                    if lease is None or lease < now:
+                        job = self._requeue_locked(document, now)
+                        changed = True
+                        if job.state == QUEUED:
+                            summary["requeued"].append(job.job_id)
+                elif state == SUCCEEDED:
+                    key = document.get("result_key")
+                    if key and results.find_one({"key": key}) is None:
+                        summary["missing_results"].append(document["job_id"])
+                    else:
+                        summary["republished"].append(document["job_id"])
+            if changed:
+                self._persist()
+            for document in self._collection().find(
+                {"state": QUEUED}, sort="sequence"
+            ):
+                summary["queued"].append(document["job_id"])
+        return summary
+
+    # -- retention --------------------------------------------------------------
+
+    def _prune_terminal_locked(self) -> None:
+        terminal = self._collection().find(
+            {"state": {"$in": sorted(TERMINAL_STATES)}}, sort="sequence"
+        )
+        overflow = terminal[: max(0, len(terminal) - self._terminal_capacity)]
+        for document in overflow:
+            if document["state"] == SUCCEEDED and document.get("result_key"):
+                self._evicted_results[document["job_id"]] = document["result_key"]
+            self._collection().delete_many({"job_id": document["job_id"]})
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._refresh_locked()
+            return len(self._collection())

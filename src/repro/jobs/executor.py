@@ -8,52 +8,103 @@ life waiting on shard completions, so a handful of threads oversees many
 cores without oversubscription.
 
 :func:`run_job` is the worker-side wrapper around one run: it performs the
-``queued → running`` transition, wires a
+``queued → running`` transition — against the durable registry that is an
+atomic lease *claim*, so executors and pollers racing across processes
+resolve to exactly one winner — wires a
 :class:`~repro.core.parallel.MiningControl` to the store (progress ticks in,
 cancellation polls out), and maps the outcome onto the state machine —
 return value → ``succeeded``, :class:`MiningCancelled` → ``cancelled``, any
 other exception → ``failed`` with structured capture.
+:func:`run_claimed_job` is the same tail for a job already claimed through
+``DurableJobStore.claim_next`` (the polling worker's path).
+
+When ``REPRO_JOBS_EXEC_LOG`` names a file, every execution appends one
+``job_id worker attempt=N`` line to it (``O_APPEND``-atomic).  The
+fault-injection harness uses this to assert exactly-once execution across
+processes; in production the variable is unset and nothing is written.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable
 
 from ..core.parallel import MiningCancelled, MiningControl
-from .model import QUEUED
-from .store import JobStore
+from .model import QUEUED, Job, JobStateError
 
-__all__ = ["JobExecutor", "run_job"]
+__all__ = ["JobExecutor", "run_job", "run_claimed_job"]
 
 #: ``runner(control) -> result_key | None`` — the unit of work a job runs.
 JobRunner = Callable[[MiningControl], "str | None"]
 
+#: Environment variable naming the execution audit log (tests only).
+EXEC_LOG_ENV = "REPRO_JOBS_EXEC_LOG"
 
-def run_job(store: JobStore, job_id: str, runner: JobRunner) -> None:
-    """Execute one job end to end, recording its lifecycle in ``store``."""
+
+def _log_execution(store, job: Job) -> None:
+    path = os.environ.get(EXEC_LOG_ENV)
+    if not path:
+        return
+    worker = getattr(store, "worker_id", "local")
+    line = f"{job.job_id} {worker} attempt={job.attempt}\n"
+    with open(path, "a") as handle:  # single short write: O_APPEND-atomic
+        handle.write(line)
+
+
+def run_job(store, job_id: str, runner: JobRunner) -> None:
+    """Claim and execute one job end to end, recording its lifecycle."""
     job = store.get(job_id)
     if job is None or job.state != QUEUED:
         # Cancelled (or otherwise finished) before this worker picked it up.
         return
     try:
-        store.mark_running(job_id)
+        claimed = store.mark_running(job_id)
     except Exception:
-        # Lost the race with an immediate cancel between the check above
-        # and the transition; the job is terminal, nothing to run.
+        # Lost the race — an immediate cancel, or another process's claim,
+        # landed between the check above and the transition.
         return
+    run_claimed_job(store, claimed, runner)
+
+
+def run_claimed_job(store, job: Job, runner: JobRunner) -> None:
+    """Execute a job this worker already claimed (holds the lease on).
+
+    Every store write carries the claim's ``attempt``, so if the lease
+    lapses mid-run and the job is re-claimed — even by this same process —
+    this thread's late ticks and terminal transition are refused rather
+    than applied to the newer attempt.
+    """
+    _log_execution(store, job)
+    job_id, attempt = job.job_id, job.attempt
     control = MiningControl(
-        progress=lambda done, total: store.set_progress(job_id, done, total),
+        progress=lambda done, total: store.set_progress(
+            job_id, done, total, attempt=attempt
+        ),
         should_cancel=lambda: store.cancel_requested(job_id),
     )
     try:
         result_key = runner(control)
     except MiningCancelled:
-        store.mark_cancelled(job_id)
+        _finish(store.mark_cancelled, job_id, attempt=attempt)
     except BaseException as exc:  # noqa: BLE001 - capture, never kill the worker
-        store.mark_failed(job_id, exc)
+        _finish(store.mark_failed, job_id, exc, attempt=attempt)
     else:
-        store.mark_succeeded(job_id, result_key=result_key)
+        _finish(store.mark_succeeded, job_id, result_key=result_key, attempt=attempt)
+
+
+def _finish(transition, job_id: str, *args, **kwargs) -> None:
+    """Apply a terminal transition, tolerating a lost lease.
+
+    If this worker's lease lapsed mid-run and the job was reclaimed (and
+    possibly finished) by another process, the durable store refuses the
+    transition with :class:`JobStateError` — the newer attempt's outcome
+    stands, and this thread just stops.
+    """
+    try:
+        transition(job_id, *args, **kwargs)
+    except JobStateError:
+        pass
 
 
 class JobExecutor:
@@ -67,7 +118,7 @@ class JobExecutor:
             max_workers=width, thread_name_prefix="mining-job"
         )
 
-    def submit(self, store: JobStore, job_id: str, runner: JobRunner) -> Future:
+    def submit(self, store, job_id: str, runner: JobRunner) -> Future:
         """Queue one job for execution; returns the underlying future."""
         return self._pool.submit(run_job, store, job_id, runner)
 

@@ -14,15 +14,21 @@ cooperation is needed); ``running → cancelled`` is cooperative — the worker
 raises :class:`~repro.core.parallel.MiningCancelled` at the engine's next
 shard/component checkpoint.  Terminal states never transition again.
 
+The durable registry (:class:`~repro.jobs.durable.DurableJobStore`) adds one
+*recovery* edge outside this table: ``running → queued``, taken only when a
+running job's **lease** lapsed (its worker died without finishing).  That
+edge is deliberately not in :data:`_TRANSITIONS` — a live worker can never
+take it; only lease-expiry reclamation can (see ``DurableJobStore.requeue``).
+
 Everything here is plain data; the thread-safety lives in
-:class:`~repro.jobs.store.JobStore`.
+:class:`~repro.jobs.store.JobStore` / the durable store.
 """
 
 from __future__ import annotations
 
 import traceback as _traceback
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 __all__ = [
     "QUEUED",
@@ -90,6 +96,14 @@ class JobError:
     def to_document(self) -> dict[str, Any]:
         return {"type": self.type, "message": self.message, "traceback": self.traceback}
 
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "JobError":
+        return cls(
+            type=str(document["type"]),
+            message=str(document["message"]),
+            traceback=document.get("traceback"),
+        )
+
 
 @dataclass
 class Job:
@@ -119,6 +133,17 @@ class Job:
     result_key:
         Cache key the stored result is retrievable under (success only;
         equals ``key`` for mining jobs).
+    worker_id:
+        Identity of the worker process currently (or last) executing the
+        job; ``None`` while queued.  Stamped atomically by the durable
+        registry's lease claim.
+    lease_expires_at:
+        Epoch seconds the current claim is valid until; renewed on progress
+        updates.  A running job whose lease lapsed may be reclaimed
+        (requeued) by any process — its worker is presumed dead.
+    attempt:
+        How many times the job has been claimed for execution (1 on the
+        first claim; grows when lease expiry requeues it).
     """
 
     job_id: str
@@ -135,6 +160,9 @@ class Job:
     cancel_requested: bool = False
     error: JobError | None = None
     result_key: str | None = None
+    worker_id: str | None = None
+    lease_expires_at: float | None = None
+    attempt: int = 0
     #: Insertion-order sequence number (stable ``GET /jobs`` ordering).
     sequence: int = field(default=0, repr=False)
 
@@ -155,4 +183,32 @@ class Job:
             "cancel_requested": self.cancel_requested,
             "error": self.error.to_document() if self.error else None,
             "result_key": self.result_key,
+            "worker_id": self.worker_id,
+            "lease_expires_at": self.lease_expires_at,
+            "attempt": self.attempt,
         }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "Job":
+        """Rebuild a job from its stored document (the durable registry)."""
+        error = document.get("error")
+        return cls(
+            job_id=str(document["job_id"]),
+            dataset=str(document["dataset"]),
+            parameters=dict(document["parameters"]),
+            key=str(document["key"]),
+            created_at=float(document["created_at"]),
+            state=str(document.get("state", QUEUED)),
+            progress=float(document.get("progress", 0.0)),
+            shards_done=int(document.get("shards_done", 0)),
+            shards_total=int(document.get("shards_total", 0)),
+            started_at=document.get("started_at"),
+            finished_at=document.get("finished_at"),
+            cancel_requested=bool(document.get("cancel_requested", False)),
+            error=JobError.from_document(error) if error else None,
+            result_key=document.get("result_key"),
+            worker_id=document.get("worker_id"),
+            lease_expires_at=document.get("lease_expires_at"),
+            attempt=int(document.get("attempt", 0)),
+            sequence=int(document.get("sequence", 0)),
+        )

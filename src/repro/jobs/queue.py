@@ -21,11 +21,16 @@ __all__ = ["JobQueue"]
 
 
 class JobQueue:
-    """Asynchronous mining jobs: dedup'd submission over a thread pool."""
+    """Asynchronous mining jobs: dedup'd submission over a thread pool.
+
+    ``store`` may be the in-memory :class:`JobStore` (default) or a
+    :class:`~repro.jobs.durable.DurableJobStore` — the queue only speaks
+    the registry contract they share.
+    """
 
     def __init__(
         self,
-        store: JobStore | None = None,
+        store: "JobStore | Any | None" = None,
         executor: JobExecutor | None = None,
         width: int = 2,
     ) -> None:
@@ -62,6 +67,10 @@ class JobQueue:
 
     def list(self, status: str | None = None) -> list[Job]:
         return self.store.list(status)
+
+    def evicted_result_key(self, job_id: str) -> str | None:
+        """Result key left behind by an evicted succeeded job, if any."""
+        return self.store.evicted_result_key(job_id)
 
     def counters(self) -> dict[str, int]:
         counts: dict[str, Any] = self.store.counters()

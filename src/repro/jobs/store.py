@@ -58,9 +58,16 @@ class JobStore:
         self._jobs: dict[str, Job] = {}
         #: cache key -> job_id of the one queued/running job for that key.
         self._active_by_key: dict[str, str] = {}
+        #: job_id -> result_key for *evicted* succeeded jobs.  Eviction
+        #: drops the job metadata but must not strand a ``Location:
+        #: /api/v1/jobs/{id}`` link a client was handed this process
+        #: lifetime: the mapping lets the job endpoint keep pointing at the
+        #: still-cached result resource.  Insertion-ordered and bounded.
+        self._evicted_results: dict[str, str] = {}
         self._sequence = 0
         self._clock = clock
         self._terminal_capacity = terminal_capacity
+        self._evicted_capacity = max(1024, 4 * terminal_capacity)
 
     # -- creation / dedup -----------------------------------------------------
 
@@ -126,6 +133,15 @@ class JobStore:
             job = self._jobs.get(job_id)
             return job.cancel_requested if job is not None else False
 
+    def evicted_result_key(self, job_id: str) -> str | None:
+        """The result key of a succeeded job whose metadata was evicted.
+
+        ``None`` for unknown ids and for evicted jobs that never produced a
+        result (failed/cancelled evictions keep nothing).
+        """
+        with self._lock:
+            return self._evicted_results.get(job_id)
+
     # -- lifecycle transitions ------------------------------------------------
 
     def mark_running(self, job_id: str) -> Job:
@@ -136,12 +152,16 @@ class JobStore:
             job.started_at = self._clock()
             return job
 
-    def set_progress(self, job_id: str, done: int, total: int) -> Job:
+    def set_progress(
+        self, job_id: str, done: int, total: int, attempt: int | None = None
+    ) -> Job:
         """Record a progress tick; monotone and capped below 1.0.
 
         The cap keeps ``progress == 1.0`` synonymous with "result ready":
         the last shard's tick lands at <1.0 and :meth:`mark_succeeded`
         completes the bar only once the merged result is stored.
+        (``attempt`` is part of the shared registry contract; the
+        in-memory store runs every job exactly once, so it is ignored.)
         """
         with self._lock:
             job = self._require(job_id)
@@ -160,7 +180,12 @@ class JobStore:
                 job.shards_total = total
             return job
 
-    def mark_succeeded(self, job_id: str, result_key: str | None = None) -> Job:
+    def mark_succeeded(
+        self,
+        job_id: str,
+        result_key: str | None = None,
+        attempt: int | None = None,
+    ) -> Job:
         with self._lock:
             job = self._require(job_id)
             ensure_transition(job.state, SUCCEEDED)
@@ -176,7 +201,9 @@ class JobStore:
             self._finish(job)
             return job
 
-    def mark_failed(self, job_id: str, exc: BaseException) -> Job:
+    def mark_failed(
+        self, job_id: str, exc: BaseException, attempt: int | None = None
+    ) -> Job:
         with self._lock:
             job = self._require(job_id)
             ensure_transition(job.state, FAILED)
@@ -185,7 +212,7 @@ class JobStore:
             self._finish(job)
             return job
 
-    def mark_cancelled(self, job_id: str) -> Job:
+    def mark_cancelled(self, job_id: str, attempt: int | None = None) -> Job:
         with self._lock:
             job = self._require(job_id)
             ensure_transition(job.state, CANCELLED)
@@ -228,13 +255,23 @@ class JobStore:
             del self._active_by_key[job.key]
 
     def _prune_terminal(self) -> None:
-        """Evict the oldest finished jobs beyond the retention bound."""
+        """Evict the oldest finished jobs beyond the retention bound.
+
+        Eviction removes the job *metadata* only: a succeeded job leaves
+        its ``job_id → result_key`` mapping behind so result links issued
+        against the job id this process lifetime still resolve (the result
+        itself lives on in the ``cap_results`` store, untouched here).
+        """
         terminal = sorted(
             (job for job in self._jobs.values() if job.state in TERMINAL_STATES),
             key=lambda job: job.sequence,
         )
         for job in terminal[: max(0, len(terminal) - self._terminal_capacity)]:
+            if job.state == SUCCEEDED and job.result_key is not None:
+                self._evicted_results[job.job_id] = job.result_key
             del self._jobs[job.job_id]
+        while len(self._evicted_results) > self._evicted_capacity:
+            self._evicted_results.pop(next(iter(self._evicted_results)))
 
     def __len__(self) -> int:
         with self._lock:

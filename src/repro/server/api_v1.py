@@ -46,6 +46,7 @@ from .handlers import (
     admin_stats_payload,
     correlated_sensors_core,
     dataset_result_documents,
+    evicted_job_response,
     parse_mine_mode,
     parse_parameters,
     parse_upload_begin,
@@ -529,7 +530,9 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
         "/api/v1/jobs",
         query=({"name": "status", "type": "string",
                 "description": "filter by job state"},),
-        responses={"200": "job resources", "400": "unknown status"},
+        responses={"200": "job resources (each carries its lease fields: "
+                          "worker_id, lease_expires_at, attempt)",
+                   "400": "unknown status"},
     )
     def v1_list_jobs(request: Request) -> Response:
         """List mining jobs as linked resources."""
@@ -542,7 +545,10 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
 
     @router.get(
         "/api/v1/jobs/{job_id}",
-        responses={"200": "job resource (links to the result once succeeded)",
+        responses={"200": "job resource (links to the result once succeeded; "
+                          "worker_id/lease_expires_at/attempt expose the "
+                          "durable registry's lease state)",
+                   "301": "metadata evicted; Location points at the result",
                    "404": "unknown job"},
     )
     def v1_job_status(request: Request) -> Response:
@@ -550,6 +556,9 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
         job_id = request.path_params["job_id"]
         job = state.jobs.get(job_id)
         if job is None:
+            evicted = evicted_job_response(state, job_id)
+            if evicted is not None:
+                return evicted
             raise HTTPError(404, f"unknown job {job_id!r}", code="unknown_job")
         response = json_response(_job_resource(job))
         if job.state == SUCCEEDED and job.result_key is not None:
@@ -615,7 +624,8 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
 
     @router.get(
         "/api/v1/admin/stats",
-        responses={"200": "store/cache/job counters"},
+        responses={"200": "store/cache/job counters (durable registries add "
+                          "per-lease health: active vs expired)"},
     )
     def v1_admin_stats(request: Request) -> Response:
         """Store, cache, and job-queue counters."""

@@ -49,15 +49,26 @@ class App:
         return self._handler(request)
 
     def close(self, wait: bool = False) -> None:
-        """Stop the background job executor (pending queued jobs dropped).
+        """Stop the background job machinery (pending queued jobs dropped).
 
+        Stops the lease-polling worker (if started) and the executor.
         ``wait=True`` blocks until the worker threads exit — bounded,
         because shutdown cancels running jobs first and they abort at their
         next checkpoint.  Required before ``Database.save``: a snapshot
         taken while a worker is still writing a result would iterate a
-        mutating collection.
+        mutating collection.  With the durable registry, queued jobs
+        survive anyway — whichever process next recovers the store picks
+        them up.
+
+        Order matters: the polling worker is *signalled* first but only
+        joined after ``jobs.shutdown`` has swept cancellation over running
+        jobs — a worker synchronously mining a claimed job needs that
+        cancel to reach its next checkpoint, otherwise joining it would
+        wait out the whole mine.
         """
+        self.state.stop_job_worker(wait=False)
         self.state.jobs.shutdown(wait=wait)
+        self.state.stop_job_worker(wait=wait)
 
 
 def create_app(
@@ -65,6 +76,9 @@ def create_app(
     body_limit: int = DEFAULT_BODY_LIMIT,
     with_logging: bool = False,
     job_workers: int = 2,
+    durable_jobs: bool | None = None,
+    worker_id: str | None = None,
+    lease_seconds: float = 30.0,
 ) -> App:
     """Build the Miscela-V API application.
 
@@ -82,8 +96,24 @@ def create_app(
         /api/v1/datasets/{name}/results`` with ``mode=async``).  Each
         worker is a *driver* thread — the mining itself may fan out
         further through ``MiningParameters.n_jobs``.
+    durable_jobs:
+        ``True`` persists the job registry in the database's ``jobs``
+        collection with lease-based multi-process claiming; ``None``
+        (default) enables it exactly when the database is bound to a
+        snapshot path.  Startup recovery runs here: interrupted jobs are
+        requeued and rescheduled before the first request is served.
+    worker_id, lease_seconds:
+        Durable-registry identity and claim lifetime (see
+        :class:`repro.jobs.DurableJobStore`).
     """
-    state = ServerState(database, job_workers=job_workers)
+    state = ServerState(
+        database,
+        job_workers=job_workers,
+        durable_jobs=durable_jobs,
+        worker_id=worker_id,
+        lease_seconds=lease_seconds,
+    )
+    state.recover_jobs()
     router = Router()
     register_v1_routes(router, state)
     register_routes(router, state)  # legacy shims, deprecation-flagged

@@ -29,7 +29,9 @@ session (e.g. after a rejected chunk).
 from __future__ import annotations
 
 import io
+import os
 import threading
+import time
 from typing import Any, Mapping
 
 from ..cache.cache import ResultCache
@@ -40,7 +42,15 @@ from ..core.types import SensorDataset
 from ..data.csv_io import ChunkAssembler, read_attribute_csv, read_location_csv
 from ..data.documents import dataset_from_document, dataset_to_document
 from ..core.parallel import MiningCancelled
-from ..jobs import TERMINAL_STATES, Job, JobQueue, JobStateError
+from ..jobs import (
+    QUEUED,
+    TERMINAL_STATES,
+    DurableJobStore,
+    Job,
+    JobQueue,
+    JobStateError,
+    JobWorker,
+)
 from ..store.database import Database
 from .http import HTTPError, Request, Response, html_response, json_response
 
@@ -48,6 +58,11 @@ __all__ = ["ServerState", "register_routes"]
 
 _DATASETS = "datasets"
 _RESULTS = "cap_results"
+
+#: Test hook: seconds to sleep inside the mining runner before the engine
+#: starts.  The fault-injection harness sets it to hold a job mid-mine long
+#: enough to ``kill -9`` the server at a chosen moment; unset in production.
+_MINE_DELAY_ENV = "REPRO_JOBS_MINE_DELAY"
 
 
 class ServerState:
@@ -58,16 +73,40 @@ class ServerState:
     (dataset registry caches, upload sessions, the memoized-result LRU).
     Mining itself never holds the lock — only the bookkeeping around it
     does.
+
+    When the backing database is bound to a snapshot path, the job
+    registry is the **durable** one by default: jobs live in the ``jobs``
+    collection, every transition persists, and any number of server
+    processes sharing the snapshot claim work through leases (pass
+    ``durable_jobs=False`` to opt out).  ``recover_jobs`` (called by
+    :func:`repro.server.app.create_app`) requeues interrupted work on
+    startup, and :meth:`start_job_worker` turns this process into a
+    polling worker for jobs other processes enqueued.
     """
 
     def __init__(
-        self, database: Database | None = None, job_workers: int = 2
+        self,
+        database: Database | None = None,
+        job_workers: int = 2,
+        durable_jobs: bool | None = None,
+        worker_id: str | None = None,
+        lease_seconds: float = 30.0,
     ) -> None:
         self.database = database if database is not None else Database()
         self.cache = ResultCache(self.database)
         self.database.collection(_DATASETS).create_index("name", "hash")
         self.lock = threading.RLock()
-        self.jobs = JobQueue(width=job_workers)
+        if durable_jobs is None:
+            durable_jobs = self.database.path is not None
+        self.durable_jobs = durable_jobs
+        if durable_jobs:
+            store = DurableJobStore(
+                self.database, worker_id=worker_id, lease_seconds=lease_seconds
+            )
+            self.jobs = JobQueue(store=store, width=job_workers)
+        else:
+            self.jobs = JobQueue(width=job_workers)
+        self._worker: JobWorker | None = None
         self._pending: dict[str, ChunkAssembler] = {}
         self._pending_meta: dict[str, tuple[list, list]] = {}
         # One lock per open upload session: chunks of the same session must
@@ -171,12 +210,22 @@ class ServerState:
             if name in self._loaded:
                 return self._loaded[name]
         document = self.database[_DATASETS].find_one({"name": name})
+        if document is None and self._refresh_shared():
+            # Another process sharing the store may have uploaded it.
+            document = self.database[_DATASETS].find_one({"name": name})
         if document is None:
             raise HTTPError(404, f"unknown dataset {name!r}", code="unknown_dataset")
         dataset = dataset_from_document(document["dataset"])
         with self.lock:
             self._loaded[name] = dataset
         return dataset
+
+    def _refresh_shared(self) -> bool:
+        """Merge changes other processes persisted; False when not durable."""
+        if not self.durable_jobs:
+            return False
+        self.jobs.store.refresh()
+        return True
 
     def put_dataset(self, dataset: SensorDataset) -> None:
         with self.lock:
@@ -190,6 +239,10 @@ class ServerState:
             self._loaded[dataset.name] = dataset
             self._generations[dataset.name] = self._generations.get(dataset.name, 0) + 1
         self._cancel_dataset_jobs(dataset.name)
+        if self.durable_jobs:
+            # Purge the superseded results from the shared snapshot too (the
+            # replaced dataset document itself wins the merge by name).
+            self.jobs.store.persist_removal(_RESULTS, {"payload.dataset": dataset.name})
 
     def delete_dataset(self, name: str) -> bool:
         """Delete a dataset; only an *actual* delete invalidates anything.
@@ -207,6 +260,11 @@ class ServerState:
             self._loaded.pop(name, None)
             self._generations[name] = self._generations.get(name, 0) + 1
         self._cancel_dataset_jobs(name)
+        if self.durable_jobs:
+            # Without this the union-merge refresh would resurrect the
+            # dataset (and its results) from the shared snapshot.
+            self.jobs.store.persist_removal(_DATASETS, {"name": name})
+            self.jobs.store.persist_removal(_RESULTS, {"payload.dataset": name})
         return True
 
     def _cancel_dataset_jobs(self, dataset_name: str) -> None:
@@ -234,6 +292,9 @@ class ServerState:
     def get_result_document(self, key: str) -> Mapping[str, Any]:
         """The stored ``cap_results`` document for one key; 404 when absent."""
         document = self.database[_RESULTS].find_one({"key": key})
+        if document is None and self._refresh_shared():
+            # A worker in another process may have published it.
+            document = self.database[_RESULTS].find_one({"key": key})
         if document is None:
             raise HTTPError(404, f"unknown result {key!r}", code="unknown_result")
         return document
@@ -259,6 +320,10 @@ class ServerState:
         self.cache.delete_key(key)
         with self.lock:
             self._results.pop(key, None)
+        if self.durable_jobs:
+            # Make the deletion the shared snapshot's truth, or the next
+            # refresh would re-adopt the result from disk.
+            self.jobs.store.persist_removal(_RESULTS, {"key": key})
 
     # -- async mining jobs ------------------------------------------------------
 
@@ -283,6 +348,11 @@ class ServerState:
         ends ``cancelled``, never serving superseded data.
         """
         key = cache_key(dataset.name, params)
+        runner = self._mine_runner(dataset, params, key)
+        return self.jobs.submit(dataset.name, params.to_document(), key, runner)
+
+    def _mine_runner(self, dataset: SensorDataset, params: MiningParameters, key: str):
+        """The executable work of one mining job (see :meth:`submit_mine_job`)."""
         generation = self.dataset_generation(dataset.name)
 
         def check_current() -> None:
@@ -292,6 +362,12 @@ class ServerState:
                 )
 
         def runner(control) -> str:
+            delay = float(os.environ.get(_MINE_DELAY_ENV, 0) or 0)
+            if delay > 0:  # fault-injection harness only; see _MINE_DELAY_ENV
+                deadline = time.monotonic() + delay
+                while time.monotonic() < deadline:
+                    control.checkpoint()
+                    time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
             cached = self.cache.get(dataset.name, params)
             if cached is None:
                 miner = MiscelaMiner(params)
@@ -306,7 +382,79 @@ class ServerState:
                     raise
             return key
 
-        return self.jobs.submit(dataset.name, params.to_document(), key, runner)
+        return runner
+
+    def runner_for_job(self, job: Job):
+        """Rebuild a claimed job's work from its stored document.
+
+        The polling :class:`~repro.jobs.JobWorker` executes jobs *other*
+        processes enqueued — no submit-time closure exists here, so the
+        dataset is loaded (refreshing from the shared store if needed) and
+        the parameters re-parsed from the job's canonical document.
+        """
+        dataset = self.get_dataset(job.dataset)
+        params = MiningParameters.from_document(job.parameters)
+        return self._mine_runner(dataset, params, job.key)
+
+    def recover_jobs(self) -> dict[str, list[str]]:
+        """Startup recovery against the durable registry (no-op otherwise).
+
+        Requeues interrupted ``running`` jobs whose lease lapsed,
+        republishes ``succeeded`` ones from their stored result keys, and
+        schedules every ``queued`` job onto this process's executor so
+        work accepted by a dead process still completes — even with the
+        polling worker disabled.
+        """
+        if not self.durable_jobs:
+            return {}
+        summary = self.jobs.store.recover()
+        for job in self.jobs.list(QUEUED):
+            self.jobs.executor.submit(
+                self.jobs.store, job.job_id, self._deferred_runner(job)
+            )
+        return summary
+
+    def _deferred_runner(self, job: Job):
+        """Build the job's runner on the executor thread, not at recovery.
+
+        Startup must not crash (or synchronously load every queued job's
+        dataset) because one recovered job is broken: a failing
+        ``runner_for_job`` — e.g. the dataset document is gone — raises
+        inside the claimed execution, where the standard tail marks the
+        job ``failed`` with the structured error instead of killing
+        ``create_app``.
+        """
+
+        def runner(control):
+            return self.runner_for_job(job)(control)
+
+        return runner
+
+    def start_job_worker(self, interval: float = 1.0) -> JobWorker:
+        """Run a lease-polling worker thread against the durable registry."""
+        if not self.durable_jobs:
+            raise ValueError("the job worker requires the durable job registry")
+        if self._worker is not None and self._worker.is_alive():
+            return self._worker
+        self._worker = JobWorker(
+            self.jobs.store, self.runner_for_job, interval=interval
+        )
+        self._worker.start()
+        return self._worker
+
+    def stop_job_worker(self, wait: bool = False) -> None:
+        """Signal (and with ``wait=True`` join) the polling worker.
+
+        Idempotent; the reference is only dropped once the thread is
+        actually gone, so signal-now/join-later sequencing works
+        (:meth:`repro.server.app.App.close` relies on it).
+        """
+        worker = self._worker
+        if worker is None:
+            return
+        worker.stop(wait=wait)
+        if not worker.is_alive():
+            self._worker = None
 
 
 # -- shared handler cores (used by both the legacy shims and the v1 API) -------
@@ -429,6 +577,34 @@ def render_viz_svg(state: ServerState, kind: str, name: str, request: Request):
                 raise HTTPError(404, f"unknown sensor {sid!r}", code="unknown_sensor")
         return render_timeseries(dataset, sensor_ids), f"{dataset.name} measurements"
     raise HTTPError(404, f"unknown visualization {kind!r}")  # pragma: no cover
+
+
+def evicted_job_response(state: ServerState, job_id: str) -> Response | None:
+    """A 301 at the surviving result resource for an evicted succeeded job.
+
+    Terminal-job retention evicts old job *metadata*, but a ``Location:
+    …/jobs/{id}`` link handed out this process lifetime must keep leading
+    to the result it produced: the registry retains the job's result-key
+    mapping, and this renders it as a permanent redirect.  ``None`` when
+    the id is simply unknown (the caller 404s as before).
+    """
+    result_key = state.jobs.evicted_result_key(job_id)
+    if result_key is None:
+        return None
+    if state.database[_RESULTS].find_one({"key": result_key}) is None:
+        return None  # the result itself was deleted; nothing to point at
+    location = f"/api/v1/results/{result_key}"
+    response = json_response(
+        {
+            "job_id": job_id,
+            "result_key": result_key,
+            "detail": "job metadata evicted; its result resource survives",
+            "links": {"result": location},
+        },
+        status=301,
+    )
+    response.headers["Location"] = location
+    return response
 
 
 def admin_stats_payload(state: ServerState) -> dict[str, Any]:
@@ -654,6 +830,7 @@ def register_routes(router: Any, state: ServerState) -> None:
     @router.get(
         "/jobs/{job_id}", deprecated=True, successor="/api/v1/jobs/{job_id}",
         responses={"200": "job document (result inlined on success)",
+                   "301": "metadata evicted; Location points at the result",
                    "404": "unknown job"},
     )
     def job_status(request: Request) -> Response:
@@ -661,6 +838,9 @@ def register_routes(router: Any, state: ServerState) -> None:
         job_id = request.path_params["job_id"]
         job = state.jobs.get(job_id)
         if job is None:
+            evicted = evicted_job_response(state, job_id)
+            if evicted is not None:
+                return evicted
             raise HTTPError(404, f"unknown job {job_id!r}", code="unknown_job")
         document = job.to_document()
         if job.result_key is not None:

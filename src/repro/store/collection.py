@@ -13,6 +13,7 @@ client gives you.
 from __future__ import annotations
 
 import copy
+import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .index import HashIndex, SortedIndex
@@ -33,6 +34,13 @@ class Collection:
         self._next_id = 1
         self._hash_indexes: dict[str, HashIndex] = {}
         self._sorted_indexes: dict[str, SortedIndex] = {}
+        # Writes are multi-step (id counter, document map, every index);
+        # serializing them makes each write — in particular the
+        # compare-and-set of :meth:`update_if` — atomic with respect to
+        # other writers.  Readers still coordinate with writers at a higher
+        # level (``ResultCache``'s lock, ``DurableJobStore``'s lock) as
+        # before.
+        self._write_lock = threading.RLock()
 
     # -- index management ---------------------------------------------------
 
@@ -72,14 +80,15 @@ class Collection:
         if not isinstance(document, Mapping):
             raise TypeError(f"document must be a mapping, got {type(document).__name__}")
         doc = copy.deepcopy(dict(document))
-        doc_id = self._next_id
-        self._next_id += 1
-        doc["_id"] = doc_id
-        self._documents[doc_id] = doc
-        for index in self._hash_indexes.values():
-            index.insert(doc_id, doc)
-        for sindex in self._sorted_indexes.values():
-            sindex.insert(doc_id, doc)
+        with self._write_lock:
+            doc_id = self._next_id
+            self._next_id += 1
+            doc["_id"] = doc_id
+            self._documents[doc_id] = doc
+            for index in self._hash_indexes.values():
+                index.insert(doc_id, doc)
+            for sindex in self._sorted_indexes.values():
+                sindex.insert(doc_id, doc)
         return doc_id
 
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[int]:
@@ -91,23 +100,51 @@ class Collection:
         Returns the ``_id`` of the replaced document, or ``None`` if no
         document matched.
         """
-        found = self.find_one(query)
-        if found is None:
-            return None
-        doc_id = found["_id"]
-        self._unindex(doc_id)
-        doc = copy.deepcopy(dict(document))
-        doc["_id"] = doc_id
-        self._documents[doc_id] = doc
-        self._index(doc_id, doc)
-        return doc_id
+        with self._write_lock:
+            found = self.find_one(query)
+            if found is None:
+                return None
+            doc_id = found["_id"]
+            self._unindex(doc_id)
+            doc = copy.deepcopy(dict(document))
+            doc["_id"] = doc_id
+            self._documents[doc_id] = doc
+            self._index(doc_id, doc)
+            return doc_id
 
     def update_one(self, query: Mapping[str, Any], changes: Mapping[str, Any]) -> int | None:
         """Set top-level fields on the first matching document."""
-        found = self.find_one(query)
-        if found is None:
-            return None
-        doc_id = found["_id"]
+        with self._write_lock:
+            found = self.find_one(query)
+            if found is None:
+                return None
+            return self._apply_changes(found["_id"], changes)
+
+    def update_if(
+        self,
+        query: Mapping[str, Any],
+        expected: Mapping[str, Any],
+        changes: Mapping[str, Any],
+    ) -> int | None:
+        """Compare-and-set: update the first ``query`` match only if it
+        *still* matches ``expected``.
+
+        ``expected`` uses the same query language as ``find`` and is
+        evaluated against the matched document inside the write lock, so
+        check and update are one atomic step — the primitive lease-based
+        job claiming is built on (two workers CAS-ing the same queued job
+        cannot both win).
+
+        Returns the updated document's ``_id``, or ``None`` when nothing
+        matched ``query`` or the ``expected`` condition no longer held.
+        """
+        with self._write_lock:
+            found = self.find_one(query)
+            if found is None or not matches(found, expected):
+                return None
+            return self._apply_changes(found["_id"], changes)
+
+    def _apply_changes(self, doc_id: int, changes: Mapping[str, Any]) -> int:
         doc = self._documents[doc_id]
         self._unindex(doc_id)
         for key, value in changes.items():
@@ -119,18 +156,20 @@ class Collection:
 
     def delete_many(self, query: Mapping[str, Any]) -> int:
         """Delete all matching documents; returns the count."""
-        doc_ids = [doc["_id"] for doc in self.find(query)]
-        for doc_id in doc_ids:
-            self._unindex(doc_id)
-            del self._documents[doc_id]
-        return len(doc_ids)
+        with self._write_lock:
+            doc_ids = [doc["_id"] for doc in self.find(query)]
+            for doc_id in doc_ids:
+                self._unindex(doc_id)
+                del self._documents[doc_id]
+            return len(doc_ids)
 
     def clear(self) -> None:
-        self._documents.clear()
-        for path in list(self._hash_indexes):
-            self._hash_indexes[path] = HashIndex(path)
-        for path in list(self._sorted_indexes):
-            self._sorted_indexes[path] = SortedIndex(path)
+        with self._write_lock:
+            self._documents.clear()
+            for path in list(self._hash_indexes):
+                self._hash_indexes[path] = HashIndex(path)
+            for path in list(self._sorted_indexes):
+                self._sorted_indexes[path] = SortedIndex(path)
 
     def _unindex(self, doc_id: int) -> None:
         for index in self._hash_indexes.values():
@@ -253,13 +292,19 @@ class Collection:
     # -- persistence hooks (used by Database) ----------------------------------
 
     def dump(self) -> dict[str, Any]:
-        """Serialisable snapshot (documents + index definitions)."""
-        return {
-            "name": self.name,
-            "next_id": self._next_id,
-            "documents": [copy.deepcopy(d) for d in self._documents.values()],
-            "indexes": self.indexes(),
-        }
+        """Serialisable snapshot (documents + index definitions).
+
+        Taken under the write lock so a snapshot never observes a
+        half-applied write (the durable job registry saves the database
+        while executor threads are still transitioning other jobs).
+        """
+        with self._write_lock:
+            return {
+                "name": self.name,
+                "next_id": self._next_id,
+                "documents": [copy.deepcopy(d) for d in self._documents.values()],
+                "indexes": self.indexes(),
+            }
 
     @classmethod
     def load(cls, snapshot: Mapping[str, Any]) -> "Collection":

@@ -56,6 +56,18 @@ class Database:
         """Remove a collection entirely; returns whether it existed."""
         return self._collections.pop(name, None) is not None
 
+    def replace_collection(self, collection: Collection) -> None:
+        """Swap in a collection object wholesale (keyed by its name).
+
+        Used by refresh protocols that adopt another process's view of a
+        collection — e.g. the durable job registry re-reading the ``jobs``
+        collection from the shared snapshot.  Callers that created indexes
+        on the replaced collection should re-ensure them afterwards
+        (``create_index`` is idempotent; loaded snapshots carry their index
+        definitions anyway).
+        """
+        self._collections[collection.name] = collection
+
     def stats(self) -> dict[str, Any]:
         """Document counts per collection (the admin endpoint's payload)."""
         return {

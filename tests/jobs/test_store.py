@@ -261,3 +261,45 @@ class TestTerminalRetention:
         store.open_job("santander", PARAMS, "z" * 64)
         assert store.get(active.job_id) is not None
         assert store.get(active.job_id).state == RUNNING
+
+    def test_evicted_succeeded_jobs_keep_their_result_key(self):
+        """Eviction drops metadata only: the job_id -> result_key mapping
+        survives, so result links issued against the job id still resolve."""
+        store = JobStore(terminal_capacity=1)
+        first, _ = store.open_job("santander", PARAMS, "a" * 64)
+        store.mark_running(first.job_id)
+        store.mark_succeeded(first.job_id, result_key="a" * 64)
+        second, _ = store.open_job("santander", PARAMS, "b" * 64)
+        store.mark_running(second.job_id)
+        store.mark_succeeded(second.job_id, result_key="b" * 64)
+        store.open_job("santander", PARAMS, "c" * 64)  # prunes `first`
+        assert store.get(first.job_id) is None
+        assert store.evicted_result_key(first.job_id) == "a" * 64
+        assert store.evicted_result_key(second.job_id) is None  # not evicted
+        assert store.evicted_result_key("job-0000-nope") is None
+
+    def test_evicted_failed_jobs_leave_no_mapping(self):
+        store = JobStore(terminal_capacity=1)
+        failed, _ = store.open_job("santander", PARAMS, "a" * 64)
+        store.mark_running(failed.job_id)
+        store.mark_failed(failed.job_id, RuntimeError("boom"))
+        ok, _ = store.open_job("santander", PARAMS, "b" * 64)
+        store.mark_running(ok.job_id)
+        store.mark_succeeded(ok.job_id, result_key="b" * 64)
+        store.open_job("santander", PARAMS, "c" * 64)  # prunes `failed`
+        assert store.get(failed.job_id) is None
+        assert store.evicted_result_key(failed.job_id) is None
+
+    def test_evicted_mapping_is_bounded(self):
+        store = JobStore(terminal_capacity=1)
+        store._evicted_capacity = 2  # tighten the bound for the test
+        ids = []
+        for index in range(4):
+            job, _ = store.open_job("santander", PARAMS, f"{index:064d}")
+            store.mark_running(job.job_id)
+            store.mark_succeeded(job.job_id, result_key=job.key)
+            ids.append(job.job_id)
+        store.open_job("santander", PARAMS, "z" * 64)
+        kept = [job_id for job_id in ids if store.evicted_result_key(job_id)]
+        assert len(kept) <= 2
+        assert store.evicted_result_key(ids[0]) is None  # oldest dropped first

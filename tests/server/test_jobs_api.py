@@ -339,3 +339,43 @@ class TestThreadedServer:
             server.server_close()
             thread.join(timeout=5)
             app.close()
+
+
+class TestEvictedJobRedirect:
+    """Terminal-job eviction must not strand issued job Location links:
+    an evicted succeeded job answers 301 at its surviving result resource."""
+
+    def evict_first_of_three(self, client):
+        app_state = client.app.state
+        app_state.jobs.store._terminal_capacity = 1
+        job_ids, keys = [], []
+        for support in (10, 5, 2):
+            params = dict(PARAMS, min_support=support)
+            job_id = submit_async(client, params)
+            final = poll_until_terminal(client, job_id)
+            assert final["state"] == "succeeded"
+            job_ids.append(job_id)
+            keys.append(final["result_key"])
+        # The third submission's open_job pruned the first finished job.
+        assert client.get(f"/api/v1/jobs/{job_ids[1]}").status in (200, 301)
+        return job_ids, keys
+
+    def test_evicted_job_redirects_to_result(self, client):
+        job_ids, keys = self.evict_first_of_three(client)
+        for path in (f"/jobs/{job_ids[0]}", f"/api/v1/jobs/{job_ids[0]}"):
+            response = client.get(path)
+            assert response.status == 301, (path, response.json())
+            assert response.headers["Location"] == f"/api/v1/results/{keys[0]}"
+            assert response.json()["result_key"] == keys[0]
+        # The redirect target still serves the result metadata.
+        target = client.get(f"/api/v1/results/{keys[0]}")
+        assert target.status == 200
+        assert target.json()["key"] == keys[0]
+
+    def test_redirect_gone_once_result_deleted(self, client):
+        job_ids, keys = self.evict_first_of_three(client)
+        assert client.delete(f"/api/v1/results/{keys[0]}").status == 204
+        assert client.get(f"/api/v1/jobs/{job_ids[0]}").status == 404
+
+    def test_unknown_job_still_404s(self, client):
+        assert client.get("/api/v1/jobs/job-9999-nope").status == 404

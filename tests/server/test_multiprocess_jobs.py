@@ -1,0 +1,164 @@
+"""Two server processes, one store: dedup, takeover, exactly-once.
+
+The multi-process half of the ISSUE-5 acceptance criteria, driven through
+the fault-injection harness: two real ``repro serve`` subprocesses share
+one snapshot path, and every claim races through the compare-and-set
+protocol of the durable registry.
+
+* identical submissions to *different* servers dedup onto one job, and
+  that job executes exactly once;
+* a server killed ``-9`` mid-mine loses its lease, the surviving server
+  reclaims and finishes the job, and the result is byte-identical to a
+  clean mine;
+* a burst of distinct jobs contended for by both servers' workers executes
+  each job exactly once, wherever it lands.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.data.datasets import recommended_parameters
+from repro.data.synthetic import generate_covid19
+
+from tests.jobs.harness import (
+    ServerProcess,
+    caps_page_bytes,
+    poll_job,
+    read_exec_log,
+    reference_caps_bytes,
+    submit_async,
+    upload_dataset,
+    wait_for_exec_entries,
+    wait_for_state,
+)
+
+DATASET_NAME = "covid19"
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_covid19(seed=7)
+
+
+@pytest.fixture(scope="module")
+def params_doc():
+    return recommended_parameters(DATASET_NAME).to_document()
+
+
+@pytest.fixture(scope="module")
+def reference_page(dataset, params_doc):
+    return reference_caps_bytes(dataset, params_doc)
+
+
+def test_cross_process_dedup_executes_once(
+    tmp_path, dataset, params_doc, reference_page
+):
+    store = tmp_path / "store.json"
+    exec_log = tmp_path / "exec.log"
+    with ServerProcess(
+        store, worker_id="alpha", exec_log=exec_log, lease_seconds=5.0,
+        worker_poll=0.1, mine_delay=1.0,
+    ) as alpha:
+        upload_dataset(alpha, dataset)
+        with ServerProcess(
+            store, worker_id="beta", exec_log=exec_log, lease_seconds=5.0,
+            worker_poll=0.1, mine_delay=1.0,
+        ) as beta:
+            submitted = submit_async(alpha, DATASET_NAME, params_doc)
+            job_id = submitted["job_id"]
+            # The same submission against the *other* process rides the
+            # same job — the registry on disk is the dedup authority.
+            duplicate = submit_async(beta, DATASET_NAME, params_doc)
+            assert duplicate["job_id"] == job_id
+            assert duplicate["deduplicated"] is True
+
+            final_a = poll_job(alpha, job_id)
+            final_b = poll_job(beta, job_id)
+            assert final_a["state"] == final_b["state"] == "succeeded"
+
+            # Exactly one execution, by whichever worker won the claim.
+            entries = [e for e in read_exec_log(exec_log) if e[0] == job_id]
+            assert len(entries) == 1, entries
+            assert entries[0][1] in ("alpha", "beta")
+
+            # Both processes serve the same bytes, equal to a clean mine.
+            key = final_a["result_key"]
+            assert caps_page_bytes(alpha, key) == reference_page
+            assert caps_page_bytes(beta, key) == reference_page
+
+
+def test_lease_takeover_after_sigkill(tmp_path, dataset, params_doc, reference_page):
+    """kill -9 one server mid-mine; the *other* reclaims and completes."""
+    store = tmp_path / "store.json"
+    exec_log = tmp_path / "exec.log"
+    with ServerProcess(
+        store, worker_id="doomed", exec_log=exec_log, lease_seconds=1.0,
+        worker_poll=0.1, mine_delay=30.0,
+    ) as doomed:
+        upload_dataset(doomed, dataset)
+        submitted = submit_async(doomed, DATASET_NAME, params_doc)
+        job_id = submitted["job_id"]
+        running = wait_for_state(doomed, job_id, "running")
+        assert running["worker_id"] == "doomed"
+        wait_for_exec_entries(exec_log, job_id, count=1)  # execution underway
+        # The survivor joins while the doomed server is still mining.
+        with ServerProcess(
+            store, worker_id="survivor", exec_log=exec_log, lease_seconds=1.0,
+            worker_poll=0.1,
+        ) as survivor:
+            doomed.kill()
+
+            final = poll_job(survivor, job_id)
+            assert final["state"] == "succeeded"
+            assert final["worker_id"] == "survivor"
+            assert final["attempt"] == 2
+
+            entries = [e for e in read_exec_log(exec_log) if e[0] == job_id]
+            assert [(worker, attempt) for (_, worker, attempt) in entries] == [
+                ("doomed", 1),
+                ("survivor", 2),
+            ]
+            assert caps_page_bytes(survivor, final["result_key"]) == reference_page
+
+
+def test_contended_burst_executes_each_job_once(tmp_path, dataset, params_doc):
+    """Both servers' workers race a burst of distinct jobs; CAS claiming
+    gives each job exactly one execution across the pair."""
+    store = tmp_path / "store.json"
+    exec_log = tmp_path / "exec.log"
+    variants = [
+        {**params_doc, "min_support": support}
+        for support in (2, 3, 4)
+    ]
+    with ServerProcess(
+        store, worker_id="alpha", exec_log=exec_log, lease_seconds=5.0,
+        worker_poll=0.05, mine_delay=0.3,
+    ) as alpha:
+        upload_dataset(alpha, dataset)
+        with ServerProcess(
+            store, worker_id="beta", exec_log=exec_log, lease_seconds=5.0,
+            worker_poll=0.05, mine_delay=0.3,
+        ) as beta:
+            job_ids = []
+            for variant in variants:
+                submitted = submit_async(alpha, DATASET_NAME, variant)
+                job_ids.append(submitted["job_id"])
+            assert len(set(job_ids)) == len(variants)
+
+            workers_seen = set()
+            for job_id in job_ids:
+                final = poll_job(beta, job_id)
+                assert final["state"] == "succeeded", final
+                workers_seen.add(final["worker_id"])
+                entries = [e for e in read_exec_log(exec_log) if e[0] == job_id]
+                assert len(entries) == 1, (job_id, entries)
+
+            # Smoke: the lease counters in admin stats agree on both ends.
+            for server in (alpha, beta):
+                status, stats = server.get_json("/api/v1/admin/stats")
+                assert status == 200
+                assert stats["jobs"]["succeeded"] == len(variants)
+                assert stats["jobs"]["leases"] == {"active": 0, "expired": 0}

@@ -187,3 +187,41 @@ class TestDumpLoad:
     def test_ids_continue_after_load(self, people):
         restored = Collection.load(people.dump())
         assert restored.insert_one({"name": "next"}) == 4
+
+
+class TestUpdateIf:
+    """Compare-and-set semantics (the lease-claiming primitive)."""
+
+    def test_applies_when_expected_holds(self, people):
+        doc_id = people.update_if(
+            {"name": "ada"}, {"city": "london"}, {"city": "cambridge"}
+        )
+        assert doc_id is not None
+        assert people.find_one({"name": "ada"})["city"] == "cambridge"
+
+    def test_refuses_when_expected_fails(self, people):
+        assert people.update_if(
+            {"name": "ada"}, {"city": "paris"}, {"city": "cambridge"}
+        ) is None
+        assert people.find_one({"name": "ada"})["city"] == "london"
+
+    def test_none_for_unmatched_query(self, people):
+        assert people.update_if(
+            {"name": "nobody"}, {"city": "london"}, {"city": "x"}
+        ) is None
+
+    def test_expected_supports_operators(self, people):
+        assert people.update_if(
+            {"name": "grace"}, {"age": {"$gte": 80}}, {"age": 86}
+        ) is not None
+        assert people.find_one({"name": "grace"})["age"] == 86
+
+    def test_id_stays_immutable(self, people):
+        with pytest.raises(QueryError, match="_id"):
+            people.update_if({"name": "ada"}, {}, {"_id": 99})
+
+    def test_indexes_follow_the_update(self, people):
+        people.create_index("city", "hash")
+        people.update_if({"name": "alan"}, {"city": "london"}, {"city": "york"})
+        assert [d["name"] for d in people.find({"city": "york"})] == ["alan"]
+        assert people.count({"city": "london"}) == 1

@@ -4,10 +4,15 @@ Invariants:
 
 * an indexed query returns exactly what a full scan returns;
 * dump/load is the identity on find() results;
-* range queries through the sorted index equal the predicate filter.
+* range queries through the sorted index equal the predicate filter;
+* ``update_if`` is a true compare-and-set: under any interleaving of
+  claim attempts — sequential or genuinely concurrent — each document is
+  won exactly once, by the first attempt that reaches it.
 """
 
 from __future__ import annotations
+
+import threading
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -75,3 +80,95 @@ def test_delete_then_count_consistent(docs, victim):
     removed = c.delete_many({"group": victim})
     assert c.count() == before - removed
     assert c.count({"group": victim}) == 0
+
+
+# -- update_if: compare-and-set ------------------------------------------------
+
+#: An interleaving: which worker attempts to claim which job slot, in what
+#: order.  Jobs are claimable exactly once (state queued -> running).
+claim_schedules = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 9)),  # (job index, worker id)
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(claim_schedules)
+@settings(max_examples=80)
+def test_update_if_claims_match_sequential_model(schedule):
+    """Any interleaving of CAS claims equals the first-wins reference model."""
+    n_jobs = 5
+    c = Collection("jobs")
+    c.create_index("job", "hash")
+    for job in range(n_jobs):
+        c.insert_one({"job": job, "state": "queued", "worker": None})
+    model: dict[int, int] = {}  # job -> winning worker (first attempt wins)
+    for job, worker in schedule:
+        won = c.update_if(
+            {"job": job},
+            {"state": "queued"},
+            {"state": "running", "worker": worker},
+        )
+        if job not in model:
+            model[job] = worker
+            assert won is not None  # first attempt must win...
+        else:
+            assert won is None  # ...and every later one must lose
+    for job in range(n_jobs):
+        doc = c.find_one({"job": job})
+        if job in model:
+            assert (doc["state"], doc["worker"]) == ("running", model[job])
+        else:
+            assert (doc["state"], doc["worker"]) == ("queued", None)
+
+
+@given(claim_schedules)
+@settings(max_examples=60)
+def test_update_if_failed_cas_changes_nothing(schedule):
+    """A losing CAS must leave the document untouched, not half-applied."""
+    c = Collection("jobs")
+    c.insert_one({"job": 0, "state": "done", "worker": 7, "extra": "x"})
+    before = c.find_one({"job": 0})
+    for _job, worker in schedule:
+        assert c.update_if(
+            {"job": 0}, {"state": "queued"}, {"state": "running", "worker": worker}
+        ) is None
+    assert c.find_one({"job": 0}) == before
+
+
+def test_update_if_is_atomic_under_real_threads():
+    """Genuinely concurrent claimers: every job won exactly once, total
+    wins == total jobs — the exactly-once property lease claiming needs."""
+    n_jobs, n_workers = 25, 8
+    c = Collection("jobs")
+    c.create_index("job", "hash")
+    for job in range(n_jobs):
+        c.insert_one({"job": job, "state": "queued", "worker": None})
+    wins: list[list[int]] = [[] for _ in range(n_workers)]
+    barrier = threading.Barrier(n_workers)
+
+    def claimer(worker: int) -> None:
+        barrier.wait()  # maximise contention: everyone starts together
+        for job in range(n_jobs):
+            if c.update_if(
+                {"job": job},
+                {"state": "queued"},
+                {"state": "running", "worker": worker},
+            ) is not None:
+                wins[worker].append(job)
+
+    threads = [
+        threading.Thread(target=claimer, args=(worker,))
+        for worker in range(n_workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    claimed = [job for per_worker in wins for job in per_worker]
+    assert sorted(claimed) == list(range(n_jobs))  # once each, none missed
+    for job in range(n_jobs):
+        doc = c.find_one({"job": job})
+        assert doc["state"] == "running"
+        assert job in wins[doc["worker"]]  # the stamp matches the winner
