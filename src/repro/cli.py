@@ -217,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--worker-id", dest="worker_id",
                        help="with --store: stable worker identity stamped on "
                             "claimed jobs (default: pid-derived)")
+    p_srv.add_argument("--compact-seconds", dest="compact_seconds", type=float,
+                       metavar="SECONDS",
+                       help="with --store: background WAL compaction sweep "
+                            "interval (default: disabled)")
 
     p_jobs = sub.add_parser(
         "jobs", help="inspect / recover the durable job registry of a store"
@@ -232,6 +236,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_jlist = jobs_sub.add_parser("list", help="print the registry's jobs")
     p_jlist.add_argument("--store", required=True, help="JSON snapshot path")
     p_jlist.add_argument("--status", help="filter by job state")
+
+    p_store = sub.add_parser(
+        "store", help="inspect / maintain a store (WAL verify, compaction)"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_sver = store_sub.add_parser(
+        "verify",
+        help="offline checksum walk of every WAL log (exit 1 on a torn tail)",
+    )
+    p_sver.add_argument("--store", required=True, help="store path")
+    p_scomp = store_sub.add_parser(
+        "compact",
+        help="rewrite every collection log to its live state (and archive a "
+             "migrated legacy snapshot)",
+    )
+    p_scomp.add_argument("--store", required=True, help="store path")
 
     p_schema = sub.add_parser(
         "schema", help="emit the generated API schema / reference"
@@ -420,6 +440,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         job_workers=args.job_workers,
         worker_id=args.worker_id,
         lease_seconds=args.lease_seconds,
+        auto_compact_seconds=args.compact_seconds,
     )
     preload_name = args.preload_dataset or ("santander" if args.preload else None)
     if preload_name:
@@ -454,7 +475,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # Wait for the workers: running jobs cancel at their next checkpoint,
         # and the snapshot below must not race a result write.
         app.close(wait=True)
-        if args.store:
+        if args.store and app.state.database.engine != "wal":
+            # WAL: every acknowledged write is already fsync'd — there is
+            # no exit snapshot to take.
             app.state.database.save()
             print(f"saved store to {args.store}")
     return 0
@@ -465,8 +488,8 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     from .store.database import Database
 
     path = Path(args.store)
-    if not path.exists():
-        raise SystemExit(f"no store snapshot at {path}")
+    if not path.exists() and not _wal_root(path).exists():
+        raise SystemExit(f"no store at {path}")
     store = DurableJobStore(
         Database(path),
         lease_seconds=getattr(args, "lease_seconds", 30.0),
@@ -495,6 +518,60 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wal_root(path: Path) -> Path:
+    """The WAL directory of a store path (``<path>.wal/``)."""
+    return path.with_name(path.name + ".wal")
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    from .store import wal
+
+    path = Path(args.store)
+    root = _wal_root(path)
+
+    if args.store_command == "compact":
+        from .store.database import Database
+
+        if not path.exists() and not root.exists():
+            raise SystemExit(f"no store at {path}")
+        database = Database(path)
+        results = database.compact()
+        for entry in results:
+            marker = "compacted" if entry["compacted"] else "kept"
+            print(f"{entry['collection']}: {entry['before_bytes']} -> "
+                  f"{entry['after_bytes']} bytes ({marker})")
+        if not results:
+            print("nothing to compact (empty store)")
+        return 0
+
+    # verify: offline checksum walk, no locks taken, nothing mutated.
+    torn = False
+    checked = 0
+    if root.is_dir():
+        for log_path in sorted(root.glob("*.log")):
+            report = wal.verify_log(log_path)
+            checked += 1
+            status = "TORN" if report["torn"] else "ok"
+            print(f"{log_path.name}: {report['records']} records, "
+                  f"{report['valid_bytes']}/{report['total_bytes']} bytes valid "
+                  f"[{status}]")
+            torn = torn or report["torn"]
+    if path.is_file():
+        import json as _json
+
+        try:
+            _json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            print(f"{path.name}: legacy snapshot UNPARSEABLE")
+            torn = True
+        else:
+            print(f"{path.name}: legacy snapshot ok")
+        checked += 1
+    if checked == 0:
+        raise SystemExit(f"no store at {path}")
+    return 1 if torn else 0
+
+
 def cmd_schema(args: argparse.Namespace) -> int:
     from .server.schema import main as schema_main
 
@@ -515,6 +592,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "serve": cmd_serve,
     "jobs": cmd_jobs,
+    "store": cmd_store,
     "schema": cmd_schema,
 }
 

@@ -8,13 +8,20 @@ and every transition writes through :meth:`Database.save`.  A submitted
 job therefore survives the process that accepted it: a restarted server
 finds it in the snapshot and :meth:`recover` puts it back to work.
 
+**Two engines.**  With the WAL store engine (the default for a path),
+the registry simply rides :meth:`Database.exclusive`: every transition
+appends one checksummed record inside the store's own cross-process
+critical section and is fsync'd before the lock releases — no snapshot
+rewriting, no union-merging, and deletions propagate as first-class
+tombstone records.  With the legacy ``snapshot`` engine the PR 5
+protocol remains: a critical section (process-local lock + an ``flock``
+on ``<snapshot>.lock``) that refreshes this process's view from disk,
+mutates, then persists the whole snapshot.
+
 **Multi-process protocol.**  Several server processes may share one
-snapshot path.  All job mutations happen inside one critical section
-(process-local lock + an ``flock`` on ``<snapshot>.lock``) that first
-*refreshes* this process's view from disk, then mutates, then persists —
-so the on-disk snapshot is the single source of truth and a
-compare-and-set through :meth:`repro.store.Collection.update_if` decides
-every claim exactly once across processes:
+store path.  Either way the on-disk store is the single source of truth
+and a compare-and-set through :meth:`repro.store.Collection.update_if`
+decides every claim exactly once across processes:
 
 * **claiming** — a worker moves a job ``queued → running`` only via CAS,
   stamping ``{worker_id, lease_expires_at}``;
@@ -176,9 +183,18 @@ class DurableJobStore:
     def _exclusive(self) -> Iterator[None]:
         """The cross-process critical section: lock, refresh, then mutate.
 
-        Reentrant: nested sections piggyback on the outer one's file lock
-        (``flock`` self-deadlocks across fds of one process otherwise).
+        WAL engine: delegate to the store's own exclusive section — entry
+        replays peers' appended records, exit fsyncs ours, and the flock
+        lives with the store (one lock protocol instead of two).
+
+        Snapshot engine: reentrant flock on ``<snapshot>.lock`` + refresh
+        + persist, as in PR 5 (``flock`` self-deadlocks across fds of one
+        process otherwise, hence the depth counter).
         """
+        if self.database.engine == "wal":
+            with self._lock, self.database.exclusive():
+                yield
+            return
         with self._lock:
             if self._lock_depth > 0:
                 self._lock_depth += 1
@@ -216,6 +232,18 @@ class DurableJobStore:
             self._refresh_locked()
 
     def _refresh_locked(self, max_age: float | None = None) -> None:
+        if self.database.engine == "wal":
+            # Tail replay: per-collection byte cursors; one stat per log
+            # when nothing changed.  The throttle still bounds how often
+            # the cancellation poll even stats.
+            if (
+                max_age is not None
+                and time.monotonic() - self._last_refresh_mono < max_age
+            ):
+                return
+            self._last_refresh_mono = time.monotonic()
+            self.database.refresh()
+            return
         path = self.database.path
         if path is None or not path.exists():
             return
@@ -273,8 +301,13 @@ class DurableJobStore:
                 )
 
     def _persist(self) -> None:
-        """Write the snapshot (when bound to one) and remember its identity."""
-        if self.database.path is None:
+        """Write the snapshot (when bound to one) and remember its identity.
+
+        WAL engine: a deliberate no-op — every mutation already appended
+        its record, and the exclusive section fsyncs on exit, so there is
+        no "world" left to rewrite.
+        """
+        if self.database.engine == "wal" or self.database.path is None:
             return
         target = self.database.save()
         stat = target.stat()
@@ -397,16 +430,16 @@ class DurableJobStore:
             return self._evicted_results.get(job_id)
 
     def persist_removal(self, collection_name: str, query: Mapping[str, Any]) -> int:
-        """Apply a deletion to the *shared* snapshot; returns the count.
+        """Apply a deletion to the *shared* store; returns the count.
 
-        A plain local ``delete_many`` is not enough in multi-process mode:
-        the union-merge of :meth:`refresh` would re-adopt the documents
-        from disk on the next peer write.  This runs the deletion inside
-        the critical section — refresh first (so the on-disk copies are
-        local and get deleted too), then persist — making the removal the
-        snapshot's new truth.  (A peer that still holds the documents
-        locally re-publishes them with its next persist; full multi-writer
-        deletion needs tombstones — see ROADMAP.)
+        WAL engine: ``delete_many`` appends a first-class tombstone record,
+        so the removal propagates to every peer's next tail replay — no
+        merge races.  Snapshot engine: a plain local ``delete_many`` is not
+        enough because the union-merge of :meth:`refresh` would re-adopt
+        the documents from disk on the next peer write; running it inside
+        the critical section (refresh, delete, persist) makes the removal
+        the snapshot's new truth, though a peer that still holds the
+        documents locally re-publishes them with its next persist.
         """
         with self._exclusive():
             removed = self.database.collection(collection_name).delete_many(
@@ -555,7 +588,15 @@ class DurableJobStore:
         and a tick carrying an ``attempt`` is ignored unless it matches the
         current claim (a stale thread of this same process must not touch a
         newer attempt's progress or lease).
+
+        WAL engine: ticks write through — one appended record per tick is
+        cheap, and it renews the lease inline (an extra field on the same
+        record) instead of taking a second critical section.  The local
+        progress cache exists only for the snapshot engine's deferred
+        persistence.
         """
+        if self.database.engine == "wal":
+            return self._set_progress_wal(job_id, done, total, attempt)
         with self._lock:
             document = self._doc(job_id)
             if (
@@ -597,6 +638,49 @@ class DurableJobStore:
                 self._progress_cache.pop(job_id, None)  # persisted with renewal
                 document = self._doc(job_id) or document
         return self._job(document)
+
+    def _set_progress_wal(
+        self, job_id: str, done: int, total: int, attempt: int | None
+    ) -> Job:
+        """Write-through progress tick for the WAL engine."""
+        with self._exclusive():
+            document = self._doc(job_id)
+            if (
+                document is None
+                or document["state"] != RUNNING
+                or document.get("worker_id") != self.worker_id
+                or (attempt is not None and document.get("attempt") != attempt)
+                or total <= 0
+            ):
+                return self._job(document) if document else None  # type: ignore[return-value]
+            fraction = min(min(max(done / total, 0.0), 1.0), 0.99)
+            changes: dict[str, Any] = {}
+            if fraction >= document.get("progress", 0.0):
+                changes["progress"] = fraction
+                if (
+                    document.get("shards_total") != total
+                    or done > document.get("shards_done", 0)
+                ):
+                    changes["shards_done"] = done
+                    changes["shards_total"] = total
+            lease = document.get("lease_expires_at")
+            if (
+                lease is not None
+                and lease - self._clock() < self.lease_seconds * (2.0 / 3.0)
+            ):
+                changes["lease_expires_at"] = self._clock() + self.lease_seconds
+            if changes:
+                expected: dict[str, Any] = {
+                    "state": RUNNING,
+                    "worker_id": self.worker_id,
+                }
+                if attempt is not None:
+                    expected["attempt"] = attempt
+                self._collection().update_if(
+                    {"job_id": job_id}, expected, changes
+                )
+                document = self._doc(job_id) or document
+            return self._job(document)
 
     # -- terminal transitions ---------------------------------------------------
 
@@ -674,6 +758,12 @@ class DurableJobStore:
             "finished_at": self._clock(),
             "lease_expires_at": None,
         }
+        if fault_before is not None:
+            # Crash *before* the transition reaches disk.  The CAS itself
+            # writes through on the WAL engine, so "before persist" means
+            # before the update — on the snapshot engine the process dies
+            # either way before ``_persist`` runs.
+            self._fault_point(fault_before)
         matched = self._collection().update_if(
             {"job_id": document["job_id"]}, expected, changes
         )
@@ -684,8 +774,6 @@ class DurableJobStore:
                 f"{document['state']!r} -> {state!r} transition"
             )
         self._progress_cache.pop(document["job_id"], None)
-        if fault_before is not None:
-            self._fault_point(fault_before)
         self._persist()
         if fault_after is not None:
             self._fault_point(fault_after)

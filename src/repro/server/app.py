@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Mapping
 
+from ..store.compaction import CompactionThread
 from ..store.database import Database
 from .api_v1 import register_v1_routes
 from .handlers import ServerState, register_routes
@@ -44,6 +45,7 @@ class App:
         self.state = state
         self.router = router
         self._handler = handler
+        self.compactor: CompactionThread | None = None
 
     def __call__(self, request: Request) -> Response:
         return self._handler(request)
@@ -66,6 +68,8 @@ class App:
         cancel to reach its next checkpoint, otherwise joining it would
         wait out the whole mine.
         """
+        if self.compactor is not None:
+            self.compactor.stop(wait=wait)
         self.state.stop_job_worker(wait=False)
         self.state.jobs.shutdown(wait=wait)
         self.state.stop_job_worker(wait=wait)
@@ -79,6 +83,7 @@ def create_app(
     durable_jobs: bool | None = None,
     worker_id: str | None = None,
     lease_seconds: float = 30.0,
+    auto_compact_seconds: float | None = None,
 ) -> App:
     """Build the Miscela-V API application.
 
@@ -105,6 +110,11 @@ def create_app(
     worker_id, lease_seconds:
         Durable-registry identity and claim lifetime (see
         :class:`repro.jobs.DurableJobStore`).
+    auto_compact_seconds:
+        Interval of the background WAL compaction sweep (see
+        :class:`repro.store.compaction.CompactionThread`).  ``None``
+        (default) disables it; ignored unless the database runs the WAL
+        engine.
     """
     state = ServerState(
         database,
@@ -122,7 +132,13 @@ def create_app(
     if with_logging:
         handler = logging_middleware(handler)
     handler = error_middleware(handler)
-    return App(state, handler, router)
+    app = App(state, handler, router)
+    if auto_compact_seconds is not None and state.database.engine == "wal":
+        app.compactor = CompactionThread(
+            state.database, interval_seconds=auto_compact_seconds
+        )
+        app.compactor.start()
+    return app
 
 
 def create_wsgi_app(

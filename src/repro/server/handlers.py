@@ -58,6 +58,7 @@ __all__ = ["ServerState", "register_routes"]
 
 _DATASETS = "datasets"
 _RESULTS = "cap_results"
+_GENERATIONS = "generations"
 
 #: Test hook: seconds to sleep inside the mining runner before the engine
 #: starts.  The fault-injection harness sets it to hold a job mid-mine long
@@ -95,6 +96,10 @@ class ServerState:
         self.database = database if database is not None else Database()
         self.cache = ResultCache(self.database)
         self.database.collection(_DATASETS).create_index("name", "hash")
+        # Dataset generations live in the store (on the WAL engine each
+        # bump is a log record), so a re-upload on one server process
+        # withdraws results mid-mine on every process sharing the store.
+        self.database.collection(_GENERATIONS).create_index("name", "hash")
         self.lock = threading.RLock()
         if durable_jobs is None:
             durable_jobs = self.database.path is not None
@@ -121,11 +126,11 @@ class ServerState:
         # LRU-bounded: a parameter sweep must not pin every result in RAM.
         self._results: dict[str, MiningResult] = {}
         self._results_capacity = 32
-        # Bumped on every re-upload/delete; async jobs snapshot it at submit
+        # Dataset generations (see ``_bump_generation``) are bumped on
+        # every re-upload/delete; async jobs snapshot the value at submit
         # and refuse to publish a result mined from superseded data, and v1
         # result ETags embed it so conditional GETs never revalidate a
         # representation derived from replaced data.
-        self._generations: dict[str, int] = {}
 
     # -- upload sessions ------------------------------------------------------
 
@@ -237,7 +242,7 @@ class ServerState:
             self.cache.invalidate_dataset(dataset.name)
             self._drop_results(dataset.name)
             self._loaded[dataset.name] = dataset
-            self._generations[dataset.name] = self._generations.get(dataset.name, 0) + 1
+        self._bump_generation(dataset.name)
         self._cancel_dataset_jobs(dataset.name)
         if self.durable_jobs:
             # Purge the superseded results from the shared snapshot too (the
@@ -258,7 +263,7 @@ class ServerState:
             self.cache.invalidate_dataset(name)
             self._drop_results(name)
             self._loaded.pop(name, None)
-            self._generations[name] = self._generations.get(name, 0) + 1
+        self._bump_generation(name)
         self._cancel_dataset_jobs(name)
         if self.durable_jobs:
             # Without this the union-merge refresh would resurrect the
@@ -276,9 +281,34 @@ class ServerState:
                 except (KeyError, JobStateError):
                     pass  # finished in the meantime — the generation check below catches it
 
+    def _bump_generation(self, name: str) -> None:
+        """Advance a dataset's generation in the shared store.
+
+        Runs inside the store's exclusive section so concurrent bumps from
+        several processes serialize: each one replays peers' records first,
+        then appends its own increment.  (On non-WAL engines ``exclusive``
+        degrades to the process-local lock, preserving the old semantics.)
+        """
+        collection = self.database.collection(_GENERATIONS)
+        with self.database.exclusive():
+            document = collection.find_one({"name": name})
+            if document is None:
+                collection.insert_one({"name": name, "generation": 1})
+            else:
+                collection.update_one(
+                    {"name": name}, {"generation": document["generation"] + 1}
+                )
+
     def dataset_generation(self, name: str) -> int:
-        with self.lock:
-            return self._generations.get(name, 0)
+        """The current generation of ``name`` (0 until first upload).
+
+        Reads through the shared store — with a peer-visible refresh when
+        durable — so a runner's mid-mine currency check observes a
+        re-upload that happened in another process.
+        """
+        self._refresh_shared()
+        document = self.database.collection(_GENERATIONS).find_one({"name": name})
+        return int(document["generation"]) if document else 0
 
     def _drop_results(self, dataset_name: str) -> None:
         self._results = {

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import copy
 import threading
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+from contextlib import nullcontext
+from typing import Any, Callable, ContextManager, Iterable, Iterator, Mapping, Sequence
 
 from .index import HashIndex, SortedIndex
 from .query import MISSING as _MISSING
@@ -41,31 +42,135 @@ class Collection:
         # level (``ResultCache``'s lock, ``DurableJobStore``'s lock) as
         # before.
         self._write_lock = threading.RLock()
+        # Engine hooks (see :meth:`bind_engine`): a WAL-backed database
+        # wraps every mutation in its cross-process critical section and
+        # journals the resulting record; unbound collections (unit tests,
+        # the in-memory engine) mutate locally with no extra cost.
+        self._engine_guard: Callable[[], ContextManager[None]] | None = None
+        self._engine_journal: Callable[[Mapping[str, Any]], None] | None = None
+
+    # -- store-engine integration --------------------------------------------
+
+    def bind_engine(
+        self,
+        guard: Callable[[], ContextManager[None]],
+        journal: Callable[[Mapping[str, Any]], None],
+    ) -> None:
+        """Attach this collection to a journaling store engine.
+
+        ``guard()`` brackets every mutation (the database's exclusive
+        section: lock + refresh on entry, fsync on exit); ``journal(rec)``
+        appends one WAL record describing a mutation that just happened.
+        """
+        self._engine_guard = guard
+        self._engine_journal = journal
+
+    def _engine(self) -> ContextManager[None]:
+        return self._engine_guard() if self._engine_guard is not None else nullcontext()
+
+    def _journal(self, record: Mapping[str, Any]) -> None:
+        if self._engine_journal is not None:
+            self._engine_journal(record)
+
+    def _journal_put(self, doc_id: int) -> None:
+        """Journal the current stored version of one document (upsert)."""
+        self._journal({"op": "put", "doc": self._documents[doc_id]})
+
+    # -- WAL replay (engine-internal; never journals) -------------------------
+
+    def apply_wal_record(self, record: Mapping[str, Any]) -> None:
+        """Apply one replayed log record to the in-memory state.
+
+        Unknown ops are skipped, not fatal — an older binary replaying a
+        newer log must not corrupt what it *can* understand.
+        """
+        op = record.get("op")
+        if op == "put":
+            self._replay_put(record["doc"])
+        elif op == "del":
+            self._replay_delete(record.get("ids", ()))
+        elif op == "clear":
+            with self._write_lock:
+                self._reset_documents()
+        elif op == "index":
+            with self._write_lock:
+                self._create_index(str(record["path"]), str(record["kind"]))
+        elif op == "next":
+            with self._write_lock:
+                self._next_id = max(self._next_id, int(record["value"]))
+
+    def _replay_put(self, document: Mapping[str, Any]) -> None:
+        doc = copy.deepcopy(dict(document))
+        doc_id = int(doc["_id"])
+        with self._write_lock:
+            if doc_id in self._documents:
+                self._unindex(doc_id)
+            self._documents[doc_id] = doc
+            self._index(doc_id, doc)
+            if doc_id >= self._next_id:
+                self._next_id = doc_id + 1
+
+    def _replay_delete(self, doc_ids: Iterable[int]) -> None:
+        with self._write_lock:
+            for doc_id in doc_ids:
+                doc_id = int(doc_id)
+                if doc_id in self._documents:
+                    self._unindex(doc_id)
+                    del self._documents[doc_id]
+                # Tombstones also pin the id space: a replayed deletion of
+                # the max id must not let a later insert reuse it.
+                if doc_id >= self._next_id:
+                    self._next_id = doc_id + 1
+
+    def _reset_documents(self) -> None:
+        self._documents.clear()
+        for path in list(self._hash_indexes):
+            self._hash_indexes[path] = HashIndex(path)
+        for path in list(self._sorted_indexes):
+            self._sorted_indexes[path] = SortedIndex(path)
+
+    def reset_state(self) -> None:
+        """Forget all replayed state ahead of a from-zero segment replay
+        (a peer compacted this collection's log).  Index *definitions*
+        survive — the fresh segment re-declares them anyway and local
+        callers may hold queries planned against them."""
+        with self._write_lock:
+            self._reset_documents()
+            self._next_id = 1
 
     # -- index management ---------------------------------------------------
+
+    def _create_index(self, path: str, kind: str) -> bool:
+        """Create an index; returns whether one was actually created."""
+        if kind == "hash":
+            if path in self._hash_indexes:
+                return False
+            index = HashIndex(path)
+            for doc_id, document in self._documents.items():
+                index.insert(doc_id, document)
+            self._hash_indexes[path] = index
+            return True
+        elif kind == "sorted":
+            if path in self._sorted_indexes:
+                return False
+            sindex = SortedIndex(path)
+            for doc_id, document in self._documents.items():
+                sindex.insert(doc_id, document)
+            self._sorted_indexes[path] = sindex
+            return True
+        else:
+            raise ValueError(f'index kind must be "hash" or "sorted", got {kind!r}')
 
     def create_index(self, path: str, kind: str = "hash") -> None:
         """Create a secondary index over a dotted field path.
 
         Existing documents are back-filled.  Creating the same index twice
-        is a no-op.
+        is a no-op (and journals nothing).
         """
-        if kind == "hash":
-            if path in self._hash_indexes:
-                return
-            index = HashIndex(path)
-            for doc_id, document in self._documents.items():
-                index.insert(doc_id, document)
-            self._hash_indexes[path] = index
-        elif kind == "sorted":
-            if path in self._sorted_indexes:
-                return
-            sindex = SortedIndex(path)
-            for doc_id, document in self._documents.items():
-                sindex.insert(doc_id, document)
-            self._sorted_indexes[path] = sindex
-        else:
-            raise ValueError(f'index kind must be "hash" or "sorted", got {kind!r}')
+        with self._engine():
+            with self._write_lock:
+                if self._create_index(path, kind):
+                    self._journal({"op": "index", "path": path, "kind": kind})
 
     def indexes(self) -> dict[str, list[str]]:
         return {
@@ -76,23 +181,31 @@ class Collection:
     # -- writes ---------------------------------------------------------------
 
     def insert_one(self, document: Mapping[str, Any]) -> int:
-        """Insert a document; returns its assigned ``_id``."""
+        """Insert a document; returns its assigned ``_id``.
+
+        Under a WAL engine the id is assigned *inside* the exclusive
+        section — entry replays peers' appends first, so the counter is
+        past every id any process ever used (tombstones included).
+        """
         if not isinstance(document, Mapping):
             raise TypeError(f"document must be a mapping, got {type(document).__name__}")
         doc = copy.deepcopy(dict(document))
-        with self._write_lock:
-            doc_id = self._next_id
-            self._next_id += 1
-            doc["_id"] = doc_id
-            self._documents[doc_id] = doc
-            for index in self._hash_indexes.values():
-                index.insert(doc_id, doc)
-            for sindex in self._sorted_indexes.values():
-                sindex.insert(doc_id, doc)
+        with self._engine():
+            with self._write_lock:
+                doc_id = self._next_id
+                self._next_id += 1
+                doc["_id"] = doc_id
+                self._documents[doc_id] = doc
+                for index in self._hash_indexes.values():
+                    index.insert(doc_id, doc)
+                for sindex in self._sorted_indexes.values():
+                    sindex.insert(doc_id, doc)
+                self._journal_put(doc_id)
         return doc_id
 
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[int]:
-        return [self.insert_one(doc) for doc in documents]
+        with self._engine():  # one critical section (and one fsync) for the batch
+            return [self.insert_one(doc) for doc in documents]
 
     def replace_one(self, query: Mapping[str, Any], document: Mapping[str, Any]) -> int | None:
         """Replace the first matching document (keeping its ``_id``).
@@ -100,25 +213,30 @@ class Collection:
         Returns the ``_id`` of the replaced document, or ``None`` if no
         document matched.
         """
-        with self._write_lock:
-            found = self.find_one(query)
-            if found is None:
-                return None
-            doc_id = found["_id"]
-            self._unindex(doc_id)
-            doc = copy.deepcopy(dict(document))
-            doc["_id"] = doc_id
-            self._documents[doc_id] = doc
-            self._index(doc_id, doc)
-            return doc_id
+        with self._engine():
+            with self._write_lock:
+                found = self.find_one(query)
+                if found is None:
+                    return None
+                doc_id = found["_id"]
+                self._unindex(doc_id)
+                doc = copy.deepcopy(dict(document))
+                doc["_id"] = doc_id
+                self._documents[doc_id] = doc
+                self._index(doc_id, doc)
+                self._journal_put(doc_id)
+                return doc_id
 
     def update_one(self, query: Mapping[str, Any], changes: Mapping[str, Any]) -> int | None:
         """Set top-level fields on the first matching document."""
-        with self._write_lock:
-            found = self.find_one(query)
-            if found is None:
-                return None
-            return self._apply_changes(found["_id"], changes)
+        with self._engine():
+            with self._write_lock:
+                found = self.find_one(query)
+                if found is None:
+                    return None
+                doc_id = self._apply_changes(found["_id"], changes)
+                self._journal_put(doc_id)
+                return doc_id
 
     def update_if(
         self,
@@ -138,11 +256,14 @@ class Collection:
         Returns the updated document's ``_id``, or ``None`` when nothing
         matched ``query`` or the ``expected`` condition no longer held.
         """
-        with self._write_lock:
-            found = self.find_one(query)
-            if found is None or not matches(found, expected):
-                return None
-            return self._apply_changes(found["_id"], changes)
+        with self._engine():
+            with self._write_lock:
+                found = self.find_one(query)
+                if found is None or not matches(found, expected):
+                    return None
+                doc_id = self._apply_changes(found["_id"], changes)
+                self._journal_put(doc_id)
+                return doc_id
 
     def _apply_changes(self, doc_id: int, changes: Mapping[str, Any]) -> int:
         doc = self._documents[doc_id]
@@ -155,21 +276,30 @@ class Collection:
         return doc_id
 
     def delete_many(self, query: Mapping[str, Any]) -> int:
-        """Delete all matching documents; returns the count."""
-        with self._write_lock:
-            doc_ids = [doc["_id"] for doc in self.find(query)]
-            for doc_id in doc_ids:
-                self._unindex(doc_id)
-                del self._documents[doc_id]
-            return len(doc_ids)
+        """Delete all matching documents; returns the count.
+
+        Journaled as one tombstone record listing the dead ids — replayed
+        by every process sharing the log, which is what makes deletion a
+        first-class multi-writer operation rather than a race against
+        peers' refreshes.
+        """
+        with self._engine():
+            with self._write_lock:
+                doc_ids = [doc["_id"] for doc in self.find(query)]
+                for doc_id in doc_ids:
+                    self._unindex(doc_id)
+                    del self._documents[doc_id]
+                if doc_ids:
+                    self._journal({"op": "del", "ids": doc_ids})
+                return len(doc_ids)
 
     def clear(self) -> None:
-        with self._write_lock:
-            self._documents.clear()
-            for path in list(self._hash_indexes):
-                self._hash_indexes[path] = HashIndex(path)
-            for path in list(self._sorted_indexes):
-                self._sorted_indexes[path] = SortedIndex(path)
+        with self._engine():
+            with self._write_lock:
+                had_documents = bool(self._documents)
+                self._reset_documents()
+                if had_documents:
+                    self._journal({"op": "clear"})
 
     def _unindex(self, doc_id: int) -> None:
         for index in self._hash_indexes.values():

@@ -1,0 +1,118 @@
+"""Background compaction for the WAL store engine.
+
+A long-lived store accretes log records: every progress tick, lease
+renewal, and requeue appends one, while the *live* state stays small.
+Compaction rewrites a collection's current state to a fresh segment and
+atomically swaps it in (see :meth:`Database.compact_collection` for the
+crash-safety argument: the new segment is fsync'd before the ``rename``,
+so a crash at any point leaves either the old complete log or the new
+complete segment).
+
+:class:`CompactionThread` runs that sweep on a timer.  It compacts lazily
+— only collections whose log carries substantially more records than live
+documents — so a quiet store costs one ``stats`` walk per interval and
+zero writes.  The server wires one up per process behind
+``--compact-seconds``; ``repro store compact`` does the same sweep once,
+offline.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+from .database import Database
+
+__all__ = ["CompactionThread", "needs_compaction"]
+
+_log = logging.getLogger("repro.store")
+
+#: Never compact a log shorter than this many records — the rewrite would
+#: cost more than the replay it saves.
+MIN_RECORDS = 64
+
+#: Compact when the log holds more than this many records per live
+#: document (dead weight from updates, tombstones, and progress ticks).
+RECORDS_PER_DOC = 4.0
+
+
+def needs_compaction(
+    records: int,
+    live_documents: int,
+    *,
+    min_records: int = MIN_RECORDS,
+    records_per_doc: float = RECORDS_PER_DOC,
+) -> bool:
+    """The lazy trigger: enough records, mostly dead weight."""
+    if records < min_records:
+        return False
+    return records > max(min_records, records_per_doc * max(live_documents, 1))
+
+
+class CompactionThread:
+    """Periodically compact over-grown collection logs of one database.
+
+    Daemonised and event-driven: :meth:`stop` wakes the timer immediately,
+    so shutdown never waits out the interval.  Compaction errors are
+    logged and swallowed — a failed sweep leaves the (valid, just long)
+    old log in place, and the next interval retries.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        interval_seconds: float = 30.0,
+        *,
+        min_records: int = MIN_RECORDS,
+        records_per_doc: float = RECORDS_PER_DOC,
+    ) -> None:
+        self.database = database
+        self.interval_seconds = interval_seconds
+        self.min_records = min_records
+        self.records_per_doc = records_per_doc
+        self.sweeps = 0
+        self.compacted = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-store-compactor", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, wait: bool = True) -> None:
+        self._stop.set()
+        if wait and self._thread.is_alive():
+            self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self.sweep()
+            except Exception:  # pragma: no cover - defensive
+                _log.exception("store compaction sweep failed")
+
+    def sweep(self) -> list[dict[str, object]]:
+        """One pass: compact every collection past the threshold."""
+        self.sweeps += 1
+        results: list[dict[str, object]] = []
+        wal_stats = self.database.stats().get("wal", {})
+        for name, entry in wal_stats.items():
+            if not needs_compaction(
+                entry["records"],
+                entry["live_documents"],
+                min_records=self.min_records,
+                records_per_doc=self.records_per_doc,
+            ):
+                continue
+            result = self.database.compact_collection(name)
+            if result.get("compacted"):
+                self.compacted += 1
+                _log.info(
+                    "compacted collection %r: %d -> %d bytes",
+                    name,
+                    result["before_bytes"],
+                    result["after_bytes"],
+                )
+            results.append(result)
+        return results

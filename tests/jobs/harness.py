@@ -8,7 +8,8 @@ at chosen transition points:
 * **deterministic crash points** — the ``REPRO_JOBS_FAULT`` environment
   variable makes :class:`repro.jobs.durable.DurableJobStore` hard-exit
   (``os._exit``) at a named point in the transition protocol, exactly as
-  if ``kill -9`` landed there;
+  if ``kill -9`` landed there; ``REPRO_STORE_FAULT`` does the same one
+  layer down, inside the WAL write path (:mod:`repro.store.wal`);
 * **timing-based kills** — :meth:`ServerProcess.kill` sends a real
   ``SIGKILL``, typically while ``REPRO_JOBS_MINE_DELAY`` holds a claimed
   job mid-mine long enough to observe it ``running``;
@@ -66,6 +67,7 @@ class ServerProcess:
         job_workers: int = 1,
         worker_id: str | None = None,
         fault: str | None = None,
+        store_fault: str | None = None,
         exec_log: Path | None = None,
         mine_delay: float | None = None,
         start: bool = True,
@@ -88,9 +90,12 @@ class ServerProcess:
             else str(SRC_DIR)
         )
         self.env.pop("REPRO_JOBS_FAULT", None)
+        self.env.pop("REPRO_STORE_FAULT", None)
         self.env.pop("REPRO_JOBS_MINE_DELAY", None)
         if fault:
             self.env["REPRO_JOBS_FAULT"] = fault
+        if store_fault:
+            self.env["REPRO_STORE_FAULT"] = store_fault
         if exec_log:
             self.env["REPRO_JOBS_EXEC_LOG"] = str(exec_log)
         if mine_delay:

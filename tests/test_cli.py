@@ -163,3 +163,41 @@ class TestCompare:
     def test_bad_date(self):
         with pytest.raises(SystemExit, match="bad --split"):
             main(["compare", "--dataset", "covid19", "--split", "someday"])
+
+
+class TestStore:
+    def _seed_store(self, tmp_path):
+        from repro.store.database import Database
+
+        path = tmp_path / "store.json"
+        db = Database(path)
+        for i in range(5):
+            db["caps"].insert_one({"i": i})
+        db["caps"].delete_many({"i": {"$lte": 2}})
+        return path
+
+    def test_verify_clean_store(self, tmp_path, capsys):
+        path = self._seed_store(tmp_path)
+        assert main(["store", "verify", "--store", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "caps.log" in out and "[ok]" in out
+
+    def test_verify_flags_torn_tail(self, tmp_path, capsys):
+        path = self._seed_store(tmp_path)
+        with open(tmp_path / "store.json.wal" / "caps.log", "ab") as handle:
+            handle.write(b"\x01torn")
+        assert main(["store", "verify", "--store", str(path)]) == 1
+        assert "[TORN]" in capsys.readouterr().out
+
+    def test_compact_rewrites_live_state(self, tmp_path, capsys):
+        from repro.store.database import Database
+
+        path = self._seed_store(tmp_path)
+        assert main(["store", "compact", "--store", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "caps" in out and "compacted" in out
+        assert [d["i"] for d in Database(path)["caps"].find()] == [3, 4]
+
+    def test_missing_store_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no store"):
+            main(["store", "verify", "--store", str(tmp_path / "absent.json")])

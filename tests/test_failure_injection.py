@@ -25,20 +25,25 @@ from tests.conftest import make_timeline, step_series
 
 
 class TestStoreCorruption:
-    def test_truncated_snapshot_raises_cleanly(self, tmp_path):
+    def test_truncated_snapshot_quarantined(self, tmp_path):
         path = tmp_path / "db.json"
-        db = Database(path)
+        db = Database(path, engine="snapshot")
         db["x"].insert_one({"a": 1})
         db.save()
         # Truncate the file mid-JSON.
         raw = path.read_text()
         path.write_text(raw[: len(raw) // 2])
-        with pytest.raises(json.JSONDecodeError):
-            Database.open(path)
+        # Graceful degradation: the bad file is quarantined, not fatal.
+        reopened = Database.open(path)
+        assert reopened["x"].count() == 0
+        quarantined = [p for p in tmp_path.iterdir() if ".corrupt-" in p.name]
+        assert len(quarantined) == 1
+        # The torn bytes survive for post-mortems.
+        assert quarantined[0].read_text() == raw[: len(raw) // 2]
 
     def test_save_failure_preserves_previous_snapshot(self, tmp_path):
         path = tmp_path / "db.json"
-        db = Database(path)
+        db = Database(path, engine="snapshot")
         db["x"].insert_one({"a": 1})
         db.save()
         before = path.read_text()
