@@ -24,7 +24,7 @@ from repro.core.spatial import build_proximity_graph
 from repro.data.datasets import recommended_parameters
 from repro.data.synthetic import generate_china6, generate_santander
 
-from .conftest import print_table
+from .conftest import machine_info, print_table
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_bitset_backend.json"
 
@@ -125,6 +125,7 @@ def test_bitset_wins_and_records_speedup():
         json.dumps(
             {
                 "benchmark": "bench_ablation_evolving_backend",
+                "machine": machine_info(),
                 "timed_region": "search_all (step 4), best of 5",
                 "datasets": report,
             },

@@ -29,7 +29,7 @@ from repro.data.datasets import recommended_parameters
 from repro.data.synthetic import generate_santander
 from repro.server.app import TestClient, create_app
 
-from .conftest import print_table
+from .conftest import machine_info, print_table
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_api_v1.json"
 
@@ -135,6 +135,7 @@ def test_api_v1_pages_and_conditional_gets():
 
         REPORT_PATH.write_text(json.dumps({
             "benchmark": "bench_api_v1",
+            "machine": machine_info(),
             "timed_region": "in-process API request latencies (cache-hot)",
             "num_caps": num_caps,
             "page_limit": PAGE_LIMIT,

@@ -27,7 +27,7 @@ from pathlib import Path
 from repro.server.app import TestClient, create_app
 
 from .bench_parallel_mining import bench_params, make_multi_component_dataset
-from .conftest import print_table
+from .conftest import machine_info, print_table
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_async_server.json"
 
@@ -103,6 +103,7 @@ def test_async_submit_and_poll_latency():
         ]
         report: dict[str, object] = {
             "benchmark": "bench_async_server",
+            "machine": machine_info(),
             "timed_region": "API latencies while a background mine runs",
             "mine_seconds": mine_s,
             "submit_ms": submit_s * 1000.0,

@@ -30,7 +30,7 @@ from pathlib import Path
 from repro.jobs import DurableJobStore, JobStore
 from repro.store.database import Database
 
-from .conftest import print_table
+from .conftest import machine_info, print_table
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_durable_jobs.json"
 
@@ -113,6 +113,7 @@ def test_durable_transition_overhead_and_recovery(tmp_path):
 
     REPORT_PATH.write_text(json.dumps({
         "benchmark": "bench_durable_jobs",
+        "machine": machine_info(),
         "timed_region": "job lifecycle transitions + startup recovery",
         "jobs": JOBS,
         "in_memory_lifecycle_ms_per_job": per_in_memory_ms,

@@ -33,7 +33,7 @@ from repro.core.search import search_all
 from repro.core.spatial import build_proximity_graph, connected_components
 from repro.core.types import Sensor, SensorDataset
 
-from .conftest import print_table
+from .conftest import machine_info, print_table
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel_mining.json"
 
@@ -140,6 +140,7 @@ def test_parallel_engine_speedup_and_identity():
     ]
     report: dict[str, object] = {
         "benchmark": "bench_parallel_mining",
+        "machine": machine_info(),
         "timed_region": "search_all (step 4), best of 3",
         "config": {
             "clusters": list(CLUSTER_SIZES),
@@ -148,6 +149,13 @@ def test_parallel_engine_speedup_and_identity():
             "sensors": len(sensors),
         },
         "usable_cores": cores,
+        # Every speedup below is relative to THIS core budget.  On a
+        # 1-core container n_jobs>1 measures pure sharding overhead, so a
+        # sub-1.0x number there is expected, not a parallelism regression.
+        "speedup_context": (
+            f"measured on {cores} scheduler-visible core(s); speedups are "
+            "only meaningful claims when usable_cores >= n_jobs"
+        ),
         "serial_seconds": serial_s,
         "workers": {},
     }

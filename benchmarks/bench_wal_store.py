@@ -27,7 +27,7 @@ from pathlib import Path
 
 from repro.store.database import Database
 
-from .conftest import print_table
+from .conftest import machine_info, print_table
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_wal_store.json"
 
@@ -124,6 +124,7 @@ def test_wal_transition_collapse_and_compaction(tmp_path):
 
     REPORT_PATH.write_text(json.dumps({
         "benchmark": "bench_wal_store",
+        "machine": machine_info(),
         "timed_region": "document transitions per engine + compaction",
         "preloaded_documents": PRELOAD_DOCS,
         "transitions": TRANSITIONS,

@@ -12,6 +12,9 @@ Every file in this directory regenerates one table or figure of the paper
 
 from __future__ import annotations
 
+import os
+import platform
+
 import pytest
 
 from repro.data.datasets import recommended_parameters
@@ -20,6 +23,29 @@ from repro.data.synthetic import (
     generate_covid19,
     generate_santander,
 )
+
+
+def machine_info() -> dict:
+    """Hardware context stamped into every ``BENCH_*.json`` artifact.
+
+    A recorded speedup (or its absence) is meaningless without the core
+    count it was measured on — the parallel-mining bench once looked like a
+    0.7x "regression" that was really a 1-core container.  ``cpu_count`` is
+    the machine's view; ``scheduler_visible_cores`` is what this process
+    may actually use (cgroup/affinity limits make it the honest number).
+    """
+    visible: int | None = None
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            visible = len(os.sched_getaffinity(0))
+        except OSError:
+            visible = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "scheduler_visible_cores": visible,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def print_table(title: str, rows: list[dict]) -> None:

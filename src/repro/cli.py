@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from datetime import datetime
 from pathlib import Path
@@ -214,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --store: poll interval of the lease worker "
                             "that claims jobs other processes enqueued "
                             "(0 disables the worker)")
+    p_srv.add_argument("--max-attempts", dest="max_attempts", type=int,
+                       default=5, metavar="N",
+                       help="with --store: dead-letter a job (or shard "
+                            "sub-job) after it loses its worker N times "
+                            "instead of requeueing forever (0 = unlimited, "
+                            "default 5)")
     p_srv.add_argument("--worker-id", dest="worker_id",
                        help="with --store: stable worker identity stamped on "
                             "claimed jobs (default: pid-derived)")
@@ -440,6 +447,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         job_workers=args.job_workers,
         worker_id=args.worker_id,
         lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
         auto_compact_seconds=args.compact_seconds,
     )
     preload_name = args.preload_dataset or ("santander" if args.preload else None)
@@ -469,6 +477,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # Machine-readable readiness line: the fault-injection harness (and any
     # supervisor) parses the actual port from it, which makes --port 0 usable.
     print(f"MISCELA_READY port={port}", flush=True)
+
+    # Graceful SIGTERM: funnel into the KeyboardInterrupt path below, where
+    # app.close() releases claimed jobs/shards (CAS back to queued) so a
+    # surviving process takes them over immediately instead of waiting out
+    # the lease.  kill -9 still exercises the lease-expiry path.
+    def _sigterm(signum, frame):  # pragma: no cover - exercised via subprocess
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -497,7 +514,8 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     )
     if args.jobs_command == "recover":
         summary = store.recover()
-        for field in ("requeued", "republished", "missing_results", "queued"):
+        for field in ("requeued", "republished", "missing_results",
+                      "dead_lettered", "queued"):
             print(f"{field}: {len(summary[field])}"
                   + (f" ({', '.join(summary[field])})" if summary[field] else ""))
         return 0

@@ -64,6 +64,8 @@ __all__ = [
     "ShardUnit",
     "estimate_seed_cost",
     "plan_shards",
+    "run_shard_units",
+    "merge_tagged",
     "parallel_search_all",
     "parallel_search_delayed",
     "parallel_naive_search",
@@ -363,38 +365,94 @@ def _worker_order() -> dict[str, int]:
     return _WORKER_ORDER
 
 
-def _run_shard(shard: list[ShardUnit]) -> list[tuple[tuple[int, int], list[CAP]]]:
-    """Execute one shard's units; returns ``(merge_tag, caps)`` pairs."""
+def run_shard_units(
+    mode: str,
+    adjacency: Mapping[str, set[str]],
+    attributes: Mapping[str, str],
+    evolving: Mapping[str, EvolvingSet],
+    params: MiningParameters,
+    components: Sequence[Sequence[str]],
+    units: Sequence[ShardUnit],
+    horizon: int = 0,
+    sensors: Sequence[Sensor] = (),
+    max_component_size: int = 0,
+    order: Mapping[str, int] | None = None,
+    control: MiningControl | None = None,
+) -> list[tuple[tuple[int, int], list[CAP]]]:
+    """Execute shard units against prepared inputs; ``(merge_tag, caps)`` pairs.
+
+    The single execution core behind both engines: the in-process pool
+    workers (:func:`_run_shard`) and the distributed shard sub-jobs
+    (:mod:`repro.jobs.planner`) run *exactly* this, so a unit produces the
+    same caps whether it executes in a forked pool or on another machine's
+    worker — the precondition for the distributed merge being byte-identical
+    to the serial engine.  With a ``control``, progress is reported and
+    cancellation polled between units.
+    """
     from .baseline import naive_search
     from .delayed import search_delayed_component
     from .search import search_component
 
-    spec = _SPEC
-    assert spec is not None
-    evolving = _worker_evolving()
+    if order is None:
+        order = {sid: i for i, sid in enumerate(sorted(adjacency))}
     out: list[tuple[tuple[int, int], list[CAP]]] = []
-    for unit in shard:
-        component = spec.components[unit.component_index]
-        if spec.mode == "search":
+    for done, unit in enumerate(units, start=1):
+        if control is not None:
+            control.checkpoint()
+        component = components[unit.component_index]
+        if mode == "search":
             caps = search_component(
-                component, spec.adjacency, spec.attributes, evolving,
-                spec.params, seeds=unit.seeds,
+                component, adjacency, attributes, evolving,
+                params, seeds=unit.seeds,
             )
-        elif spec.mode == "delayed":
+        elif mode == "delayed":
             caps = search_delayed_component(
-                component, spec.adjacency, spec.attributes, evolving,
-                spec.params, spec.horizon, seeds=unit.seeds,
-                order=_worker_order(),
+                component, adjacency, attributes, evolving,
+                params, horizon, seeds=unit.seeds, order=order,
             )
         else:
             keep = set(component)
-            members = [s for s in spec.sensors if s.sensor_id in keep]
+            members = [s for s in sensors if s.sensor_id in keep]
             caps = naive_search(
-                members, subgraph(spec.adjacency, component), evolving,
-                spec.params, max_component_size=spec.max_component_size,
+                members, subgraph(adjacency, component), evolving,
+                params, max_component_size=max_component_size,
             )
         out.append((unit.tag, caps))
+        if control is not None:
+            control.report(done, len(units))
     return out
+
+
+def merge_tagged(
+    tagged: list[tuple[tuple[int, int], list[CAP]]]
+) -> list[CAP]:
+    """Sort unit outputs by merge tag and concatenate: serial emission order.
+
+    The merge half of the shard protocol — callers then apply the same
+    mode-specific post-pass the serial engine ends with
+    (``dedupe_strongest`` / ``finalize_delayed`` / the naive support sort).
+    """
+    tagged = sorted(tagged, key=lambda pair: pair[0])
+    return [cap for _tag, caps in tagged for cap in caps]
+
+
+def _run_shard(shard: list[ShardUnit]) -> list[tuple[tuple[int, int], list[CAP]]]:
+    """Execute one shard's units in a pool worker (spec via fork/initializer)."""
+    spec = _SPEC
+    assert spec is not None
+    return run_shard_units(
+        spec.mode,
+        spec.adjacency,
+        spec.attributes,
+        _worker_evolving(),
+        spec.params,
+        spec.components,
+        shard,
+        horizon=spec.horizon,
+        sensors=spec.sensors,
+        max_component_size=spec.max_component_size,
+        order=_worker_order(),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -446,9 +504,7 @@ def _run_sharded(
     finally:
         if forked:
             _install_spec(None)  # type: ignore[arg-type]
-    tagged = [pair for result in shard_results for pair in result]
-    tagged.sort(key=lambda pair: pair[0])
-    return [cap for _tag, caps in tagged for cap in caps]
+    return merge_tagged([pair for result in shard_results for pair in result])
 
 
 def _run_serial_components(

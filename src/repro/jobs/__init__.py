@@ -11,12 +11,17 @@ enqueued.  See ``DESIGN.md`` ("Async job queue", "Durable jobs") for the
 state machine, lease protocol, and recovery rules.
 """
 
-from .durable import DurableJobStore
-from .executor import JobExecutor, run_claimed_job, run_job
+from .durable import DurableJobStore, maybe_fault
+from .executor import HANDLED, JobExecutor, run_claimed_job, run_job
 from .model import (
+    ATTEMPTS_EXHAUSTED,
     CANCELLED,
     FAILED,
+    JOB_KINDS,
     JOB_STATES,
+    KIND_MERGE,
+    KIND_MINE,
+    KIND_SHARD,
     QUEUED,
     RUNNING,
     SUCCEEDED,
@@ -25,17 +30,31 @@ from .model import (
     JobError,
     JobStateError,
 )
+from .planner import (
+    PLAN_WORKERS_DEFAULT,
+    MinePlan,
+    execute_units,
+    merge_outputs,
+    plan_mine,
+)
 from .queue import JobQueue
 from .store import JobStore
 from .worker import JobWorker
 
 __all__ = [
+    "ATTEMPTS_EXHAUSTED",
     "CANCELLED",
     "FAILED",
+    "HANDLED",
+    "JOB_KINDS",
     "JOB_STATES",
+    "KIND_MERGE",
+    "KIND_MINE",
+    "KIND_SHARD",
+    "PLAN_WORKERS_DEFAULT",
+    "SUCCEEDED",
     "QUEUED",
     "RUNNING",
-    "SUCCEEDED",
     "TERMINAL_STATES",
     "DurableJobStore",
     "Job",
@@ -45,6 +64,11 @@ __all__ = [
     "JobStateError",
     "JobStore",
     "JobWorker",
+    "MinePlan",
+    "execute_units",
+    "maybe_fault",
+    "merge_outputs",
+    "plan_mine",
     "run_claimed_job",
     "run_job",
 ]

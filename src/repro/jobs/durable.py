@@ -33,6 +33,28 @@ decides every claim exactly once across processes:
   worker that lost its lease (and whose job was reclaimed and re-run
   elsewhere) cannot clobber the newer attempt's outcome.
 
+**Distributed sub-jobs (PR 7).**  A ``mine`` job submitted with
+``distributed=True`` is a *parent*: a planner step (claimed like any job)
+splits it into ``shard`` sub-jobs plus one ``merge`` sub-job — documents in
+the same ``jobs`` collection, moving through the same state machine under
+their own leases — via :meth:`finish_planning`.  Workers claim shards with
+the ordinary CAS (:meth:`claim_next` gates on readiness: a shard needs a
+planned, live parent; the merge needs every shard ``succeeded``), persist
+their tagged CAP output atomically with the success transition
+(:meth:`complete_shard`), and a planned parent is completed, failed, or
+cancelled *by rules over its children* (:meth:`reclaim_expired` /
+:meth:`recover` run the resolution pass) rather than by a lease — crashing
+a worker loses one shard, not the mine.
+
+**Bounded retries and dead-lettering.**  Every lease-expiry requeue now
+backs off exponentially (``not_before`` gates the next claim) and counts
+against ``max_attempts``: a job that loses its worker on every attempt —
+a *poison* job that crashes whatever claims it — transitions to ``failed``
+with a structured :data:`~repro.jobs.model.ATTEMPTS_EXHAUSTED` error and
+its inputs are quarantined in the ``dead_letters`` collection instead of
+crash-looping the fleet forever.  A dead-lettered shard fails its parent
+with a precise diagnosis naming the shard.
+
 **Fault injection.**  The crash points the recovery tests kill the server
 at are real code paths here, selected by the ``REPRO_JOBS_FAULT``
 environment variable (see :data:`FAULT_POINTS`): the process hard-exits
@@ -52,9 +74,13 @@ from typing import Any, Iterator, Mapping
 from ..cache.keys import short_key
 from ..store.database import Database
 from .model import (
+    ATTEMPTS_EXHAUSTED,
     CANCELLED,
     FAILED,
     JOB_STATES,
+    KIND_MERGE,
+    KIND_MINE,
+    KIND_SHARD,
     QUEUED,
     RUNNING,
     SUCCEEDED,
@@ -64,10 +90,12 @@ from .model import (
     JobStateError,
     ensure_transition,
 )
+from .planner import PLAN_WORKERS_DEFAULT
 
-__all__ = ["DurableJobStore", "FAULT_ENV", "FAULT_POINTS"]
+__all__ = ["DurableJobStore", "FAULT_ENV", "FAULT_POINTS", "maybe_fault"]
 
 _JOBS = "jobs"
+_DEAD_LETTERS = "dead_letters"
 
 #: Environment variable naming the crash point to hard-exit at (tests only).
 FAULT_ENV = "REPRO_JOBS_FAULT"
@@ -76,12 +104,27 @@ FAULT_ENV = "REPRO_JOBS_FAULT"
 FAULT_POINTS = (
     "after-enqueue",           # queued job persisted; submitter never answered
     "after-claim",             # running + lease persisted; worker dies pre-mine
+    "after-shard-claim",       # shard sub-job claimed; worker dies pre-execution
+    "mid-shard",               # shard computed; success/output never hit disk
+    "before-merge-publish",    # all shards done; merge dies pre-result-publish
     "before-succeed-persist",  # mine finished; success/result never hit disk
     "after-succeed-persist",   # success + result durable; process dies after
 )
 
 #: Exit status used by fault-point exits (distinct from SIGKILL's 137).
 FAULT_EXIT_CODE = 70
+
+
+def maybe_fault(name: str) -> None:
+    """Hard-exit when ``REPRO_JOBS_FAULT`` names this point (tests only).
+
+    Module-level so runner code outside the store (shard execution, the
+    merge publish) can share the same crash-point vocabulary.  Simulates a
+    ``kill -9`` landing exactly here: no cleanup, no flushing — any flock
+    dies with the process.
+    """
+    if os.environ.get(FAULT_ENV) == name:
+        os._exit(FAULT_EXIT_CODE)
 
 
 class DurableJobStore:
@@ -112,6 +155,18 @@ class DurableJobStore:
         Evicted *succeeded* jobs leave their ``job_id → result_key``
         mapping behind (see :meth:`evicted_result_key`) so result
         ``Location`` links issued this process lifetime keep resolving.
+        Counted over top-level jobs; a pruned distributed parent takes its
+        sub-job documents with it.
+    max_attempts:
+        Dead-letter bound: a job whose lease lapses on its Nth attempt with
+        ``N >= max_attempts`` fails with a structured
+        ``AttemptsExhausted`` error (inputs quarantined in the
+        ``dead_letters`` collection) instead of requeueing forever.
+        ``0`` disables the bound.  Per-job ``max_attempts`` overrides it.
+    backoff_base, backoff_cap:
+        Exponential requeue delay: attempt *n*'s requeue sets
+        ``not_before = now + min(cap, base * 2**(n-1))``, gating the
+        polling claim path so a crashing job doesn't hot-loop the fleet.
     """
 
     def __init__(
@@ -123,6 +178,9 @@ class DurableJobStore:
         lease_seconds: float = 30.0,
         terminal_capacity: int = 1024,
         results_collection: str = "cap_results",
+        max_attempts: int = 5,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
     ) -> None:
         if lease_seconds <= 0:
             raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
@@ -130,6 +188,8 @@ class DurableJobStore:
             raise ValueError(
                 f"terminal_capacity must be >= 1, got {terminal_capacity}"
             )
+        if max_attempts < 0:
+            raise ValueError(f"max_attempts must be >= 0, got {max_attempts}")
         self.database = database
         self.worker_id = (
             worker_id
@@ -137,6 +197,14 @@ class DurableJobStore:
             else f"w{os.getpid()}-{os.urandom(3).hex()}"
         )
         self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        #: Whether other processes may share this registry (store-backed).
+        #: Governs shutdown semantics: a shared registry's jobs are
+        #: *released* for takeover instead of cancelled when this process
+        #: exits (see :meth:`release` / ``JobQueue.shutdown``).
+        self.shared = database.path is not None
         self._clock = clock
         self._terminal_capacity = terminal_capacity
         self._results_collection = results_collection
@@ -149,7 +217,6 @@ class DurableJobStore:
         self._progress_cache: dict[str, dict[str, Any]] = {}
         #: job_id -> result_key for evicted succeeded jobs (process lifetime).
         self._evicted_results: dict[str, str] = {}
-        self._fault = os.environ.get(FAULT_ENV)
         #: Collections other processes also write, merged on refresh by a
         #: unique field (never overwriting local documents).
         self.merge_collections: dict[str, str] = {
@@ -172,6 +239,7 @@ class DurableJobStore:
         collection.create_index("job_id", "hash")
         collection.create_index("key", "hash")
         collection.create_index("state", "hash")
+        collection.create_index("parent_id", "hash")
 
     @property
     def _lock_path(self) -> Path | None:
@@ -314,10 +382,7 @@ class DurableJobStore:
         self._disk_state = (stat.st_mtime_ns, stat.st_size)
 
     def _fault_point(self, name: str) -> None:
-        if self._fault == name:
-            # Simulate `kill -9` landing exactly here: no cleanup, no
-            # flushing, no snapshot — the lock file's flock dies with us.
-            os._exit(FAULT_EXIT_CODE)
+        maybe_fault(name)
 
     # -- document helpers -------------------------------------------------------
 
@@ -348,16 +413,29 @@ class DurableJobStore:
     # -- creation / dedup -------------------------------------------------------
 
     def open_job(
-        self, dataset: str, parameters: Mapping[str, Any], key: str
+        self,
+        dataset: str,
+        parameters: Mapping[str, Any],
+        key: str,
+        *,
+        distributed: bool = False,
+        plan_workers: int | None = None,
+        max_attempts: int | None = None,
     ) -> tuple[Job, bool]:
         """The active job for ``key``, or a new queued one — atomically.
 
         Same contract as the in-memory store, but the decision is made
         against the *shared* registry: a job another process opened for the
-        same key dedups here too.
+        same key dedups here too.  Dedup considers top-level jobs only —
+        shard/merge sub-jobs share their parent's key and never absorb a
+        submission.  ``distributed=True`` marks the new job for shard-level
+        execution (the planner splits it when a worker claims it);
+        ``plan_workers`` fixes the planning width the split uses.
         """
         with self._exclusive():
             for document in self._collection().find({"key": key}):
+                if document.get("kind", KIND_MINE) != KIND_MINE:
+                    continue
                 if document["state"] in (QUEUED, RUNNING):
                     return self._job(document), False
             sequence = self._next_sequence()
@@ -367,9 +445,14 @@ class DurableJobStore:
                 parameters=dict(parameters),
                 key=key,
                 created_at=self._clock(),
+                distributed=distributed,
+                max_attempts=max_attempts,
                 sequence=sequence,
             )
-            self._collection().insert_one(self._store_document(job))
+            stored = self._store_document(job)
+            if distributed:
+                stored["plan_workers"] = int(plan_workers or PLAN_WORKERS_DEFAULT)
+            self._collection().insert_one(stored)
             self._prune_terminal_locked()
             self._persist()
             self._fault_point("after-enqueue")
@@ -383,8 +466,16 @@ class DurableJobStore:
             document = self._doc(job_id)
             return self._job(document) if document is not None else None
 
-    def list(self, status: str | None = None) -> list[Job]:
-        """Jobs in submission order, optionally filtered by state."""
+    def list(
+        self, status: str | None = None, kind: str | None = KIND_MINE
+    ) -> list[Job]:
+        """Jobs in submission order, optionally filtered by state.
+
+        Defaults to *top-level* jobs (``kind="mine"``) so listings, local
+        re-scheduling, and shutdown sweeps see parents, not their shard and
+        merge sub-jobs; pass ``kind=None`` for everything, or a specific
+        kind.  Use :meth:`children` for one parent's sub-job tree.
+        """
         if status is not None and status not in JOB_STATES:
             raise JobStateError(
                 f"unknown job status {status!r}; expected one of {JOB_STATES}"
@@ -393,7 +484,27 @@ class DurableJobStore:
             self._refresh_locked()
             query = {"state": status} if status is not None else None
             documents = self._collection().find(query, sort="sequence")
-            return [self._job(document) for document in documents]
+            return [
+                self._job(document)
+                for document in documents
+                if kind is None or document.get("kind", KIND_MINE) == kind
+            ]
+
+    def children(self, parent_id: str) -> list[Job]:
+        """A distributed parent's sub-jobs: shards (by index), then merge."""
+        with self._lock:
+            self._refresh_locked()
+            documents = self._collection().find(
+                {"parent_id": parent_id}, sort="sequence"
+            )
+            jobs = [self._job(document) for document in documents]
+            jobs.sort(
+                key=lambda job: (
+                    job.kind == KIND_MERGE,
+                    job.shard_index if job.shard_index is not None else 0,
+                )
+            )
+            return jobs
 
     def counters(self) -> dict[str, Any]:
         """Per-state job counts plus lease health (``/admin/stats``)."""
@@ -413,6 +524,14 @@ class DurableJobStore:
                         active += 1
             counts["total"] = len(documents)
             counts["leases"] = {"active": active, "expired": expired}
+            kinds: dict[str, int] = {}
+            for document in documents:
+                kind = document.get("kind", KIND_MINE)
+                kinds[kind] = kinds.get(kind, 0) + 1
+            counts["kinds"] = kinds
+            counts["dead_lettered"] = len(
+                self.database.collection(_DEAD_LETTERS)
+            )
             return counts
 
     def cancel_requested(self, job_id: str) -> bool:
@@ -470,19 +589,55 @@ class DurableJobStore:
             return claimed
 
     def claim_next(self) -> Job | None:
-        """Claim the oldest queued job, or ``None`` when the queue is empty.
+        """Claim the oldest *claimable* queued job, or ``None``.
 
         The polling worker's path: lets a process execute jobs *other*
         processes enqueued (it reconstructs the runner from the job's
-        stored dataset + parameters).
+        stored dataset + parameters).  Sub-jobs gate on readiness
+        (:meth:`_claimable_locked`): a shard needs its parent planned and
+        live, the merge additionally needs every shard ``succeeded``, and
+        a requeued job backs off until its ``not_before``.
         """
         with self._exclusive():
             queued = self._collection().find({"state": QUEUED}, sort="sequence")
+            now = self._clock()
             for document in queued:
+                if not self._claimable_locked(document, now):
+                    continue
                 claimed = self._claim_locked(document)
                 if claimed is not None:
                     return claimed
             return None
+
+    def _claimable_locked(self, document: Mapping[str, Any], now: float) -> bool:
+        """Readiness gate for the *polling* claim path.
+
+        Deliberately not applied by :meth:`mark_running` — the executor
+        claims a specific job it was just handed (liveness over backoff)
+        — so ``not_before`` throttles only fleet-wide polling.
+        """
+        not_before = document.get("not_before")
+        if not_before is not None and now < not_before:
+            return False
+        kind = document.get("kind", KIND_MINE)
+        if kind == KIND_MINE:
+            return True
+        parent = self._doc(document.get("parent_id") or "")
+        if (
+            parent is None
+            or parent["state"] != RUNNING
+            or not parent.get("planned")
+            or parent.get("cancel_requested")
+        ):
+            return False
+        if kind == KIND_SHARD:
+            return True
+        # Merge: every shard must have succeeded.
+        for shard_id in parent.get("shard_ids", []):
+            shard = self._doc(shard_id)
+            if shard is None or shard["state"] != SUCCEEDED:
+                return False
+        return True
 
     def _claim_locked(self, document: Mapping[str, Any]) -> Job | None:
         if document["state"] != QUEUED:
@@ -502,7 +657,10 @@ class DurableJobStore:
         if matched is None:  # pragma: no cover - CAS races need no lock here
             return None
         self._persist()
-        self._fault_point("after-claim")
+        if document.get("kind", KIND_MINE) == KIND_SHARD:
+            self._fault_point("after-shard-claim")
+        else:
+            self._fault_point("after-claim")
         return self._job(self._require_doc(document["job_id"]))
 
     def renew_lease(self, job_id: str, attempt: int | None = None) -> None:
@@ -539,40 +697,247 @@ class DurableJobStore:
             for document in self._collection().find({"state": RUNNING}):
                 lease = document.get("lease_expires_at")
                 if lease is None or lease >= now:
+                    # Planned parents are lease-less by design (children
+                    # drive them); live leases belong to live workers.
                     continue
                 job = self._requeue_locked(document, now)
                 processed += 1
                 if job.state == QUEUED:
                     reclaimed.append(job)
+            processed += self._resolve_parents_locked(now)
             if processed:
                 self._persist()
             return reclaimed
 
+    def _attempt_limit(self, document: Mapping[str, Any]) -> int:
+        override = document.get("max_attempts")
+        return int(override) if override is not None else self.max_attempts
+
     def _requeue_locked(self, document: Mapping[str, Any], now: float) -> Job:
+        """Handle one lapsed lease: cancel, dead-letter, or backoff-requeue.
+
+        The dead-letter edge is the attempt bound: the job already burned
+        ``attempt`` claims (each one died without finishing), so when that
+        meets its limit it fails with a structured ``AttemptsExhausted``
+        error and its inputs are quarantined — a poison job must not
+        crash-loop the fleet.
+        """
+        job_id = document["job_id"]
+        expected = {
+            "state": RUNNING,
+            "lease_expires_at": document.get("lease_expires_at"),
+        }
         if document.get("cancel_requested"):
-            changes = {
+            changes: dict[str, Any] = {
                 "state": CANCELLED,
                 "worker_id": None,
                 "lease_expires_at": None,
                 "finished_at": now,
             }
         else:
-            changes = {
-                "state": QUEUED,
-                "worker_id": None,
-                "lease_expires_at": None,
-                "started_at": None,
-                "progress": 0.0,
-                "shards_done": 0,
-                "shards_total": 0,
+            attempt = int(document.get("attempt", 0))
+            limit = self._attempt_limit(document)
+            if limit > 0 and attempt >= limit:
+                kind = document.get("kind", KIND_MINE)
+                error = JobError(
+                    type=ATTEMPTS_EXHAUSTED,
+                    message=(
+                        f"{kind} job {job_id} lost its worker on all "
+                        f"{attempt} of {limit} allowed attempt(s); last "
+                        f"worker {document.get('worker_id')!r}. Inputs "
+                        f"quarantined in the dead-letter collection."
+                    ),
+                )
+                changes = {
+                    "state": FAILED,
+                    "worker_id": None,
+                    "lease_expires_at": None,
+                    "finished_at": now,
+                    "error": error.to_document(),
+                }
+                self._quarantine_locked(document, now)
+            else:
+                delay = min(
+                    self.backoff_cap,
+                    self.backoff_base * (2.0 ** max(0, attempt - 1)),
+                )
+                changes = {
+                    "state": QUEUED,
+                    "worker_id": None,
+                    "lease_expires_at": None,
+                    "started_at": None,
+                    "not_before": now + delay,
+                    "progress": 0.0,
+                    "shards_done": 0,
+                    "shards_total": 0,
+                }
+        self._collection().update_if({"job_id": job_id}, expected, changes)
+        self._progress_cache.pop(job_id, None)
+        return self._job(self._require_doc(job_id))
+
+    def _quarantine_locked(self, document: Mapping[str, Any], now: float) -> None:
+        """Record a dead-lettered job's inputs (insert-if-missing)."""
+        letters = self.database.collection(_DEAD_LETTERS)
+        if letters.find_one({"job_id": document["job_id"]}) is not None:
+            return
+        letters.insert_one(
+            {
+                "job_id": document["job_id"],
+                "kind": document.get("kind", KIND_MINE),
+                "parent_id": document.get("parent_id"),
+                "dataset": document.get("dataset"),
+                "parameters": document.get("parameters"),
+                "units": document.get("units"),
+                "attempts": int(document.get("attempt", 0)),
+                "max_attempts": self._attempt_limit(document),
+                "last_worker": document.get("worker_id"),
+                "quarantined_at": now,
             }
-        self._collection().update_if(
-            {"job_id": document["job_id"]},
-            {"state": RUNNING, "lease_expires_at": document.get("lease_expires_at")},
-            changes,
         )
-        self._progress_cache.pop(document["job_id"], None)
-        return self._job(self._require_doc(document["job_id"]))
+
+    def _resolve_parents_locked(self, now: float) -> int:
+        """Drive planned parents from their children's states.
+
+        A planned parent is lease-less: its lifecycle is a pure function of
+        its sub-jobs, applied here (under the registry's critical section)
+        by whichever process runs reclamation or recovery first —
+
+        * any child ``failed`` → parent ``failed`` with a diagnosis naming
+          the shard, and the remaining children are cancelled;
+        * cancellation (requested on the parent, or a child ended
+          ``cancelled``) propagates and completes once children stop;
+        * the merge ``succeeded`` → parent ``succeeded``, publishing the
+          merge's result key;
+        * otherwise the parent's progress tracks its shard completions.
+
+        Returns how many documents changed (persistence is the caller's).
+        """
+        changed = 0
+        parents = [
+            document
+            for document in self._collection().find({"state": RUNNING})
+            if document.get("kind", KIND_MINE) == KIND_MINE
+            and document.get("planned")
+        ]
+        for parent in parents:
+            children = self._collection().find(
+                {"parent_id": parent["job_id"]}, sort="sequence"
+            )
+            shards = [
+                c for c in children if c.get("kind") == KIND_SHARD
+            ]
+            merge = next(
+                (c for c in children if c.get("kind") == KIND_MERGE), None
+            )
+            failed = next(
+                (c for c in children if c["state"] == FAILED), None
+            )
+            if failed is not None:
+                error = failed.get("error") or {}
+                if failed.get("kind") == KIND_SHARD:
+                    where = (
+                        f"shard {failed.get('shard_index')}/"
+                        f"{len(shards)} ({failed['job_id']})"
+                    )
+                else:
+                    where = f"merge step ({failed['job_id']})"
+                diagnosis = JobError(
+                    type=str(error.get("type", "ShardFailed")),
+                    message=(
+                        f"{where} failed after "
+                        f"{int(failed.get('attempt', 0))} attempt(s) "
+                        f"[{error.get('type', 'unknown')}]: "
+                        f"{error.get('message', 'no message recorded')}"
+                    ),
+                )
+                self._collection().update_if(
+                    {"job_id": parent["job_id"]},
+                    {"state": RUNNING},
+                    {
+                        "state": FAILED,
+                        "finished_at": now,
+                        "error": diagnosis.to_document(),
+                    },
+                )
+                self._cancel_children_locked(parent["job_id"], children, now)
+                changed += 1
+                continue
+            cancelling = parent.get("cancel_requested") or any(
+                c["state"] == CANCELLED for c in children
+            )
+            if cancelling:
+                changed += self._cancel_children_locked(
+                    parent["job_id"], children, now
+                )
+                if all(c["state"] in TERMINAL_STATES for c in children):
+                    self._collection().update_if(
+                        {"job_id": parent["job_id"]},
+                        {"state": RUNNING},
+                        {"state": CANCELLED, "finished_at": now},
+                    )
+                    changed += 1
+                continue
+            if merge is not None and merge["state"] == SUCCEEDED:
+                self._collection().update_if(
+                    {"job_id": parent["job_id"]},
+                    {"state": RUNNING},
+                    {
+                        "state": SUCCEEDED,
+                        "finished_at": now,
+                        "progress": 1.0,
+                        "shards_done": len(shards),
+                        "shards_total": len(shards),
+                        "result_key": merge.get("result_key") or parent["key"],
+                    },
+                )
+                changed += 1
+                continue
+            done = sum(1 for c in shards if c["state"] == SUCCEEDED)
+            fraction = min(done / len(shards), 0.99) if shards else 0.0
+            if (
+                fraction > parent.get("progress", 0.0)
+                or done != parent.get("shards_done", 0)
+            ):
+                self._collection().update_if(
+                    {"job_id": parent["job_id"]},
+                    {"state": RUNNING},
+                    {
+                        "progress": max(fraction, parent.get("progress", 0.0)),
+                        "shards_done": done,
+                        "shards_total": len(shards),
+                    },
+                )
+                changed += 1
+        return changed
+
+    def _cancel_children_locked(
+        self, parent_id: str, children: list[dict[str, Any]], now: float
+    ) -> int:
+        """Stop a failing/cancelling parent's remaining children.
+
+        Queued children cancel immediately; running ones get the
+        cooperative flag (their worker aborts at the next checkpoint, or
+        lease reclamation finishes the cancellation for a dead one).
+        """
+        changed = 0
+        for child in children:
+            if child["state"] == QUEUED:
+                if self._collection().update_if(
+                    {"job_id": child["job_id"]},
+                    {"state": QUEUED},
+                    {
+                        "state": CANCELLED,
+                        "cancel_requested": True,
+                        "finished_at": now,
+                    },
+                ):
+                    changed += 1
+            elif child["state"] == RUNNING and not child.get("cancel_requested"):
+                self._collection().update_one(
+                    {"job_id": child["job_id"]}, {"cancel_requested": True}
+                )
+                changed += 1
+        return changed
 
     # -- progress ---------------------------------------------------------------
 
@@ -782,7 +1147,10 @@ class DurableJobStore:
         """Ask a job to stop; immediate when queued, cooperative when running.
 
         The flag is persisted, so whichever process's worker holds the
-        lease sees it at its next checkpoint poll.
+        lease sees it at its next checkpoint poll.  Cancelling a planned
+        distributed parent propagates to its sub-jobs: queued children
+        cancel at once, running ones get the flag, and the resolution pass
+        completes the parent when the last child stops.
         """
         with self._exclusive():
             document = self._require_doc(job_id)
@@ -793,6 +1161,7 @@ class DurableJobStore:
                     f"job {job_id} already finished ({document['state']}); "
                     f"cannot cancel"
                 )
+            now = self._clock()
             self._collection().update_one(
                 {"job_id": job_id}, {"cancel_requested": True}
             )
@@ -800,10 +1169,253 @@ class DurableJobStore:
                 self._collection().update_if(
                     {"job_id": job_id},
                     {"state": QUEUED},
-                    {"state": CANCELLED, "finished_at": self._clock()},
+                    {"state": CANCELLED, "finished_at": now},
+                )
+            elif document.get("planned"):
+                children = self._collection().find(
+                    {"parent_id": job_id}, sort="sequence"
+                )
+                self._cancel_children_locked(job_id, children, now)
+                self._resolve_parents_locked(now)
+            self._persist()
+            return self._job(self._require_doc(job_id))
+
+    # -- distributed sub-jobs ---------------------------------------------------
+
+    def plan_workers(self, job_id: str) -> int:
+        """The planning width a distributed parent was submitted with."""
+        with self._lock:
+            self._refresh_locked()
+            document = self._require_doc(job_id)
+            return int(document.get("plan_workers", PLAN_WORKERS_DEFAULT))
+
+    def finish_planning(
+        self,
+        job_id: str,
+        attempt: int,
+        *,
+        shard_units: list[list[Mapping[str, Any]]],
+        mode: str,
+        horizon: int,
+        generation: int = 0,
+    ) -> Job:
+        """Persist a distributed parent's plan: shard + merge sub-jobs.
+
+        Runs under the planner's claim on the parent; the parent's
+        transition to *planned* (running, lease-less, child-driven) is a
+        CAS on ``{worker_id, attempt}``, so a planner that lost its lease
+        mid-plan cannot clobber a newer planning attempt.  Sub-job ids are
+        deterministic (``<parent>-s<index>``, ``<parent>-merge``) and
+        insertion skips ids that already exist, which makes a re-run after
+        a planner crash idempotent — the plan itself is a pure function of
+        the stored submission (see :mod:`repro.jobs.planner`).
+
+        ``generation`` is the *dataset* generation the planner observed;
+        it is stamped on every sub-job so shard/merge runners can refuse
+        to compute (or publish) against replaced data.
+        """
+        with self._exclusive():
+            parent = self._require_doc(job_id)
+            if parent["state"] != RUNNING:
+                raise JobStateError(
+                    f"cannot plan job {job_id} in state {parent['state']!r}"
+                )
+            now = self._clock()
+            generation = int(generation)
+            shard_ids = [
+                f"{job_id}-s{index:03d}" for index in range(len(shard_units))
+            ]
+            merge_id = f"{job_id}-merge"
+            sequence = self._next_sequence()
+            for index, units in enumerate(shard_units):
+                if self._doc(shard_ids[index]) is not None:
+                    continue
+                child = Job(
+                    job_id=shard_ids[index],
+                    dataset=parent["dataset"],
+                    parameters=dict(parent["parameters"]),
+                    key=parent["key"],
+                    created_at=now,
+                    kind=KIND_SHARD,
+                    parent_id=job_id,
+                    shard_index=index,
+                    max_attempts=parent.get("max_attempts"),
+                    sequence=sequence,
+                )
+                sequence += 1
+                stored = self._store_document(child)
+                stored.update(
+                    {
+                        "units": [dict(unit) for unit in units],
+                        "mode": mode,
+                        "horizon": int(horizon),
+                        "generation": generation,
+                    }
+                )
+                self._collection().insert_one(stored)
+            if self._doc(merge_id) is None:
+                merge = Job(
+                    job_id=merge_id,
+                    dataset=parent["dataset"],
+                    parameters=dict(parent["parameters"]),
+                    key=parent["key"],
+                    created_at=now,
+                    kind=KIND_MERGE,
+                    parent_id=job_id,
+                    max_attempts=parent.get("max_attempts"),
+                    sequence=sequence,
+                )
+                stored = self._store_document(merge)
+                stored.update(
+                    {"mode": mode, "horizon": int(horizon),
+                     "generation": generation}
+                )
+                self._collection().insert_one(stored)
+            matched = self._collection().update_if(
+                {"job_id": job_id},
+                {
+                    "state": RUNNING,
+                    "worker_id": self.worker_id,
+                    "attempt": int(attempt),
+                },
+                {
+                    "planned": True,
+                    "worker_id": None,
+                    "lease_expires_at": None,
+                    "shards_total": len(shard_units),
+                    "shards_done": 0,
+                    "shard_ids": shard_ids,
+                    "merge_id": merge_id,
+                    "generation": generation,
+                    "mode": mode,
+                    "horizon": int(horizon),
+                },
+            )
+            if matched is None:
+                raise JobStateError(
+                    f"job {job_id} is no longer owned by {self.worker_id!r} "
+                    f"(lease lost); refusing to finish planning"
                 )
             self._persist()
             return self._job(self._require_doc(job_id))
+
+    def shard_spec(self, job_id: str) -> dict[str, Any]:
+        """A sub-job's execution inputs, as persisted by the planner."""
+        with self._lock:
+            self._refresh_locked()
+            document = self._require_doc(job_id)
+            return {
+                "units": document.get("units", []),
+                "mode": document.get("mode"),
+                "horizon": int(document.get("horizon", 0)),
+                "generation": document.get("generation"),
+                "parent_id": document.get("parent_id"),
+            }
+
+    def complete_shard(
+        self,
+        job_id: str,
+        attempt: int,
+        output: list[Mapping[str, Any]],
+        elapsed_seconds: float = 0.0,
+    ) -> Job:
+        """A shard's success — tagged CAP output lands *with* the transition.
+
+        One CAS writes the terminal state and the output atomically, so a
+        crash leaves either a queued/running shard (re-runnable) or a
+        succeeded one with durable output — never a success without its
+        caps (the ``mid-shard`` crash point fires just before this call).
+        """
+        with self._exclusive():
+            document = self._require_doc(job_id)
+            ensure_transition(document["state"], SUCCEEDED)
+            self._finish_locked(
+                document,
+                SUCCEEDED,
+                {
+                    "progress": 1.0,
+                    "output": [dict(entry) for entry in output],
+                    "elapsed_seconds": float(elapsed_seconds),
+                },
+                expected_attempt=attempt,
+            )
+            return self._job(self._require_doc(job_id))
+
+    def shard_outputs(self, parent_id: str) -> list[dict[str, Any]]:
+        """Every shard's tagged output (+ timings) once all have succeeded.
+
+        Raises :class:`JobStateError` while any shard is unfinished — the
+        merge step's claim gate should prevent that, but a merge runner
+        racing a late reclamation must fail loudly, not merge a partial
+        CAP list.
+        """
+        with self._lock:
+            self._refresh_locked()
+            parent = self._require_doc(parent_id)
+            outputs: list[dict[str, Any]] = []
+            for shard_id in parent.get("shard_ids", []):
+                shard = self._require_doc(shard_id)
+                if shard["state"] != SUCCEEDED:
+                    raise JobStateError(
+                        f"shard {shard_id} is {shard['state']!r}; the merge "
+                        f"needs every shard succeeded"
+                    )
+                outputs.append(
+                    {
+                        "shard_id": shard_id,
+                        "output": shard.get("output", []),
+                        "elapsed_seconds": float(
+                            shard.get("elapsed_seconds", 0.0)
+                        ),
+                    }
+                )
+            return outputs
+
+    def release(self, job_id: str, attempt: int | None = None) -> bool:
+        """Voluntarily give a claim back (graceful shutdown, not a crash).
+
+        CAS-guarded ``running → queued`` with no backoff gate: the job is
+        immediately claimable by any surviving process — takeover does not
+        wait out the lease.  If cancellation was requested meanwhile, the
+        release completes it instead.  Returns whether this worker still
+        owned the claim.
+        """
+        expected: dict[str, Any] = {
+            "state": RUNNING,
+            "worker_id": self.worker_id,
+        }
+        if attempt is not None:
+            expected["attempt"] = attempt
+        with self._exclusive():
+            document = self._doc(job_id)
+            if document is None:
+                return False
+            if document.get("cancel_requested"):
+                changes: dict[str, Any] = {
+                    "state": CANCELLED,
+                    "worker_id": None,
+                    "lease_expires_at": None,
+                    "finished_at": self._clock(),
+                }
+            else:
+                changes = {
+                    "state": QUEUED,
+                    "worker_id": None,
+                    "lease_expires_at": None,
+                    "started_at": None,
+                    "not_before": None,
+                    "progress": 0.0,
+                    "shards_done": 0,
+                    "shards_total": 0,
+                }
+            matched = self._collection().update_if(
+                {"job_id": job_id}, expected, changes
+            )
+            if matched is None:
+                return False
+            self._progress_cache.pop(job_id, None)
+            self._persist()
+            return True
 
     # -- recovery ---------------------------------------------------------------
 
@@ -821,11 +1433,18 @@ class DurableJobStore:
         * ``queued`` jobs are reported so the caller can schedule them onto
           its executor — a restart must finish what the dead process
           accepted.
+        * planned distributed parents are left ``running`` (they are
+          lease-less by design); instead the child-resolution pass runs, so
+          a parent whose shard dead-lettered while every server was down
+          still fails with its diagnosis.  Jobs that exhausted
+          ``max_attempts`` during this recovery are reported under
+          ``dead_lettered``.
         """
         summary: dict[str, list[str]] = {
             "requeued": [],
             "republished": [],
             "missing_results": [],
+            "dead_lettered": [],
             "queued": [],
         }
         with self._exclusive():
@@ -835,18 +1454,27 @@ class DurableJobStore:
             for document in self._collection().find(sort="sequence"):
                 state = document["state"]
                 if state == RUNNING:
+                    if (
+                        document.get("kind", KIND_MINE) == KIND_MINE
+                        and document.get("planned")
+                    ):
+                        continue  # child-driven; resolved below
                     lease = document.get("lease_expires_at")
                     if lease is None or lease < now:
                         job = self._requeue_locked(document, now)
                         changed = True
                         if job.state == QUEUED:
                             summary["requeued"].append(job.job_id)
+                        elif job.state == FAILED:
+                            summary["dead_lettered"].append(job.job_id)
                 elif state == SUCCEEDED:
                     key = document.get("result_key")
                     if key and results.find_one({"key": key}) is None:
                         summary["missing_results"].append(document["job_id"])
                     else:
                         summary["republished"].append(document["job_id"])
+            if self._resolve_parents_locked(now):
+                changed = True
             if changed:
                 self._persist()
             for document in self._collection().find(
@@ -858,14 +1486,22 @@ class DurableJobStore:
     # -- retention --------------------------------------------------------------
 
     def _prune_terminal_locked(self) -> None:
-        terminal = self._collection().find(
-            {"state": {"$in": sorted(TERMINAL_STATES)}}, sort="sequence"
-        )
+        # Capacity counts top-level jobs; a pruned distributed parent takes
+        # its shard/merge documents (and their stored outputs) with it, so
+        # sub-jobs can never outlive — or evict — the parents they feed.
+        terminal = [
+            document
+            for document in self._collection().find(
+                {"state": {"$in": sorted(TERMINAL_STATES)}}, sort="sequence"
+            )
+            if document.get("kind", KIND_MINE) == KIND_MINE
+        ]
         overflow = terminal[: max(0, len(terminal) - self._terminal_capacity)]
         for document in overflow:
             if document["state"] == SUCCEEDED and document.get("result_key"):
                 self._evicted_results[document["job_id"]] = document["result_key"]
             self._collection().delete_many({"job_id": document["job_id"]})
+            self._collection().delete_many({"parent_id": document["job_id"]})
 
     def __len__(self) -> int:
         with self._lock:

@@ -33,9 +33,24 @@ from typing import Callable
 from ..core.parallel import MiningCancelled, MiningControl
 from .model import QUEUED, Job, JobStateError
 
-__all__ = ["JobExecutor", "run_job", "run_claimed_job"]
+__all__ = ["HANDLED", "JobExecutor", "run_job", "run_claimed_job"]
 
-#: ``runner(control) -> result_key | None`` — the unit of work a job runs.
+
+class _Handled:
+    """Sentinel: the runner applied its own terminal transition."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "HANDLED"
+
+
+#: A runner returns this when it already moved the job to a terminal state
+#: itself — the planner runner (``finish_planning`` leaves the parent in
+#: its planned-running form) and the shard runner (``complete_shard``
+#: persists output atomically with the success) do; ``run_claimed_job``
+#: then applies no transition of its own.
+HANDLED = _Handled()
+
+#: ``runner(control) -> result_key | None | HANDLED`` — one job's work.
 JobRunner = Callable[[MiningControl], "str | None"]
 
 #: Environment variable naming the execution audit log (tests only).
@@ -52,7 +67,7 @@ def _log_execution(store, job: Job) -> None:
         handle.write(line)
 
 
-def run_job(store, job_id: str, runner: JobRunner) -> None:
+def run_job(store, job_id: str, runner: JobRunner, should_abort=None) -> None:
     """Claim and execute one job end to end, recording its lifecycle."""
     job = store.get(job_id)
     if job is None or job.state != QUEUED:
@@ -64,32 +79,51 @@ def run_job(store, job_id: str, runner: JobRunner) -> None:
         # Lost the race — an immediate cancel, or another process's claim,
         # landed between the check above and the transition.
         return
-    run_claimed_job(store, claimed, runner)
+    run_claimed_job(store, claimed, runner, should_abort=should_abort)
 
 
-def run_claimed_job(store, job: Job, runner: JobRunner) -> None:
+def run_claimed_job(store, job: Job, runner: JobRunner, should_abort=None) -> None:
     """Execute a job this worker already claimed (holds the lease on).
 
     Every store write carries the claim's ``attempt``, so if the lease
     lapses mid-run and the job is re-claimed — even by this same process —
     this thread's late ticks and terminal transition are refused rather
     than applied to the newer attempt.
+
+    ``should_abort`` is *this process's* stop signal (graceful shutdown),
+    distinct from the job's cancellation flag: when it trips, the runner
+    aborts at the next checkpoint and the claim is **released** — CAS'd
+    back to queued for immediate takeover by a surviving process — rather
+    than cancelled.
     """
     _log_execution(store, job)
     job_id, attempt = job.job_id, job.attempt
+
+    def _should_cancel() -> bool:
+        if should_abort is not None and should_abort():
+            return True
+        return store.cancel_requested(job_id)
+
     control = MiningControl(
         progress=lambda done, total: store.set_progress(
             job_id, done, total, attempt=attempt
         ),
-        should_cancel=lambda: store.cancel_requested(job_id),
+        should_cancel=_should_cancel,
     )
     try:
         result_key = runner(control)
     except MiningCancelled:
-        _finish(store.mark_cancelled, job_id, attempt=attempt)
+        aborting = should_abort is not None and should_abort()
+        release = getattr(store, "release", None)
+        if aborting and release is not None:
+            release(job_id, attempt)
+        else:
+            _finish(store.mark_cancelled, job_id, attempt=attempt)
     except BaseException as exc:  # noqa: BLE001 - capture, never kill the worker
         _finish(store.mark_failed, job_id, exc, attempt=attempt)
     else:
+        if result_key is HANDLED:
+            return  # the runner applied its own terminal transition
         _finish(store.mark_succeeded, job_id, result_key=result_key, attempt=attempt)
 
 
@@ -118,9 +152,11 @@ class JobExecutor:
             max_workers=width, thread_name_prefix="mining-job"
         )
 
-    def submit(self, store, job_id: str, runner: JobRunner) -> Future:
+    def submit(
+        self, store, job_id: str, runner: JobRunner, should_abort=None
+    ) -> Future:
         """Queue one job for execution; returns the underlying future."""
-        return self._pool.submit(run_job, store, job_id, runner)
+        return self._pool.submit(run_job, store, job_id, runner, should_abort)
 
     def shutdown(self, wait: bool = False) -> None:
         """Stop accepting work; pending queued futures are dropped."""

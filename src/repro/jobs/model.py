@@ -38,6 +38,11 @@ __all__ = [
     "CANCELLED",
     "JOB_STATES",
     "TERMINAL_STATES",
+    "JOB_KINDS",
+    "KIND_MINE",
+    "KIND_SHARD",
+    "KIND_MERGE",
+    "ATTEMPTS_EXHAUSTED",
     "JobStateError",
     "JobError",
     "Job",
@@ -55,6 +60,20 @@ JOB_STATES = (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
 
 #: States a job never leaves.
 TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, CANCELLED})
+
+#: Job kinds (PR 7, distributed mining).  A ``mine`` job is the classic
+#: whole-run unit *and* the parent of a distributed run; ``shard`` and
+#: ``merge`` are its claimable sub-jobs, living in the same registry and
+#: moving through the same state machine under their own leases.
+KIND_MINE = "mine"
+KIND_SHARD = "shard"
+KIND_MERGE = "merge"
+JOB_KINDS = (KIND_MINE, KIND_SHARD, KIND_MERGE)
+
+#: ``JobError.type`` of a dead-lettered job: it crashed (or lost its lease)
+#: on every one of its ``max_attempts`` claims and was quarantined instead
+#: of being requeued forever.
+ATTEMPTS_EXHAUSTED = "AttemptsExhausted"
 
 _TRANSITIONS: dict[str, frozenset[str]] = {
     QUEUED: frozenset({RUNNING, CANCELLED}),
@@ -144,6 +163,23 @@ class Job:
     attempt:
         How many times the job has been claimed for execution (1 on the
         first claim; grows when lease expiry requeues it).
+    kind:
+        ``"mine"`` (a whole run / distributed parent), ``"shard"``, or
+        ``"merge"`` (distributed sub-jobs; see :data:`JOB_KINDS`).
+    parent_id, shard_index:
+        Sub-job lineage: the distributed parent's ``job_id`` and, for
+        shards, the planner-assigned index (``None`` on top-level jobs).
+    distributed, planned:
+        On a parent ``mine`` job: submitted for shard-level execution, and
+        whether the planner step has persisted its sub-jobs yet.  A planned
+        parent stays ``running`` without a lease — its completion is driven
+        by its children, not by a worker.
+    not_before:
+        Exponential-backoff gate: a requeued job is not claimable again
+        until this epoch time (``None`` = immediately claimable).
+    max_attempts:
+        Per-job override of the registry's dead-letter bound (``None`` =
+        use the store default; ``0`` = unlimited).
     """
 
     job_id: str
@@ -163,6 +199,13 @@ class Job:
     worker_id: str | None = None
     lease_expires_at: float | None = None
     attempt: int = 0
+    kind: str = KIND_MINE
+    parent_id: str | None = None
+    shard_index: int | None = None
+    distributed: bool = False
+    planned: bool = False
+    not_before: float | None = None
+    max_attempts: int | None = None
     #: Insertion-order sequence number (stable ``GET /jobs`` ordering).
     sequence: int = field(default=0, repr=False)
 
@@ -186,6 +229,13 @@ class Job:
             "worker_id": self.worker_id,
             "lease_expires_at": self.lease_expires_at,
             "attempt": self.attempt,
+            "kind": self.kind,
+            "parent_id": self.parent_id,
+            "shard_index": self.shard_index,
+            "distributed": self.distributed,
+            "planned": self.planned,
+            "not_before": self.not_before,
+            "max_attempts": self.max_attempts,
         }
 
     @classmethod
@@ -210,5 +260,12 @@ class Job:
             worker_id=document.get("worker_id"),
             lease_expires_at=document.get("lease_expires_at"),
             attempt=int(document.get("attempt", 0)),
+            kind=str(document.get("kind", KIND_MINE)),
+            parent_id=document.get("parent_id"),
+            shard_index=document.get("shard_index"),
+            distributed=bool(document.get("distributed", False)),
+            planned=bool(document.get("planned", False)),
+            not_before=document.get("not_before"),
+            max_attempts=document.get("max_attempts"),
             sequence=int(document.get("sequence", 0)),
         )

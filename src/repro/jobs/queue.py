@@ -11,6 +11,7 @@ cached" are decided by one piece of machinery.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Mapping
 
 from .executor import JobExecutor, JobRunner
@@ -36,6 +37,7 @@ class JobQueue:
     ) -> None:
         self.store = store if store is not None else JobStore()
         self.executor = executor if executor is not None else JobExecutor(width)
+        self._stopping = threading.Event()
 
     def submit(
         self,
@@ -43,6 +45,7 @@ class JobQueue:
         parameters: Mapping[str, Any],
         key: str,
         runner: JobRunner,
+        **open_kwargs: Any,
     ) -> tuple[Job, bool]:
         """Submit a mining run; returns ``(job, created)``.
 
@@ -50,11 +53,24 @@ class JobQueue:
         already queued or running and is returned instead — the runner is
         *not* scheduled again.  ``runner(control)`` executes on an executor
         thread and returns the cache key its result was stored under.
+        Extra keyword arguments (``distributed=``, ``plan_workers=``,
+        ``max_attempts=``) pass through to the store's ``open_job``.
         """
-        job, created = self.store.open_job(dataset, parameters, key)
+        job, created = self.store.open_job(dataset, parameters, key, **open_kwargs)
         if created:
-            self.executor.submit(self.store, job.job_id, runner)
+            self.schedule(job.job_id, runner)
         return job, created
+
+    def schedule(self, job_id: str, runner: JobRunner) -> None:
+        """Hand one already-registered job to the executor.
+
+        The execution is wired to this queue's stop signal: on shutdown an
+        in-flight run aborts at its next checkpoint and (on a shared
+        registry) releases its claim for takeover.
+        """
+        self.executor.submit(
+            self.store, job_id, runner, should_abort=self._stopping.is_set
+        )
 
     def cancel(self, job_id: str) -> Job:
         """Request cancellation (immediate when queued, cooperative when
@@ -68,6 +84,11 @@ class JobQueue:
     def list(self, status: str | None = None) -> list[Job]:
         return self.store.list(status)
 
+    def children(self, parent_id: str) -> list[Job]:
+        """A distributed parent's sub-jobs ([] on stores without sub-jobs)."""
+        children = getattr(self.store, "children", None)
+        return children(parent_id) if children is not None else []
+
     def evicted_result_key(self, job_id: str) -> str | None:
         """Result key left behind by an evicted succeeded job, if any."""
         return self.store.evicted_result_key(job_id)
@@ -78,19 +99,26 @@ class JobQueue:
         return counts
 
     def shutdown(self, wait: bool = False) -> None:
-        """Stop the queue: cancel every non-terminal job, stop the executor.
+        """Stop the queue promptly without forfeiting shared work.
 
-        Cancelling first matters — running mines abort at their next
-        checkpoint instead of holding the (non-daemon) worker threads, so a
-        Ctrl-C on the server exits promptly rather than waiting out an
-        in-flight search.
+        Process-local registry: cancel every non-terminal job first, so
+        running mines abort at their next checkpoint instead of holding
+        the (non-daemon) worker threads — a Ctrl-C exits promptly.
+
+        Shared (store-backed) registry: cancelling would kill work other
+        processes can still finish, so instead the stop signal makes
+        in-flight runs abort at their next checkpoint and *release* their
+        claims (CAS back to queued) for immediate takeover; jobs this
+        process never claimed are simply left for the fleet.
         """
         from .model import TERMINAL_STATES
 
-        for job in self.store.list():
-            if job.state not in TERMINAL_STATES:
-                try:
-                    self.store.request_cancel(job.job_id)
-                except JobStateError:
-                    pass  # finished between the list and the cancel
+        self._stopping.set()
+        if not getattr(self.store, "shared", False):
+            for job in self.store.list():
+                if job.state not in TERMINAL_STATES:
+                    try:
+                        self.store.request_cancel(job.job_id)
+                    except JobStateError:
+                        pass  # finished between the list and the cancel
         self.executor.shutdown(wait=wait)

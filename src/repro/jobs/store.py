@@ -125,6 +125,7 @@ class JobStore:
             for job in self._jobs.values():
                 counts[job.state] += 1
             counts["total"] = len(self._jobs)
+            counts["dead_lettered"] = 0  # no retry loop to dead-letter from
             return counts
 
     def cancel_requested(self, job_id: str) -> bool:

@@ -49,10 +49,25 @@ class JobWorker(threading.Thread):
         self.runner_factory = runner_factory
         self.interval = float(interval)
         self._stopping = threading.Event()
+        #: ``(job_id, attempt)`` of the claim being executed right now.
+        self._current: tuple[str, int] | None = None
 
     def stop(self, wait: bool = False) -> None:
-        """Ask the loop to exit; ``wait=True`` joins the thread."""
+        """Ask the loop to exit; ``wait=True`` joins the thread.
+
+        Graceful shutdown releases the claim being executed *immediately*
+        (CAS back to queued), so a surviving process takes the job over
+        now instead of waiting out the lease.  The runner also aborts at
+        its next engine checkpoint; its late release attempt then
+        CAS-fails silently (the claim is no longer this worker's).
+        """
         self._stopping.set()
+        current = self._current
+        if current is not None:
+            try:
+                self.store.release(*current)
+            except Exception:
+                pass  # shutdown must not die on a store hiccup
         if wait and self.is_alive():
             self.join()
 
@@ -84,5 +99,11 @@ class JobWorker(threading.Thread):
             except JobStateError:
                 pass
             return True
-        run_claimed_job(self.store, job, runner)
+        self._current = (job.job_id, job.attempt)
+        try:
+            run_claimed_job(
+                self.store, job, runner, should_abort=self._stopping.is_set
+            )
+        finally:
+            self._current = None
         return True

@@ -40,7 +40,14 @@ from typing import Any, Mapping
 from urllib.parse import urlencode
 
 from ..cache.keys import cache_key
-from ..jobs import SUCCEEDED, TERMINAL_STATES, Job, JobStateError
+from ..jobs import (
+    KIND_MERGE,
+    KIND_SHARD,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    Job,
+    JobStateError,
+)
 from .handlers import (
     ServerState,
     admin_stats_payload,
@@ -95,7 +102,7 @@ def _result_links(key: str, dataset: str) -> dict[str, str]:
     }
 
 
-def _job_resource(job: Job) -> dict[str, Any]:
+def _job_resource(job: Job, children: list[Job] | None = None) -> dict[str, Any]:
     document = job.to_document()
     links = {
         "self": _url(f"/jobs/{job.job_id}"),
@@ -106,7 +113,31 @@ def _job_resource(job: Job) -> dict[str, Any]:
     if job.state == SUCCEEDED and job.result_key is not None:
         links["result"] = _url(f"/results/{job.result_key}")
     document["links"] = links
+    if children:
+        # The distributed parent's shard tree: per-sub-job state, attempts,
+        # and workers, so one GET shows where a distributed mine stands.
+        document["shards"] = [
+            _subjob_entry(child) for child in children if child.kind == KIND_SHARD
+        ]
+        merge = next((c for c in children if c.kind == KIND_MERGE), None)
+        if merge is not None:
+            document["merge"] = _subjob_entry(merge)
     return document
+
+
+def _subjob_entry(child: Job) -> dict[str, Any]:
+    return {
+        "job_id": child.job_id,
+        "kind": child.kind,
+        "shard_index": child.shard_index,
+        "state": child.state,
+        "attempt": child.attempt,
+        "max_attempts": child.max_attempts,
+        "worker_id": child.worker_id,
+        "lease_expires_at": child.lease_expires_at,
+        "not_before": child.not_before,
+        "error": child.error.to_document() if child.error else None,
+    }
 
 
 def _result_resource(state: ServerState, document: Mapping[str, Any]) -> dict[str, Any]:
@@ -352,9 +383,12 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
         "/api/v1/datasets/{name}/results",
         responses={
             "201": "result resource created (or dedup'd onto); Location set",
-            "202": "async job accepted; Location points at the job",
+            "202": "async or distributed job accepted; Location points at "
+                   "the job (mode=distributed shards the mine into sub-jobs "
+                   "any worker process can claim)",
             "400": "bad body/parameters/mode",
             "404": "unknown dataset",
+            "409": "mode=distributed without a durable job registry",
         },
     )
     def v1_create_result(request: Request) -> Response:
@@ -370,8 +404,21 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
         mode = parse_mine_mode(payload, request)
         dataset = state.get_dataset(name)
         params = parse_parameters(payload["parameters"])
-        if mode == "async":
-            job, created = state.submit_mine_job(dataset, params)
+        if mode in ("async", "distributed"):
+            plan_workers = payload.get("plan_workers")
+            if plan_workers is not None and (
+                not isinstance(plan_workers, int) or plan_workers < 1
+            ):
+                raise HTTPError(
+                    400, "'plan_workers' must be a positive integer",
+                    code="bad_plan_workers",
+                )
+            job, created = state.submit_mine_job(
+                dataset,
+                params,
+                distributed=(mode == "distributed"),
+                plan_workers=plan_workers,
+            )
             body = _job_resource(job)
             body["deduplicated"] = not created
             response = json_response(body, status=202)
@@ -547,7 +594,9 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
         "/api/v1/jobs/{job_id}",
         responses={"200": "job resource (links to the result once succeeded; "
                           "worker_id/lease_expires_at/attempt expose the "
-                          "durable registry's lease state)",
+                          "durable registry's lease state; a distributed "
+                          "parent inlines its shard tree — per-shard states, "
+                          "attempts, and workers plus the merge step)",
                    "301": "metadata evicted; Location points at the result",
                    "404": "unknown job"},
     )
@@ -560,7 +609,8 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
             if evicted is not None:
                 return evicted
             raise HTTPError(404, f"unknown job {job_id!r}", code="unknown_job")
-        response = json_response(_job_resource(job))
+        children = state.jobs.children(job_id) if job.distributed else None
+        response = json_response(_job_resource(job, children))
         if job.state == SUCCEEDED and job.result_key is not None:
             response.headers["Link"] = (
                 f'<{_url(f"/results/{job.result_key}")}>; rel="result"'
@@ -625,7 +675,8 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
     @router.get(
         "/api/v1/admin/stats",
         responses={"200": "store/cache/job counters (durable registries add "
-                          "per-lease health: active vs expired)"},
+                          "per-lease health: active vs expired, a per-kind "
+                          "job breakdown, and the dead-lettered job count)"},
     )
     def v1_admin_stats(request: Request) -> Response:
         """Store, cache, and job-queue counters."""

@@ -83,6 +83,7 @@ def create_app(
     durable_jobs: bool | None = None,
     worker_id: str | None = None,
     lease_seconds: float = 30.0,
+    max_attempts: int = 5,
     auto_compact_seconds: float | None = None,
 ) -> App:
     """Build the Miscela-V API application.
@@ -110,6 +111,11 @@ def create_app(
     worker_id, lease_seconds:
         Durable-registry identity and claim lifetime (see
         :class:`repro.jobs.DurableJobStore`).
+    max_attempts:
+        Durable-registry dead-letter bound: a job (or shard sub-job) that
+        loses its worker on this many attempts fails with a structured
+        ``AttemptsExhausted`` error instead of requeueing forever
+        (``0`` disables the bound).
     auto_compact_seconds:
         Interval of the background WAL compaction sweep (see
         :class:`repro.store.compaction.CompactionThread`).  ``None``
@@ -122,6 +128,7 @@ def create_app(
         durable_jobs=durable_jobs,
         worker_id=worker_id,
         lease_seconds=lease_seconds,
+        max_attempts=max_attempts,
     )
     state.recover_jobs()
     router = Router()

@@ -43,6 +43,9 @@ from ..data.csv_io import ChunkAssembler, read_attribute_csv, read_location_csv
 from ..data.documents import dataset_from_document, dataset_to_document
 from ..core.parallel import MiningCancelled
 from ..jobs import (
+    HANDLED,
+    KIND_MERGE,
+    KIND_SHARD,
     QUEUED,
     TERMINAL_STATES,
     DurableJobStore,
@@ -50,6 +53,10 @@ from ..jobs import (
     JobQueue,
     JobStateError,
     JobWorker,
+    execute_units,
+    maybe_fault,
+    merge_outputs,
+    plan_mine,
 )
 from ..store.database import Database
 from .http import HTTPError, Request, Response, html_response, json_response
@@ -64,6 +71,11 @@ _GENERATIONS = "generations"
 #: starts.  The fault-injection harness sets it to hold a job mid-mine long
 #: enough to ``kill -9`` the server at a chosen moment; unset in production.
 _MINE_DELAY_ENV = "REPRO_JOBS_MINE_DELAY"
+
+#: Test hook: seconds to sleep inside the *shard* runner before executing
+#: its units — holds a shard sub-job mid-flight so the two-server matrix
+#: can ``kill -9`` the process that claimed it.  Unset in production.
+_SHARD_DELAY_ENV = "REPRO_JOBS_SHARD_DELAY"
 
 
 class ServerState:
@@ -92,6 +104,7 @@ class ServerState:
         durable_jobs: bool | None = None,
         worker_id: str | None = None,
         lease_seconds: float = 30.0,
+        max_attempts: int = 5,
     ) -> None:
         self.database = database if database is not None else Database()
         self.cache = ResultCache(self.database)
@@ -106,7 +119,10 @@ class ServerState:
         self.durable_jobs = durable_jobs
         if durable_jobs:
             store = DurableJobStore(
-                self.database, worker_id=worker_id, lease_seconds=lease_seconds
+                self.database,
+                worker_id=worker_id,
+                lease_seconds=lease_seconds,
+                max_attempts=max_attempts,
             )
             self.jobs = JobQueue(store=store, width=job_workers)
         else:
@@ -358,7 +374,11 @@ class ServerState:
     # -- async mining jobs ------------------------------------------------------
 
     def submit_mine_job(
-        self, dataset: SensorDataset, params: MiningParameters
+        self,
+        dataset: SensorDataset,
+        params: MiningParameters,
+        distributed: bool = False,
+        plan_workers: int | None = None,
     ) -> tuple[Job, bool]:
         """Open (or dedup onto) the async mining job for (dataset, params).
 
@@ -376,8 +396,33 @@ class ServerState:
         never reach the cache) plus once more after, withdrawing the entry
         if a re-upload slipped between check and put.  Either way the job
         ends ``cancelled``, never serving superseded data.
+
+        ``distributed=True`` (durable registry only) submits the job as a
+        distributed *parent*: the scheduled runner is the planner, which
+        splits the mine into shard sub-jobs + a merge sub-job that any
+        process's polling worker can claim under its own lease.
         """
         key = cache_key(dataset.name, params)
+        if distributed:
+            if not self.durable_jobs:
+                raise HTTPError(
+                    409,
+                    "distributed mining requires the durable job registry "
+                    "(run the server with --store)",
+                    code="not_durable",
+                )
+            job, created = self.jobs.store.open_job(
+                dataset.name,
+                params.to_document(),
+                key,
+                distributed=True,
+                plan_workers=plan_workers,
+            )
+            if created:
+                # The planner runs as the parent's claimed execution; the
+                # runner needs the job id, which only exists post-open.
+                self.jobs.schedule(job.job_id, self._planner_runner(job.job_id))
+            return job, created
         runner = self._mine_runner(dataset, params, key)
         return self.jobs.submit(dataset.name, params.to_document(), key, runner)
 
@@ -414,6 +459,134 @@ class ServerState:
 
         return runner
 
+    def _planner_runner(self, job_id: str):
+        """Submit-path wrapper: resolve the claim, then run the planner."""
+
+        def runner(control):
+            job = self.jobs.store.get(job_id)
+            if job is None:
+                raise MiningCancelled(f"job {job_id} vanished before planning")
+            return self._run_planner(job, control)
+
+        return runner
+
+    def _run_planner(self, job: Job, control):
+        """The distributed parent's planning step (claimed like any job).
+
+        Pure planning + one idempotent store write: re-running after a
+        planner crash regenerates the identical plan (``plan_mine`` is
+        deterministic in the stored submission), and ``finish_planning``
+        skips sub-jobs that already exist.
+        """
+        store = self.jobs.store
+        current = store.get(job.job_id)  # the claim this runner executes under
+        if current is None:
+            raise MiningCancelled(f"job {job.job_id} vanished while planning")
+        dataset = self.get_dataset(job.dataset)
+        params = MiningParameters.from_document(job.parameters)
+        generation = self.dataset_generation(job.dataset)
+        plan = plan_mine(dataset, params, store.plan_workers(job.job_id))
+        control.checkpoint()
+        store.finish_planning(
+            job.job_id,
+            current.attempt,
+            shard_units=plan.shard_documents,
+            mode=plan.mode,
+            horizon=plan.horizon,
+            generation=generation,
+        )
+        return HANDLED
+
+    def _shard_runner(self, job: Job):
+        """One shard sub-job: execute its persisted units, persist output.
+
+        The ``mid-shard`` crash point fires after the compute but before
+        ``complete_shard`` — work done but never recorded, the hardest
+        takeover case (the shard re-runs elsewhere; the audit log proves
+        only the lost shard does).
+        """
+
+        def runner(control):
+            store = self.jobs.store
+            spec = store.shard_spec(job.job_id)
+            delay = float(os.environ.get(_SHARD_DELAY_ENV, 0) or 0)
+            if delay > 0:  # fault-injection harness only; see _SHARD_DELAY_ENV
+                deadline = time.monotonic() + delay
+                while time.monotonic() < deadline:
+                    control.checkpoint()
+                    time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+            if self.dataset_generation(job.dataset) != spec["generation"]:
+                raise MiningCancelled(
+                    f"dataset {job.dataset!r} was replaced while mining"
+                )
+            dataset = self.get_dataset(job.dataset)
+            params = MiningParameters.from_document(job.parameters)
+            started = time.monotonic()
+            output = execute_units(
+                dataset, params, spec["units"], spec["mode"], spec["horizon"],
+                control=control,
+            )
+            elapsed = time.monotonic() - started
+            maybe_fault("mid-shard")
+            store.complete_shard(job.job_id, job.attempt, output, elapsed)
+            return HANDLED
+
+        return runner
+
+    def _merge_runner(self, job: Job):
+        """The merge sub-job: reassemble shard outputs, publish the result.
+
+        Funnels through the same ``cap_results`` documents the sync path
+        writes, so the published resource is byte-identical to a serial
+        mine of the same (dataset, parameters).  Exactly-once across
+        crashes: the cache probe makes a re-run after a post-publish crash
+        a no-op, and the ``before-merge-publish`` crash point proves a
+        pre-publish crash just re-merges from the durable shard outputs.
+        """
+
+        def runner(control):
+            store = self.jobs.store
+            spec = store.shard_spec(job.job_id)
+            params = MiningParameters.from_document(job.parameters)
+
+            def check_current() -> None:
+                if self.dataset_generation(job.dataset) != spec["generation"]:
+                    raise MiningCancelled(
+                        f"dataset {job.dataset!r} was replaced while mining"
+                    )
+
+            check_current()
+            cached = self.cache.get(job.dataset, params)
+            if cached is None:
+                shard_results = store.shard_outputs(spec["parent_id"])
+                outputs = [
+                    entry
+                    for shard in shard_results
+                    for entry in shard["output"]
+                ]
+                control.checkpoint()
+                caps = merge_outputs(spec["mode"], outputs)
+                result = MiningResult(
+                    dataset_name=job.dataset,
+                    parameters=params,
+                    caps=caps,
+                    elapsed_seconds=sum(
+                        shard["elapsed_seconds"] for shard in shard_results
+                    ),
+                )
+                check_current()  # never publish a superseded result
+                maybe_fault("before-merge-publish")
+                self.cache.put(result)
+                try:
+                    check_current()
+                except MiningCancelled:
+                    # Re-upload interleaved with the put: withdraw it.
+                    self.cache.delete_key(job.key)
+                    raise
+            return job.key
+
+        return runner
+
     def runner_for_job(self, job: Job):
         """Rebuild a claimed job's work from its stored document.
 
@@ -421,7 +594,16 @@ class ServerState:
         processes enqueued — no submit-time closure exists here, so the
         dataset is loaded (refreshing from the shared store if needed) and
         the parameters re-parsed from the job's canonical document.
+        Dispatches on the job's kind: shard and merge sub-jobs get their
+        distributed runners, an unplanned distributed parent gets the
+        planner, and everything else is a whole mine.
         """
+        if job.kind == KIND_SHARD:
+            return self._shard_runner(job)
+        if job.kind == KIND_MERGE:
+            return self._merge_runner(job)
+        if job.distributed and not job.planned:
+            return lambda control: self._run_planner(job, control)
         dataset = self.get_dataset(job.dataset)
         params = MiningParameters.from_document(job.parameters)
         return self._mine_runner(dataset, params, job.key)
@@ -439,9 +621,9 @@ class ServerState:
             return {}
         summary = self.jobs.store.recover()
         for job in self.jobs.list(QUEUED):
-            self.jobs.executor.submit(
-                self.jobs.store, job.job_id, self._deferred_runner(job)
-            )
+            # Top-level jobs only (shard/merge sub-jobs are the polling
+            # worker's to claim — their readiness gates live in the store).
+            self.jobs.schedule(job.job_id, self._deferred_runner(job))
         return summary
 
     def _deferred_runner(self, job: Job):
@@ -515,9 +697,11 @@ def parse_parameters(document: Any) -> MiningParameters:
 
 def parse_mine_mode(payload: Mapping[str, Any], request: Request) -> str:
     mode = str(payload.get("mode") or request.param("mode") or "sync")
-    if mode not in ("sync", "async"):
+    if mode not in ("sync", "async", "distributed"):
         raise HTTPError(
-            400, f"mode must be 'sync' or 'async', got {mode!r}", code="invalid_mode"
+            400,
+            f"mode must be 'sync', 'async', or 'distributed', got {mode!r}",
+            code="invalid_mode",
         )
     return mode
 
@@ -827,8 +1011,10 @@ def register_routes(router: Any, state: ServerState) -> None:
         mode = parse_mine_mode(payload, request)
         dataset = state.get_dataset(str(payload["dataset"]))
         params = parse_parameters(payload["parameters"])
-        if mode == "async":
-            job, created = state.submit_mine_job(dataset, params)
+        if mode in ("async", "distributed"):
+            job, created = state.submit_mine_job(
+                dataset, params, distributed=(mode == "distributed")
+            )
             return json_response(
                 {
                     "job_id": job.job_id,

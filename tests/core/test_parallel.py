@@ -16,6 +16,8 @@ from datetime import datetime, timedelta
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.baseline import naive_search
 from repro.core.evolving import extract_all_evolving
@@ -205,6 +207,78 @@ class TestShardPlanner:
         )
         units = [unit for shard in shards for unit in shard]
         assert len(units) == 1 and units[0].seeds is None
+
+
+class TestShardPlannerProperties:
+    """Invariants the distributed job planner's correctness rests on.
+
+    A shard plan that drops, duplicates, or reorders a seed silently
+    corrupts a distributed mine (dropped CAPs or double-counted ones that
+    only dedup hides), and a plan that differs between the planning attempt
+    and a post-crash replanning attempt breaks
+    ``DurableJobStore.finish_planning``'s idempotent-replan contract.  So:
+    for any input, planning is a pure function and the units partition
+    every component's seed set exactly once.
+    """
+
+    @staticmethod
+    def _fingerprint(shards):
+        return [
+            [
+                (u.component_index,
+                 None if u.seeds is None else tuple(u.seeds),
+                 u.first_rank)
+                for u in shard
+            ]
+            for shard in shards
+        ]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        n_clusters=st.integers(min_value=1, max_value=5),
+        cluster_size=st.integers(min_value=2, max_value=8),
+        n_workers=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_and_partitions_every_seed_exactly_once(
+        self, seed, n_clusters, cluster_size, n_workers
+    ):
+        dataset = random_dataset(
+            seed, n_clusters=n_clusters, cluster_size=cluster_size, n_steps=40
+        )
+        params = base_params()
+        evolving = extract_all_evolving(dataset, params)
+        adjacency = build_proximity_graph(
+            list(dataset), params.distance_threshold
+        )
+        components = [
+            sorted(c) for c in connected_components(adjacency) if len(c) >= 2
+        ]
+        shards = plan_shards(
+            components, adjacency, evolving, params, n_workers=n_workers
+        )
+        replay = plan_shards(
+            components, adjacency, evolving, params, n_workers=n_workers
+        )
+        # Pure function: a replanning attempt reproduces the plan bit for bit.
+        assert self._fingerprint(shards) == self._fingerprint(replay)
+        # Exactly-once partition, counted with multiplicity: a seed assigned
+        # to two units would be mined twice, one assigned to none never.
+        assigned: list[tuple[int, str]] = []
+        for shard in shards:
+            for unit in shard:
+                members = (
+                    components[unit.component_index]
+                    if unit.seeds is None
+                    else unit.seeds
+                )
+                assigned.extend((unit.component_index, sid) for sid in members)
+        expected = [
+            (ci, sid)
+            for ci, component in enumerate(components)
+            for sid in component
+        ]
+        assert sorted(assigned) == sorted(expected)
 
 
 class TestParallelEquivalence:

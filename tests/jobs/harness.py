@@ -70,6 +70,8 @@ class ServerProcess:
         store_fault: str | None = None,
         exec_log: Path | None = None,
         mine_delay: float | None = None,
+        shard_delay: float | None = None,
+        max_attempts: int | None = None,
         start: bool = True,
     ) -> None:
         self.store_path = Path(store_path)
@@ -83,6 +85,8 @@ class ServerProcess:
         ]
         if worker_id:
             self.args += ["--worker-id", worker_id]
+        if max_attempts is not None:
+            self.args += ["--max-attempts", str(max_attempts)]
         self.env = dict(os.environ)
         self.env["PYTHONPATH"] = (
             f"{SRC_DIR}{os.pathsep}{self.env['PYTHONPATH']}"
@@ -92,6 +96,7 @@ class ServerProcess:
         self.env.pop("REPRO_JOBS_FAULT", None)
         self.env.pop("REPRO_STORE_FAULT", None)
         self.env.pop("REPRO_JOBS_MINE_DELAY", None)
+        self.env.pop("REPRO_JOBS_SHARD_DELAY", None)
         if fault:
             self.env["REPRO_JOBS_FAULT"] = fault
         if store_fault:
@@ -100,6 +105,8 @@ class ServerProcess:
             self.env["REPRO_JOBS_EXEC_LOG"] = str(exec_log)
         if mine_delay:
             self.env["REPRO_JOBS_MINE_DELAY"] = str(mine_delay)
+        if shard_delay:
+            self.env["REPRO_JOBS_SHARD_DELAY"] = str(shard_delay)
         self.proc: subprocess.Popen | None = None
         self.port: int | None = None
         self.lines: list[str] = []
@@ -153,6 +160,14 @@ class ServerProcess:
             return None
         if self.proc.poll() is None:
             self.proc.send_signal(signal.SIGINT)
+        return self.proc.wait(timeout=REQUEST_TIMEOUT)
+
+    def terminate(self) -> int | None:
+        """Graceful SIGTERM: workers release their claims on the way out."""
+        if self.proc is None:
+            return None
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
         return self.proc.wait(timeout=REQUEST_TIMEOUT)
 
     def wait_exit(self, timeout: float = REQUEST_TIMEOUT) -> int:
@@ -256,6 +271,25 @@ def submit_async(server: ServerProcess, dataset_name: str, params_doc: dict):
     status, payload = server.post_json(
         f"/api/v1/datasets/{dataset_name}/results",
         json_body={"parameters": params_doc, "mode": "async"},
+    )
+    if status is None:
+        return None
+    assert status == 202, (status, payload)
+    return payload
+
+
+def submit_distributed(
+    server: ServerProcess,
+    dataset_name: str,
+    params_doc: dict,
+    plan_workers: int | None = None,
+):
+    """Submit a distributed (sharded) mine; ``None`` if the server died."""
+    body = {"parameters": params_doc, "mode": "distributed"}
+    if plan_workers is not None:
+        body["plan_workers"] = plan_workers
+    status, payload = server.post_json(
+        f"/api/v1/datasets/{dataset_name}/results", json_body=body
     )
     if status is None:
         return None

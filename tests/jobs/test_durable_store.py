@@ -186,6 +186,7 @@ class TestClaiming:
         clock.advance(11.0)  # lease lapses
         other = second_store(store_path, clock)
         assert [j.job_id for j in other.reclaim_expired()] == [job.job_id]
+        clock.advance(1.0)  # past the requeue backoff window
         reclaimed = other.claim_next()
         assert reclaimed.attempt == 2 and reclaimed.worker_id == "beta"
         # The original worker wakes up and tries to publish: refused.
