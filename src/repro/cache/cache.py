@@ -22,6 +22,7 @@ from ..core.miner import MiningResult, MiscelaMiner
 from ..core.parallel import MiningControl
 from ..core.parameters import MiningParameters
 from ..core.types import SensorDataset
+from ..obs.metrics import get_registry
 from ..store.database import Database
 from .eviction import EvictionPolicy, NoEviction
 from .keys import cache_key, canonical_payload
@@ -29,6 +30,22 @@ from .keys import cache_key, canonical_payload
 __all__ = ["CacheStats", "ResultCache"]
 
 _COLLECTION = "cap_results"
+
+# Process-wide counters next to the per-instance CacheStats: the stats
+# object feeds /admin/stats per cache, these feed the Prometheus scrape.
+_HITS = get_registry().counter(
+    "repro_cache_hits_total", "Result-cache lookups served from the store."
+)
+_MISSES = get_registry().counter(
+    "repro_cache_misses_total", "Result-cache lookups that found nothing."
+)
+_EVICTIONS = get_registry().counter(
+    "repro_cache_evictions_total", "Cached results evicted by policy."
+)
+_INVALIDATIONS = get_registry().counter(
+    "repro_cache_invalidations_total",
+    "Cached results dropped by dataset invalidation.",
+)
 
 
 @dataclass
@@ -73,12 +90,15 @@ class ResultCache:
                 # Policy says expired: drop the stored document too.
                 self._delete_key(key)
                 self.stats.misses += 1
+                _MISSES.inc()
                 return None
             document = self.database[_COLLECTION].find_one({"key": key})
             if document is None:
                 self.stats.misses += 1
+                _MISSES.inc()
                 return None
             self.stats.hits += 1
+            _HITS.inc()
         return MiningResult.from_document(document["result"])
 
     def put(self, result: MiningResult) -> str:
@@ -97,6 +117,7 @@ class ResultCache:
                 if victim != key:
                     self._delete_key(victim)
                     self.stats.evictions += 1
+                    _EVICTIONS.inc()
         return key
 
     def delete_key(self, key: str) -> None:
@@ -147,6 +168,8 @@ class ResultCache:
                 self.policy.on_evict(document["key"])
             removed = collection.delete_many({"payload.dataset": dataset_name})
             self.stats.invalidations += removed
+            if removed:
+                _INVALIDATIONS.inc(amount=removed)
             return removed
 
     def __len__(self) -> int:

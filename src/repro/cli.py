@@ -15,6 +15,9 @@ Everything the demo's web UI drives is reachable from a terminal:
   processes sharing the snapshot claim work through leases;
 * ``jobs``      — inspect (``list``) or recover (``recover``) the durable
   job registry of a store snapshot without starting a server;
+* ``trace``     — reconstruct one job's timeline (an ASCII waterfall of its
+  persisted spans — for a distributed mine: planner, every shard attempt,
+  merge) straight from a store, no server needed;
 * ``schema``    — emit the generated API schema (JSON), regenerate the
   ``API.md`` reference, or check route/reference parity.
 
@@ -228,6 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="with --store: background WAL compaction sweep "
                             "interval (default: disabled)")
+    p_srv.add_argument("--log-format", dest="log_format",
+                       choices=["text", "json"], default="text",
+                       help="stdlib logging output: human-readable lines or "
+                            "one JSON object per record (each carries "
+                            "trace_id/job_id context when present)")
+    p_srv.add_argument("--log-level", dest="log_level", default="info",
+                       choices=["debug", "info", "warning", "error"],
+                       help="root logger threshold (default info)")
 
     p_jobs = sub.add_parser(
         "jobs", help="inspect / recover the durable job registry of a store"
@@ -259,6 +270,19 @@ def build_parser() -> argparse.ArgumentParser:
              "migrated legacy snapshot)",
     )
     p_scomp.add_argument("--store", required=True, help="store path")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="render the persisted span timeline of one job as an ASCII "
+             "waterfall (durable stores only)",
+    )
+    p_trace.add_argument("job_id", help="the job to reconstruct")
+    p_trace.add_argument("--store", required=True, help="store path")
+    p_trace.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the span tree as JSON instead of the "
+                              "waterfall (the /api/v1/jobs/{id}/trace shape)")
+    p_trace.add_argument("--width", type=int, default=60,
+                         help="timeline width in columns (default 60)")
 
     p_schema = sub.add_parser(
         "schema", help="emit the generated API schema / reference"
@@ -436,10 +460,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from .obs.logging import configure_logging
     from .server.app import TestClient, create_app
     from .server.http import make_threaded_server, wsgi_adapter
     from .store.database import Database
 
+    configure_logging(level=args.log_level, log_format=args.log_format)
     database = Database(args.store) if args.store else None
     app = create_app(
         database,
@@ -590,6 +616,26 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 1 if torn else 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .jobs import DurableJobStore
+    from .obs.trace import render_waterfall, trace_tree
+    from .store.database import Database
+
+    path = Path(args.store)
+    if not path.exists() and not _wal_root(path).exists():
+        raise SystemExit(f"no store at {path}")
+    store = DurableJobStore(Database(path), worker_id="cli-trace")
+    try:
+        tree = trace_tree(store, args.job_id)
+    except KeyError:
+        raise SystemExit(f"unknown job {args.job_id!r} in {path}")
+    if args.as_json:
+        print(json.dumps(tree, indent=2, sort_keys=True))
+    else:
+        print(render_waterfall(tree, width=max(20, args.width)))
+    return 0
+
+
 def cmd_schema(args: argparse.Namespace) -> int:
     from .server.schema import main as schema_main
 
@@ -611,6 +657,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "jobs": cmd_jobs,
     "store": cmd_store,
+    "trace": cmd_trace,
     "schema": cmd_schema,
 }
 

@@ -46,8 +46,9 @@ import heapq
 import math
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -99,10 +100,16 @@ class MiningControl:
     should_cancel:
         Polled between work units; returning ``True`` makes the engine raise
         :class:`MiningCancelled` at the next checkpoint.
+    profiler:
+        Optional :class:`repro.obs.profiler.Profiler` (any object with
+        ``record``/``record_unit``).  When attached, the engine records
+        per-phase and per-unit wall times; when ``None`` (the default) the
+        hot loops pay nothing.
     """
 
     progress: Callable[[int, int], None] | None = None
     should_cancel: Callable[[], bool] | None = None
+    profiler: Any | None = None
 
     def report(self, done: int, total: int) -> None:
         if self.progress is not None and total > 0:
@@ -395,11 +402,13 @@ def run_shard_units(
 
     if order is None:
         order = {sid: i for i, sid in enumerate(sorted(adjacency))}
+    profiler = getattr(control, "profiler", None) if control is not None else None
     out: list[tuple[tuple[int, int], list[CAP]]] = []
     for done, unit in enumerate(units, start=1):
         if control is not None:
             control.checkpoint()
         component = components[unit.component_index]
+        unit_started = time.perf_counter() if profiler is not None else 0.0
         if mode == "search":
             caps = search_component(
                 component, adjacency, attributes, evolving,
@@ -416,6 +425,17 @@ def run_shard_units(
             caps = naive_search(
                 members, subgraph(adjacency, component), evolving,
                 params, max_component_size=max_component_size,
+            )
+        if profiler is not None:
+            # Measured next to the planner's cost estimate — the pair is
+            # what calibrating estimate_seed_cost needs.
+            seconds = time.perf_counter() - unit_started
+            profiler.record("search", seconds)
+            profiler.record_unit(
+                f"c{unit.component_index}:r{unit.first_rank}",
+                seconds,
+                cost=unit.cost,
+                caps=len(caps),
             )
         out.append((unit.tag, caps))
         if control is not None:
@@ -532,9 +552,11 @@ def _run_serial_components(
 
     attributes = {s.sensor_id: s.attribute for s in sensors}
     order = {sid: i for i, sid in enumerate(sorted(adjacency))}
+    profiler = getattr(control, "profiler", None)
     out: list[CAP] = []
     control.checkpoint()
     for done, component in enumerate(components, start=1):
+        component_started = time.perf_counter() if profiler is not None else 0.0
         if mode == "search":
             out.extend(
                 search_component(component, adjacency, attributes, evolving, params)
@@ -555,6 +577,8 @@ def _run_serial_components(
                     max_component_size=max_component_size,
                 )
             )
+        if profiler is not None:
+            profiler.record("search", time.perf_counter() - component_started)
         control.report(done, len(components))
         control.checkpoint()
     return out

@@ -72,6 +72,8 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from ..cache.keys import short_key
+from ..obs.metrics import get_registry
+from ..obs.spans import SpanStore
 from ..store.database import Database
 from .model import (
     ATTEMPTS_EXHAUSTED,
@@ -96,6 +98,33 @@ __all__ = ["DurableJobStore", "FAULT_ENV", "FAULT_POINTS", "maybe_fault"]
 
 _JOBS = "jobs"
 _DEAD_LETTERS = "dead_letters"
+
+_METRICS = get_registry()
+_CLAIMS = _METRICS.counter(
+    "repro_jobs_claims_total",
+    "Successful job claims (queued->running CAS wins), by job kind.",
+    labels=("kind",),
+)
+_LEASE_RENEWALS = _METRICS.counter(
+    "repro_jobs_lease_renewals_total",
+    "Lease extensions granted to the owning worker.",
+)
+_LEASE_EXPIRIES = _METRICS.counter(
+    "repro_jobs_lease_expiries_total",
+    "Running jobs whose lease lapsed (worker presumed dead).",
+)
+_REQUEUES = _METRICS.counter(
+    "repro_jobs_requeues_total",
+    "Lease-expiry requeues (running->queued recovery edges).",
+)
+_DEAD_LETTERED = _METRICS.counter(
+    "repro_jobs_dead_letters_total",
+    "Jobs quarantined after exhausting max_attempts.",
+)
+_CAS_CONFLICTS = _METRICS.counter(
+    "repro_jobs_cas_conflicts_total",
+    "Compare-and-set losses: stale workers refused a transition or renewal.",
+)
 
 #: Environment variable naming the crash point to hard-exit at (tests only).
 FAULT_ENV = "REPRO_JOBS_FAULT"
@@ -222,7 +251,11 @@ class DurableJobStore:
         self.merge_collections: dict[str, str] = {
             results_collection: "key",
             "datasets": "name",
+            "spans": "span_id",
         }
+        #: Trace spans ride the same store (and therefore the same
+        #: durability + cross-process merge rules) as the jobs they time.
+        self.spans = SpanStore(database)
         #: Minimum age between snapshot reloads on the *cancellation poll*
         #: (the engine checkpoints between every work unit; re-parsing the
         #: whole snapshot each time a peer renews a lease would put a
@@ -421,6 +454,7 @@ class DurableJobStore:
         distributed: bool = False,
         plan_workers: int | None = None,
         max_attempts: int | None = None,
+        trace_id: str | None = None,
     ) -> tuple[Job, bool]:
         """The active job for ``key``, or a new queued one — atomically.
 
@@ -430,7 +464,10 @@ class DurableJobStore:
         shard/merge sub-jobs share their parent's key and never absorb a
         submission.  ``distributed=True`` marks the new job for shard-level
         execution (the planner splits it when a worker claims it);
-        ``plan_workers`` fixes the planning width the split uses.
+        ``plan_workers`` fixes the planning width the split uses;
+        ``trace_id`` (the request's ``X-Request-Id``) is stamped on the job
+        and inherited by its sub-jobs, correlating every span of one
+        distributed mine.  Dedup keeps the *existing* job's trace.
         """
         with self._exclusive():
             for document in self._collection().find({"key": key}):
@@ -447,6 +484,7 @@ class DurableJobStore:
                 created_at=self._clock(),
                 distributed=distributed,
                 max_attempts=max_attempts,
+                trace_id=trace_id,
                 sequence=sequence,
             )
             stored = self._store_document(job)
@@ -657,6 +695,7 @@ class DurableJobStore:
         if matched is None:  # pragma: no cover - CAS races need no lock here
             return None
         self._persist()
+        _CLAIMS.inc(document.get("kind", KIND_MINE))
         if document.get("kind", KIND_MINE) == KIND_SHARD:
             self._fault_point("after-shard-claim")
         else:
@@ -681,7 +720,10 @@ class DurableJobStore:
                 {"lease_expires_at": now + self.lease_seconds},
             )
             if matched is not None:
+                _LEASE_RENEWALS.inc()
                 self._persist()
+            else:
+                _CAS_CONFLICTS.inc()
 
     def reclaim_expired(self) -> list[Job]:
         """Requeue running jobs whose lease lapsed (their worker died).
@@ -723,6 +765,18 @@ class DurableJobStore:
         crash-loop the fleet.
         """
         job_id = document["job_id"]
+        _LEASE_EXPIRIES.inc()
+        # The dead worker's open spans become forensic evidence: the
+        # reclaimer stamps them ``interrupted`` so the trace timeline shows
+        # exactly which attempt was lost (and a late finisher's CAS loses).
+        self.spans.close_open_spans(
+            job_id,
+            "interrupted",
+            error=(
+                f"lease expired at attempt {int(document.get('attempt', 0))}; "
+                f"worker {document.get('worker_id')!r} presumed dead"
+            ),
+        )
         expected = {
             "state": RUNNING,
             "lease_expires_at": document.get("lease_expires_at"),
@@ -771,6 +825,7 @@ class DurableJobStore:
                     "shards_done": 0,
                     "shards_total": 0,
                 }
+                _REQUEUES.inc()
         self._collection().update_if({"job_id": job_id}, expected, changes)
         self._progress_cache.pop(job_id, None)
         return self._job(self._require_doc(job_id))
@@ -780,6 +835,7 @@ class DurableJobStore:
         letters = self.database.collection(_DEAD_LETTERS)
         if letters.find_one({"job_id": document["job_id"]}) is not None:
             return
+        _DEAD_LETTERED.inc()
         letters.insert_one(
             {
                 "job_id": document["job_id"],
@@ -1133,6 +1189,7 @@ class DurableJobStore:
             {"job_id": document["job_id"]}, expected, changes
         )
         if matched is None:
+            _CAS_CONFLICTS.inc()
             raise JobStateError(
                 f"job {document['job_id']} is no longer owned by "
                 f"{self.worker_id!r} (lease lost); refusing the "
@@ -1240,6 +1297,7 @@ class DurableJobStore:
                     parent_id=job_id,
                     shard_index=index,
                     max_attempts=parent.get("max_attempts"),
+                    trace_id=parent.get("trace_id"),
                     sequence=sequence,
                 )
                 sequence += 1
@@ -1263,6 +1321,7 @@ class DurableJobStore:
                     kind=KIND_MERGE,
                     parent_id=job_id,
                     max_attempts=parent.get("max_attempts"),
+                    trace_id=parent.get("trace_id"),
                     sequence=sequence,
                 )
                 stored = self._store_document(merge)
@@ -1318,6 +1377,7 @@ class DurableJobStore:
         attempt: int,
         output: list[Mapping[str, Any]],
         elapsed_seconds: float = 0.0,
+        timings: Mapping[str, Any] | None = None,
     ) -> Job:
         """A shard's success — tagged CAP output lands *with* the transition.
 
@@ -1325,18 +1385,25 @@ class DurableJobStore:
         crash leaves either a queued/running shard (re-runnable) or a
         succeeded one with durable output — never a success without its
         caps (the ``mid-shard`` crash point fires just before this call).
+
+        ``timings`` is the shard runner's profiler document (per-phase and
+        per-unit wall times); persisted alongside ``elapsed_seconds`` it is
+        the measured ground truth ``estimate_seed_cost`` calibration reads.
         """
         with self._exclusive():
             document = self._require_doc(job_id)
             ensure_transition(document["state"], SUCCEEDED)
+            changes: dict[str, Any] = {
+                "progress": 1.0,
+                "output": [dict(entry) for entry in output],
+                "elapsed_seconds": float(elapsed_seconds),
+            }
+            if timings is not None:
+                changes["timings"] = dict(timings)
             self._finish_locked(
                 document,
                 SUCCEEDED,
-                {
-                    "progress": 1.0,
-                    "output": [dict(entry) for entry in output],
-                    "elapsed_seconds": float(elapsed_seconds),
-                },
+                changes,
                 expected_attempt=attempt,
             )
             return self._job(self._require_doc(job_id))
@@ -1413,6 +1480,9 @@ class DurableJobStore:
             )
             if matched is None:
                 return False
+            self.spans.close_open_spans(
+                job_id, "released", error="claim released on shutdown"
+            )
             self._progress_cache.pop(job_id, None)
             self._persist()
             return True
@@ -1497,9 +1567,15 @@ class DurableJobStore:
             if document.get("kind", KIND_MINE) == KIND_MINE
         ]
         overflow = terminal[: max(0, len(terminal) - self._terminal_capacity)]
+        spans = self.database.collection("spans")
         for document in overflow:
             if document["state"] == SUCCEEDED and document.get("result_key"):
                 self._evicted_results[document["job_id"]] = document["result_key"]
+            for child in self._collection().find(
+                {"parent_id": document["job_id"]}
+            ):
+                spans.delete_many({"job_id": child["job_id"]})
+            spans.delete_many({"job_id": document["job_id"]})
             self._collection().delete_many({"job_id": document["job_id"]})
             self._collection().delete_many({"parent_id": document["job_id"]})
 

@@ -26,14 +26,34 @@ processes; in production the variable is unset and nothing is written.
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable
 
 from ..core.parallel import MiningCancelled, MiningControl
-from .model import QUEUED, Job, JobStateError
+from ..obs.logging import log_context
+from .model import KIND_MINE, QUEUED, Job, JobStateError
 
 __all__ = ["HANDLED", "JobExecutor", "run_job", "run_claimed_job"]
+
+_log = logging.getLogger("repro.jobs")
+
+#: Environment variable: warn when one claimed execution (a shard, a merge,
+#: a whole mine) runs longer than this many seconds.  Unset/invalid = off.
+SLOW_SHARD_ENV = "REPRO_SLOW_SHARD_S"
+
+
+def _slow_threshold() -> float | None:
+    raw = os.environ.get(SLOW_SHARD_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 class _Handled:
@@ -95,9 +115,40 @@ def run_claimed_job(store, job: Job, runner: JobRunner, should_abort=None) -> No
     aborts at the next checkpoint and the claim is **released** — CAS'd
     back to queued for immediate takeover by a surviving process — rather
     than cancelled.
+
+    Every execution opens a trace span *before* the work starts (when the
+    store has a span store) so a ``kill -9`` mid-run leaves the open span
+    behind as evidence; whoever reclaims the lease marks it
+    ``interrupted``.  The span closes through a CAS, so this thread
+    finishing late cannot overwrite a reclaimer's verdict.
     """
     _log_execution(store, job)
     job_id, attempt = job.job_id, job.attempt
+    trace_id = getattr(job, "trace_id", None)
+    spans = getattr(store, "spans", None)
+    sid = None
+    if spans is not None:
+        # A claimed distributed parent is always the planning step — once
+        # planned it stays running lease-less and is never claimed again.
+        name = (
+            "planner"
+            if job.kind == KIND_MINE and getattr(job, "distributed", False)
+            else job.kind
+        )
+        sid = spans.begin(
+            job_id=job_id,
+            attempt=attempt,
+            worker_id=getattr(store, "worker_id", "local"),
+            name=name,
+            kind=job.kind,
+            trace_id=trace_id,
+            parent_job_id=job.parent_id,
+            shard_index=job.shard_index,
+        )
+
+    def _close_span(status: str, error: str | None = None) -> None:
+        if spans is not None and sid is not None:
+            spans.finish(sid, status, error=error)
 
     def _should_cancel() -> bool:
         if should_abort is not None and should_abort():
@@ -110,21 +161,48 @@ def run_claimed_job(store, job: Job, runner: JobRunner, should_abort=None) -> No
         ),
         should_cancel=_should_cancel,
     )
-    try:
-        result_key = runner(control)
-    except MiningCancelled:
-        aborting = should_abort is not None and should_abort()
-        release = getattr(store, "release", None)
-        if aborting and release is not None:
-            release(job_id, attempt)
+    started = time.monotonic()
+    with log_context(trace_id=trace_id, job_id=job_id):
+        try:
+            result_key = runner(control)
+        except MiningCancelled:
+            aborting = should_abort is not None and should_abort()
+            release = getattr(store, "release", None)
+            if aborting and release is not None:
+                # release() marks still-open spans "released" itself.
+                release(job_id, attempt)
+                sid = None
+            else:
+                _close_span("cancelled")
+                _finish(store.mark_cancelled, job_id, attempt=attempt)
+        except BaseException as exc:  # noqa: BLE001 - capture, never kill the worker
+            _log.warning(
+                "job %s attempt %d failed: %s", job_id, attempt, exc
+            )
+            _close_span("error", error=f"{type(exc).__name__}: {exc}")
+            _finish(store.mark_failed, job_id, exc, attempt=attempt)
         else:
-            _finish(store.mark_cancelled, job_id, attempt=attempt)
-    except BaseException as exc:  # noqa: BLE001 - capture, never kill the worker
-        _finish(store.mark_failed, job_id, exc, attempt=attempt)
-    else:
-        if result_key is HANDLED:
-            return  # the runner applied its own terminal transition
-        _finish(store.mark_succeeded, job_id, result_key=result_key, attempt=attempt)
+            if result_key is HANDLED:
+                _close_span("ok")
+            else:
+                _close_span("ok")
+                _finish(
+                    store.mark_succeeded,
+                    job_id,
+                    result_key=result_key,
+                    attempt=attempt,
+                )
+        elapsed = time.monotonic() - started
+        threshold = _slow_threshold()
+        if threshold is not None and elapsed > threshold:
+            _log.warning(
+                "slow %s job %s: attempt %d took %.3fs (threshold %.3fs)",
+                job.kind,
+                job_id,
+                attempt,
+                elapsed,
+                threshold,
+            )
 
 
 def _finish(transition, job_id: str, *args, **kwargs) -> None:

@@ -180,6 +180,15 @@ class Job:
     max_attempts:
         Per-job override of the registry's dead-letter bound (``None`` =
         use the store default; ``0`` = unlimited).
+    trace_id:
+        The request-minted trace identifier (``X-Request-Id``), inherited
+        parent → planner → shard/merge sub-jobs so every span of one
+        distributed mine correlates across processes.
+    elapsed_seconds, timings:
+        Measured execution telemetry written back by ``complete_shard``:
+        the shard's wall time and the profiler's per-phase/per-unit
+        breakdown (``None`` until the shard has run) — the ground truth
+        the planner's ``estimate_seed_cost`` calibration needs.
     """
 
     job_id: str
@@ -206,6 +215,9 @@ class Job:
     planned: bool = False
     not_before: float | None = None
     max_attempts: int | None = None
+    trace_id: str | None = None
+    elapsed_seconds: float | None = None
+    timings: dict[str, Any] | None = None
     #: Insertion-order sequence number (stable ``GET /jobs`` ordering).
     sequence: int = field(default=0, repr=False)
 
@@ -236,6 +248,9 @@ class Job:
             "planned": self.planned,
             "not_before": self.not_before,
             "max_attempts": self.max_attempts,
+            "trace_id": self.trace_id,
+            "elapsed_seconds": self.elapsed_seconds,
+            "timings": self.timings,
         }
 
     @classmethod
@@ -267,5 +282,8 @@ class Job:
             planned=bool(document.get("planned", False)),
             not_before=document.get("not_before"),
             max_attempts=document.get("max_attempts"),
+            trace_id=document.get("trace_id"),
+            elapsed_seconds=document.get("elapsed_seconds"),
+            timings=document.get("timings"),
             sequence=int(document.get("sequence", 0)),
         )

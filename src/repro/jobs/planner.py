@@ -30,6 +30,7 @@ both to the server are in :mod:`repro.server.handlers`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
@@ -156,8 +157,17 @@ def execute_units(
     Recomputes the deterministic preprocessing locally, executes the
     persisted units through the shared execution core, and serialises each
     unit's caps with its merge tag: ``{"tag": [ci, rank], "caps": [...]}``.
+
+    With a ``control`` carrying a profiler, the three phases are timed
+    separately: ``prepare`` (preprocessing recomputation), ``search``
+    (recorded per unit inside the execution core), and ``emit`` (output
+    serialisation).
     """
+    profiler = getattr(control, "profiler", None) if control is not None else None
+    prepare_started = time.perf_counter() if profiler is not None else 0.0
     serial, evolving, adjacency, components, attributes = prepare(dataset, params)
+    if profiler is not None:
+        profiler.record("prepare", time.perf_counter() - prepare_started)
     units = [unit_from_document(doc) for doc in unit_documents]
     for unit in units:
         if unit.component_index >= len(components):
@@ -170,10 +180,14 @@ def execute_units(
         mode, adjacency, attributes, evolving, serial, components, units,
         horizon=horizon, control=control,
     )
-    return [
+    emit_started = time.perf_counter() if profiler is not None else 0.0
+    out = [
         {"tag": [tag[0], tag[1]], "caps": [cap.to_document() for cap in caps]}
         for tag, caps in tagged
     ]
+    if profiler is not None:
+        profiler.record("emit", time.perf_counter() - emit_started)
+    return out
 
 
 def merge_outputs(

@@ -72,7 +72,11 @@ class JobStore:
     # -- creation / dedup -----------------------------------------------------
 
     def open_job(
-        self, dataset: str, parameters: Mapping[str, Any], key: str
+        self,
+        dataset: str,
+        parameters: Mapping[str, Any],
+        key: str,
+        trace_id: str | None = None,
     ) -> tuple[Job, bool]:
         """The active job for ``key``, or a new queued one — atomically.
 
@@ -80,7 +84,8 @@ class JobStore:
         identical (dataset, parameters) job was already in flight and is
         being reused.  Finished jobs never dedup: re-submitting after
         success simply opens a new job (which the cache will satisfy
-        instantly).
+        instantly).  ``trace_id`` ties the job to the submitting request;
+        a deduped job keeps the trace of the request that created it.
         """
         with self._lock:
             active_id = self._active_by_key.get(key)
@@ -94,6 +99,7 @@ class JobStore:
                 key=key,
                 created_at=self._clock(),
                 sequence=self._sequence,
+                trace_id=trace_id,
             )
             self._jobs[job.job_id] = job
             self._active_by_key[key] = job.job_id

@@ -1,0 +1,117 @@
+"""Structured logging: JSON formatter + trace/job context propagation.
+
+``repro serve --log-format json`` installs :class:`JSONLogFormatter` on
+the root handler, so every stdlib log record renders as one JSON object
+per line.  :func:`log_context` is a context manager that stamps the
+current ``trace_id``/``job_id`` into a :mod:`contextvars` holder; the
+formatter (text *and* JSON) picks them up, which is how a shard
+execution's warnings carry the distributed mine's trace id without any
+handler plumbing.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "JSONLogFormatter",
+    "TextLogFormatter",
+    "configure_logging",
+    "current_context",
+    "log_context",
+]
+
+_context: contextvars.ContextVar[dict[str, str]] = contextvars.ContextVar(
+    "repro_log_context", default={}
+)
+
+
+def current_context() -> dict[str, str]:
+    """The active trace/job context (empty outside :func:`log_context`)."""
+    return dict(_context.get())
+
+
+@contextmanager
+def log_context(
+    trace_id: str | None = None, job_id: str | None = None, **extra: str
+) -> Iterator[None]:
+    """Stamp ids onto every log record emitted inside the block."""
+    merged = dict(_context.get())
+    if trace_id is not None:
+        merged["trace_id"] = str(trace_id)
+    if job_id is not None:
+        merged["job_id"] = str(job_id)
+    for key, value in extra.items():
+        if value is not None:
+            merged[key] = str(value)
+    token = _context.set(merged)
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+class JSONLogFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message, context."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_context.get())
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class TextLogFormatter(logging.Formatter):
+    """Human-readable lines, trace/job context appended when present."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s: %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        context = _context.get()
+        if context:
+            tags = " ".join(f"{k}={v}" for k, v in sorted(context.items()))
+            line = f"{line} [{tags}]"
+        return line
+
+
+def configure_logging(level: str = "info", log_format: str = "text") -> None:
+    """Install one stderr handler on the root logger (idempotent).
+
+    ``repro serve --log-format/--log-level`` lands here; tests call it
+    directly.  Re-configuring replaces the previously installed handler
+    instead of stacking duplicates.
+    """
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    if log_format not in ("text", "json"):
+        raise ValueError(f"log format must be 'text' or 'json', got {log_format!r}")
+    formatter: logging.Formatter = (
+        JSONLogFormatter() if log_format == "json" else TextLogFormatter()
+    )
+    root = logging.getLogger()
+    handler = logging.StreamHandler()
+    handler.setFormatter(formatter)
+    handler.set_name("repro-obs")
+    for existing in list(root.handlers):
+        if existing.get_name() == "repro-obs":
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(numeric)

@@ -1,0 +1,347 @@
+"""Process-local metrics: counters, gauges, histograms, Prometheus text.
+
+The registry is deliberately tiny — no dependencies, no background
+threads, no clocks of its own.  Each metric *family* has a name, a help
+string, and a tuple of label names; concrete time series are children
+keyed by their label-value tuple.  Every mutation is a single
+lock-protected float update, so instrumenting a hot path costs tens of
+nanoseconds, and a scrape (:func:`render_prometheus`) walks a snapshot.
+
+Exposition follows the Prometheus text format, version 0.0.4:
+
+* one ``# HELP`` / ``# TYPE`` header per family;
+* label values escape ``\\``, ``"`` and newlines;
+* histograms emit cumulative ``_bucket{le="..."}`` series ending in
+  ``le="+Inf"``, plus ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "render_prometheus",
+    "CONTENT_TYPE",
+]
+
+#: The scrape content type the text format mandates.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default histogram buckets — tuned for request/IO latencies in seconds,
+#: spanning 100µs .. 10s (fsync on slow disks, long mines are the +Inf tail).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_ALLOWED = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or any(c not in _NAME_ALLOWED for c in name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Family:
+    """Shared machinery: children keyed by label-value tuples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labels: Sequence[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help_text
+        self.label_names = tuple(labels)
+        for label in self.label_names:
+            _check_name(label)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def _key(self, label_values: Sequence[str]) -> tuple[str, ...]:
+        values = tuple(str(v) for v in label_values)
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, got {values!r}"
+            )
+        return values
+
+    def labels(self, *label_values: str):
+        """The child time series for one label-value combination."""
+        key = self._key(label_values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+        return child
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def children(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            items = sorted(self._children.items())
+        if not items and not self.label_names:
+            self.labels()  # unlabelled families always expose one series
+            with self._lock:
+                items = sorted(self._children.items())
+        return items
+
+    def _series(self, suffix: str, labels: Mapping[str, str], value: float) -> str:
+        label_text = ",".join(
+            f'{name}="{escape_label_value(value_)}"'
+            for name, value_ in labels.items()
+        )
+        body = f"{{{label_text}}}" if label_text else ""
+        return f"{self.name}{suffix}{body} {format_value(value)}"
+
+
+class _CounterValue:
+    """One monotone counter series."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _GaugeValue:
+    """One gauge series (set / inc / dec)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _HistogramValue:
+    """One histogram series: fixed cumulative buckets + sum + count."""
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[index] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """(cumulative bucket counts incl. +Inf, sum, count)."""
+        with self._lock:
+            raw = list(self._counts)
+            total_sum = self._sum
+            total_count = self._count
+        cumulative: list[int] = []
+        running = 0
+        for count in raw:
+            running += count
+            cumulative.append(running)
+        return cumulative, total_sum, total_count
+
+
+class Counter(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> _CounterValue:
+        return _CounterValue()
+
+    def inc(self, *label_values: str, amount: float = 1.0) -> None:
+        self.labels(*label_values).inc(amount)
+
+    def value(self, *label_values: str) -> float:
+        return self.labels(*label_values).value
+
+    def total(self) -> float:
+        return sum(child.value for _, child in self.children())
+
+    def render(self) -> Iterable[str]:
+        for key, child in self.children():
+            yield self._series("", dict(zip(self.label_names, key)), child.value)
+
+
+class Gauge(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeValue:
+        return _GaugeValue()
+
+    def set(self, value: float, *label_values: str) -> None:
+        self.labels(*label_values).set(value)
+
+    def inc(self, *label_values: str, amount: float = 1.0) -> None:
+        self.labels(*label_values).inc(amount)
+
+    def dec(self, *label_values: str, amount: float = 1.0) -> None:
+        self.labels(*label_values).dec(amount)
+
+    def value(self, *label_values: str) -> float:
+        return self.labels(*label_values).value
+
+    def total(self) -> float:
+        return sum(child.value for _, child in self.children())
+
+    def render(self) -> Iterable[str]:
+        for key, child in self.children():
+            yield self._series("", dict(zip(self.label_names, key)), child.value)
+
+
+class Histogram(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        ordered = tuple(sorted(float(b) for b in buckets))
+        if not ordered or len(set(ordered)) != len(ordered):
+            raise ValueError("histogram buckets must be non-empty and strictly increasing")
+        self.buckets = ordered
+
+    def _make_child(self) -> _HistogramValue:
+        return _HistogramValue(self.buckets)
+
+    def observe(self, value: float, *label_values: str) -> None:
+        self.labels(*label_values).observe(value)
+
+    def total(self) -> float:
+        return sum(child.snapshot()[2] for _, child in self.children())
+
+    def render(self) -> Iterable[str]:
+        for key, child in self.children():
+            labels = dict(zip(self.label_names, key))
+            cumulative, total_sum, total_count = child.snapshot()
+            bounds = [format_value(b) for b in self.buckets] + ["+Inf"]
+            for bound, count in zip(bounds, cumulative):
+                yield self._series(
+                    "_bucket", {**labels, "le": bound}, float(count)
+                )
+            yield self._series("_sum", labels, total_sum)
+            yield self._series("_count", labels, float(total_count))
+
+
+class MetricsRegistry:
+    """A named set of metric families, scrape-renderable as one page."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is not None:
+                if type(existing) is not type(family):
+                    raise ValueError(
+                        f"metric {family.name!r} already registered as "
+                        f"{existing.kind}"
+                    )
+                return existing
+            self._families[family.name] = family
+            return family
+
+    def counter(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help_text, labels))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help_text, labels))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, labels, buckets))  # type: ignore[return-value]
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def summary(self) -> dict[str, float]:
+        """Family name → aggregate value (counters/gauges summed across
+        labels; histograms report their observation count) — the compact
+        form ``/api/v1/admin/stats`` folds in."""
+        return {family.name: family.total() for family in self.families()}
+
+    def render(self) -> str:
+        return render_prometheus(self)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The full scrape page for one registry (text format 0.0.4)."""
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        lines.extend(family.render())
+    return "\n".join(lines) + "\n"
+
+
+#: The process-local default registry every subsystem instruments into.
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _default_registry

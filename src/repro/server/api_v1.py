@@ -40,6 +40,8 @@ from typing import Any, Mapping
 from urllib.parse import urlencode
 
 from ..cache.keys import cache_key
+from ..obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE, get_registry
+from ..obs.trace import trace_tree
 from ..jobs import (
     KIND_MERGE,
     KIND_SHARD,
@@ -418,6 +420,7 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
                 params,
                 distributed=(mode == "distributed"),
                 plan_workers=plan_workers,
+                trace_id=request.trace_id,
             )
             body = _job_resource(job)
             body["deduplicated"] = not created
@@ -617,6 +620,37 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
             )
         return response
 
+    @router.get(
+        "/api/v1/jobs/{job_id}/trace",
+        responses={"200": "the job's span tree: per-attempt spans (status, "
+                          "worker, start/end) for the job and, on a "
+                          "distributed parent, every shard and merge "
+                          "sub-job, plus measured shard wall-times",
+                   "404": "unknown job",
+                   "409": "job registry is not durable (no persisted spans)"},
+    )
+    def v1_job_trace(request: Request) -> Response:
+        """The persisted trace of one job as a JSON span tree.
+
+        The same tree ``repro trace <job_id>`` renders as an ASCII
+        waterfall.  Requires the durable registry — spans live in the
+        store's ``spans`` collection.
+        """
+        job_id = request.path_params["job_id"]
+        store = getattr(state.jobs, "store", None)
+        if store is None or getattr(store, "spans", None) is None:
+            raise HTTPError(
+                409,
+                "tracing requires the durable job registry "
+                "(start the server on a snapshot path)",
+                code="not_durable",
+            )
+        try:
+            tree = trace_tree(store, job_id)
+        except KeyError as exc:
+            raise HTTPError(404, f"unknown job {job_id!r}", code="unknown_job") from exc
+        return json_response(tree)
+
     @router.post(
         "/api/v1/jobs/{job_id}/cancel",
         responses={"200": "cancellation requested", "404": "unknown job",
@@ -681,6 +715,21 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
     def v1_admin_stats(request: Request) -> Response:
         """Store, cache, and job-queue counters."""
         return json_response(admin_stats_payload(state))
+
+    @router.get(
+        "/api/v1/metrics",
+        responses={"200": "Prometheus text exposition (format 0.0.4) of "
+                          "every process-local metric family: HTTP "
+                          "requests/latency, job lifecycle counters, WAL "
+                          "append/fsync timings, cache hits/misses"},
+    )
+    def v1_metrics(request: Request) -> Response:
+        """Prometheus scrape endpoint for the process-local registry."""
+        return Response(
+            status=200,
+            headers={"Content-Type": METRICS_CONTENT_TYPE},
+            body=get_registry().render().encode("utf-8"),
+        )
 
     @router.get(
         "/api/v1/admin/results-by-dataset",

@@ -24,7 +24,13 @@ from ..store.database import Database
 from .api_v1 import register_v1_routes
 from .handlers import ServerState, register_routes
 from .http import Request, Response, wsgi_adapter
-from .middleware import body_limit_middleware, error_middleware, logging_middleware
+from .middleware import (
+    body_limit_middleware,
+    error_middleware,
+    logging_middleware,
+    metrics_middleware,
+    request_id_middleware,
+)
 from .routing import Router
 
 __all__ = ["App", "TestClient", "create_app", "create_wsgi_app"]
@@ -139,6 +145,10 @@ def create_app(
     if with_logging:
         handler = logging_middleware(handler)
     handler = error_middleware(handler)
+    # Outside the error layer: metrics observe the final rendered status,
+    # and the request id lands on error envelopes too.
+    handler = metrics_middleware(handler)
+    handler = request_id_middleware(handler)
     app = App(state, handler, router)
     if auto_compact_seconds is not None and state.database.engine == "wal":
         app.compactor = CompactionThread(

@@ -58,6 +58,8 @@ from ..jobs import (
     merge_outputs,
     plan_mine,
 )
+from ..obs.metrics import get_registry
+from ..obs.profiler import Profiler
 from ..store.database import Database
 from .http import HTTPError, Request, Response, html_response, json_response
 
@@ -379,6 +381,7 @@ class ServerState:
         params: MiningParameters,
         distributed: bool = False,
         plan_workers: int | None = None,
+        trace_id: str | None = None,
     ) -> tuple[Job, bool]:
         """Open (or dedup onto) the async mining job for (dataset, params).
 
@@ -417,6 +420,7 @@ class ServerState:
                 key,
                 distributed=True,
                 plan_workers=plan_workers,
+                trace_id=trace_id,
             )
             if created:
                 # The planner runs as the parent's claimed execution; the
@@ -424,7 +428,9 @@ class ServerState:
                 self.jobs.schedule(job.job_id, self._planner_runner(job.job_id))
             return job, created
         runner = self._mine_runner(dataset, params, key)
-        return self.jobs.submit(dataset.name, params.to_document(), key, runner)
+        return self.jobs.submit(
+            dataset.name, params.to_document(), key, runner, trace_id=trace_id
+        )
 
     def _mine_runner(self, dataset: SensorDataset, params: MiningParameters, key: str):
         """The executable work of one mining job (see :meth:`submit_mine_job`)."""
@@ -521,6 +527,9 @@ class ServerState:
                 )
             dataset = self.get_dataset(job.dataset)
             params = MiningParameters.from_document(job.parameters)
+            profiler = Profiler()
+            if control is not None:
+                control.profiler = profiler
             started = time.monotonic()
             output = execute_units(
                 dataset, params, spec["units"], spec["mode"], spec["horizon"],
@@ -528,7 +537,13 @@ class ServerState:
             )
             elapsed = time.monotonic() - started
             maybe_fault("mid-shard")
-            store.complete_shard(job.job_id, job.attempt, output, elapsed)
+            # The measured wall time + phase breakdown land on the shard
+            # sub-job document — the ground truth estimate_seed_cost
+            # calibration reads back.
+            store.complete_shard(
+                job.job_id, job.attempt, output, elapsed,
+                timings=profiler.to_document(),
+            )
             return HANDLED
 
         return runner
@@ -832,6 +847,9 @@ def admin_stats_payload(state: ServerState) -> dict[str, Any]:
             "hit_rate": state.cache.stats.hit_rate,
         },
         "jobs": state.jobs.counters(),
+        # Family -> aggregate value; the full labelled series live at
+        # GET /api/v1/metrics in Prometheus text form.
+        "metrics": get_registry().summary(),
     }
 
 

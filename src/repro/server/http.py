@@ -85,6 +85,10 @@ class Request:
     #: Filled by the router with the matched route, so the error envelope
     #: can add deprecation headers even when the handler raises.
     route: Any = field(default=None, repr=False, compare=False)
+    #: Filled by the request-id middleware: the honored ``X-Request-Id``
+    #: header or a freshly minted id.  Stamped onto submitted jobs so
+    #: spans across processes share the request's trace.
+    trace_id: str | None = None
 
     def param(self, name: str, default: str | None = None) -> str | None:
         """First query-string value for ``name``."""

@@ -20,10 +20,14 @@ merged into the rendered response in both shapes.
 from __future__ import annotations
 
 import logging
+import os
 import time
+import uuid
 from typing import Any, Callable, Mapping
 
 from ..data.validation import DatasetValidationError
+from ..obs.logging import log_context
+from ..obs.metrics import get_registry
 from .http import HTTPError, Request, Response, json_response
 from .routing import apply_deprecation_headers
 
@@ -31,7 +35,11 @@ __all__ = [
     "error_middleware",
     "logging_middleware",
     "body_limit_middleware",
+    "request_id_middleware",
+    "metrics_middleware",
     "render_error",
+    "REQUEST_ID_HEADER",
+    "SLOW_REQUEST_ENV",
 ]
 
 Handler = Callable[[Request], Response]
@@ -40,6 +48,14 @@ logger = logging.getLogger("repro.server")
 
 #: The versioned API prefix the envelope layer keys off.
 V1_PREFIX = "/api/v1"
+
+#: The trace-propagation header: honored when the client sends one,
+#: minted and echoed otherwise.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+#: Milliseconds; requests slower than this log a warning.  Unset/empty
+#: disables the check (the default — benchmarks must not pay for it).
+SLOW_REQUEST_ENV = "REPRO_SLOW_REQUEST_MS"
 
 
 def _is_v1(path: str) -> bool:
@@ -93,6 +109,81 @@ def error_middleware(handler: Handler) -> Handler:
         # Errors raised by a deprecated route's handler carry the
         # deprecation headers too (dispatch never saw a response to mark).
         apply_deprecation_headers(getattr(request, "route", None), response)
+        return response
+
+    return wrapped
+
+
+def request_id_middleware(handler: Handler) -> Handler:
+    """Honor or mint ``X-Request-Id``; echo it on *every* response.
+
+    Outermost layer: the id must land on error envelopes too, and the
+    whole chain (including error rendering) runs inside the trace's log
+    context so every record carries ``trace_id``.
+    """
+
+    def wrapped(request: Request) -> Response:
+        incoming = (request.headers or {}).get(REQUEST_ID_HEADER.lower(), "")
+        trace_id = incoming.strip() or uuid.uuid4().hex
+        request.trace_id = trace_id
+        with log_context(trace_id=trace_id):
+            response = handler(request)
+        response.headers.setdefault(REQUEST_ID_HEADER, trace_id)
+        return response
+
+    return wrapped
+
+
+def _slow_request_threshold_ms() -> float | None:
+    raw = os.environ.get(SLOW_REQUEST_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+def metrics_middleware(handler: Handler) -> Handler:
+    """Count and time every request, labelled by method/route/status.
+
+    Sits outside the error middleware so it observes the *final* status
+    (post error-rendering).  The route label is the registered pattern
+    template (``/api/v1/jobs/{job_id}``), never the raw path — label
+    cardinality stays bounded by the route table; unmatched requests
+    (404/405 before dispatch assigns a route) share one bucket.
+    """
+    registry = get_registry()
+    requests_total = registry.counter(
+        "repro_http_requests_total",
+        "HTTP requests served, by method, route template, and status.",
+        ("method", "route", "status"),
+    )
+    latency = registry.histogram(
+        "repro_http_request_seconds",
+        "HTTP request latency in seconds, by method and route template.",
+        ("method", "route"),
+    )
+
+    def wrapped(request: Request) -> Response:
+        started = time.perf_counter()
+        response = handler(request)
+        elapsed = time.perf_counter() - started
+        pattern = getattr(getattr(request, "route", None), "pattern", None)
+        route_label = pattern or "(unmatched)"
+        requests_total.inc(request.method, route_label, str(response.status))
+        latency.observe(elapsed, request.method, route_label)
+        threshold_ms = _slow_request_threshold_ms()
+        if threshold_ms is not None and elapsed * 1000.0 >= threshold_ms:
+            logger.warning(
+                "slow request: %s %s -> %d took %.1f ms (threshold %.0f ms)",
+                request.method,
+                request.path,
+                response.status,
+                elapsed * 1000.0,
+                threshold_ms,
+            )
         return response
 
     return wrapped

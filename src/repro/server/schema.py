@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import re
+import sys
 from typing import Any, Mapping, Sequence
 
 __all__ = ["build_schema", "render_markdown", "check_parity", "main"]
@@ -72,6 +73,16 @@ def build_schema(router: Any) -> dict[str, Any]:
         "api_version": "v1",
         "schema_version": SCHEMA_VERSION,
         "generated_from": "repro.server.routing.Router introspection",
+        "request_id_header": {
+            "name": "X-Request-Id",
+            "description": (
+                "Every response (success and error envelope alike) carries "
+                "X-Request-Id: the value the client sent, or a server-minted "
+                "id.  Jobs submitted under it adopt it as their trace_id, so "
+                "the id threads through GET /api/v1/jobs/{job_id}/trace and "
+                "the persisted span tree."
+            ),
+        },
         "paths": {pattern: paths[pattern] for pattern in sorted(paths)},
     }
 
@@ -139,6 +150,12 @@ def render_markdown(schema: Mapping[str, Any]) -> str:
         ' use the uniform envelope `{"error": {"code", "message",'
         ' "detail"}}`.',
         "",
+        "Every response — success and error envelope alike — carries an"
+        " `X-Request-Id` header: the id the client sent, or a server-minted"
+        " one.  Jobs submitted under a request adopt its id as their"
+        " `trace_id`, which threads through the persisted span tree served"
+        " by `GET /api/v1/jobs/{job_id}/trace` (and `repro trace`).",
+        "",
         *v1,
         "## Deprecated unversioned routes",
         "",
@@ -205,30 +222,31 @@ def main(argv: Sequence[str] | None = None) -> int:
              "this Markdown file; exit 1 on drift",
     )
     args = parser.parse_args(argv)
+    emit = sys.stdout.write  # CLI output, not diagnostics — loggers stay quiet
     schema, router = _build_app_schema()
     if args.check:
         try:
             committed = open(args.check, encoding="utf-8").read()
         except OSError as exc:
-            print(f"cannot read {args.check}: {exc}")
+            emit(f"cannot read {args.check}: {exc}\n")
             return 1
         problems = check_parity(router, schema, committed)
         if problems:
-            print(f"route parity check FAILED ({len(problems)} problems):")
+            emit(f"route parity check FAILED ({len(problems)} problems):\n")
             for problem in problems:
-                print(f"  - {problem}")
-            print("regenerate with: python -m repro.server.schema --out "
-                  f"{args.check}")
+                emit(f"  - {problem}\n")
+            emit("regenerate with: python -m repro.server.schema --out "
+                 f"{args.check}\n")
             return 1
-        print(f"route parity OK: {len(router.routes())} routes documented "
-              f"in {args.check}")
+        emit(f"route parity OK: {len(router.routes())} routes documented "
+             f"in {args.check}\n")
         return 0
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(render_markdown(schema))
-        print(f"wrote {args.out} ({len(router.routes())} routes)")
+        emit(f"wrote {args.out} ({len(router.routes())} routes)\n")
         return 0
-    print(json.dumps(schema, indent=2, sort_keys=True))
+    emit(json.dumps(schema, indent=2, sort_keys=True) + "\n")
     return 0
 
 

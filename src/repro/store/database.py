@@ -39,12 +39,24 @@ from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping
 from urllib.parse import quote, unquote
 
+from ..obs.metrics import get_registry
 from . import wal
 from .collection import Collection
 
 __all__ = ["Database"]
 
 _log = logging.getLogger("repro.store")
+
+_TORN_TRUNCATIONS = get_registry().counter(
+    "repro_wal_torn_truncations_total",
+    "Torn WAL tails truncated during recovery, by collection.",
+    ("collection",),
+)
+_COMPACTION_SECONDS = get_registry().histogram(
+    "repro_wal_compaction_seconds",
+    "Duration of one collection-log compaction rewrite.",
+    ("collection",),
+)
 
 #: Marker file naming the WAL directory format (bumped on layout changes).
 _FORMAT_MARKER = "FORMAT"
@@ -383,6 +395,7 @@ class Database:
         )
         sidecar.write_bytes(torn)
         log.truncate_to(log.applied_offset)
+        _TORN_TRUNCATIONS.inc(log.collection_name)
         _log.warning(
             "store: truncated torn tail of %s at byte %d (%d bad byte(s) "
             "quarantined to %s); recovered state is the fsync'd record "
@@ -424,6 +437,7 @@ class Database:
                         "after_bytes": 0, "compacted": False}
             stat = log.stat()
             before = stat.st_size if stat else 0
+            started = time.perf_counter()
             collection = self.collection(name)
             records = list(collection_records(collection))
             after = write_segment(
@@ -431,6 +445,7 @@ class Database:
             )
             _fsync_dir(log.path.parent)
             log.adopt_segment(after, len(records))
+            _COMPACTION_SECONDS.observe(time.perf_counter() - started, name)
             return {"collection": name, "before_bytes": before,
                     "after_bytes": after, "compacted": True}
 

@@ -32,8 +32,11 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 from pathlib import Path
 from typing import Any, Mapping
+
+from ..obs.metrics import get_registry
 
 __all__ = [
     "FAULT_ENV",
@@ -66,6 +69,19 @@ HEADER_SIZE = _HEADER.size
 #: Sanity bound on one record; a corrupt length field must not trigger a
 #: gigabyte allocation during replay.
 MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+# WAL write-path metrics, labelled by collection.  One perf_counter pair
+# per append/fsync — noise next to the write(2)/fsync(2) they bracket.
+_APPEND_SECONDS = get_registry().histogram(
+    "repro_wal_append_seconds",
+    "Latency of one WAL record append (write(2) only, not fsync).",
+    ("collection",),
+)
+_FSYNC_SECONDS = get_registry().histogram(
+    "repro_wal_fsync_seconds",
+    "Latency of one WAL fsync barrier.",
+    ("collection",),
+)
 
 
 # -- CRC-32C (Castagnoli), table-based -------------------------------------------
@@ -290,7 +306,11 @@ class CollectionLog:
         if fault_armed("mid-append", self.collection_name):
             os.write(self.fd, data[: max(1, len(data) // 2)])
             os._exit(FAULT_EXIT_CODE)
+        started = time.perf_counter()
         os.write(self.fd, data)
+        _APPEND_SECONDS.observe(
+            time.perf_counter() - started, self.collection_name
+        )
         self.applied_offset += len(data)
         self.records += 1
         self.dirty = True
@@ -301,7 +321,11 @@ class CollectionLog:
         if not self.dirty:
             return
         maybe_fault("pre-fsync", self.collection_name)
+        started = time.perf_counter()
         os.fsync(self.fd)
+        _FSYNC_SECONDS.observe(
+            time.perf_counter() - started, self.collection_name
+        )
         self.dirty = False
 
     def truncate_to(self, offset: int) -> None:

@@ -1,0 +1,97 @@
+"""Structured logging: context propagation and the two formatters."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    JSONLogFormatter,
+    TextLogFormatter,
+    configure_logging,
+    current_context,
+    log_context,
+)
+
+
+def make_record(message: str = "hello") -> logging.LogRecord:
+    return logging.LogRecord(
+        name="repro.test", level=logging.INFO, pathname=__file__, lineno=1,
+        msg=message, args=(), exc_info=None,
+    )
+
+
+def test_log_context_nests_and_restores():
+    assert current_context() == {}
+    with log_context(trace_id="t1"):
+        assert current_context() == {"trace_id": "t1"}
+        with log_context(job_id="j1", worker="w"):
+            assert current_context() == {
+                "trace_id": "t1", "job_id": "j1", "worker": "w"
+            }
+        assert current_context() == {"trace_id": "t1"}
+    assert current_context() == {}
+
+
+def test_json_formatter_emits_one_object_with_context():
+    formatter = JSONLogFormatter()
+    with log_context(trace_id="t1", job_id="j1"):
+        line = formatter.format(make_record("shard done"))
+    payload = json.loads(line)
+    assert payload["message"] == "shard done"
+    assert payload["level"] == "INFO"
+    assert payload["logger"] == "repro.test"
+    assert payload["trace_id"] == "t1"
+    assert payload["job_id"] == "j1"
+    assert "ts" in payload and "time" in payload
+
+
+def test_json_formatter_includes_exceptions():
+    formatter = JSONLogFormatter()
+    try:
+        raise RuntimeError("boom")
+    except RuntimeError:
+        record = logging.LogRecord(
+            name="repro.test", level=logging.ERROR, pathname=__file__,
+            lineno=1, msg="failed", args=(), exc_info=True,
+        )
+        import sys
+
+        record.exc_info = sys.exc_info()
+    payload = json.loads(formatter.format(record))
+    assert "RuntimeError: boom" in payload["exception"]
+
+
+def test_text_formatter_appends_context_tags():
+    formatter = TextLogFormatter()
+    with log_context(trace_id="t1"):
+        line = formatter.format(make_record())
+    assert line.endswith("[trace_id=t1]")
+    bare = formatter.format(make_record())
+    assert "[" not in bare.split("hello")[-1]
+
+
+def test_configure_logging_is_idempotent():
+    root = logging.getLogger()
+    before = list(root.handlers)
+    try:
+        configure_logging(level="debug", log_format="json")
+        configure_logging(level="info", log_format="text")
+        ours = [h for h in root.handlers if h.get_name() == "repro-obs"]
+        assert len(ours) == 1
+        assert isinstance(ours[0].formatter, TextLogFormatter)
+        assert root.level == logging.INFO
+    finally:
+        for handler in list(root.handlers):
+            if handler.get_name() == "repro-obs":
+                root.removeHandler(handler)
+        root.handlers = before
+
+
+def test_configure_logging_rejects_unknown_settings():
+    with pytest.raises(ValueError):
+        configure_logging(level="chatty")
+    with pytest.raises(ValueError):
+        configure_logging(log_format="xml")

@@ -1,0 +1,196 @@
+"""Prometheus text exposition: format invariants of the metrics registry.
+
+A scraper is unforgiving: one malformed line poisons the whole page.  These
+tests pin down the exposition contract — content type, HELP/TYPE headers,
+label escaping, cumulative bucket monotonicity, the ``+Inf``/``_sum``/
+``_count`` triple — and the semantic invariants (counters never decrease,
+re-registration is idempotent, type conflicts are errors).
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    escape_label_value,
+    format_value,
+    get_registry,
+)
+
+SAMPLE_LINE = re.compile(
+    # Label values may themselves contain ``{``/``}`` (route templates like
+    # ``/api/v1/jobs/{job_id}``), so the label block matches greedily to the
+    # last ``}`` — the value after it never contains one.
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(\{(?P<labels>.*)\})? (?P<value>\S+)$"
+)
+
+
+def parse_page(page: str) -> dict[str, float]:
+    """Sample lines of a scrape page as ``{name{labels}: value}``."""
+    samples: dict[str, float] = {}
+    for line in page.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = SAMPLE_LINE.match(line)
+        assert match is not None, f"malformed sample line: {line!r}"
+        key = match.group("name") + ("{" + (match.group("labels") or "") + "}")
+        value = match.group("value")
+        samples[key] = float("inf") if value == "+Inf" else float(value)
+    return samples
+
+
+def test_content_type_is_text_format_004():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_counter_is_monotone_and_rejects_negative_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("t_events_total", "events", ("kind",))
+    counter.inc("a")
+    counter.inc("a", amount=2.5)
+    assert counter.value("a") == 3.5
+    with pytest.raises(ValueError):
+        counter.inc("a", amount=-1)
+    assert counter.value("a") == 3.5
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("t_depth", "queue depth")
+    gauge.inc()
+    gauge.inc(amount=4)
+    gauge.dec(amount=2)
+    assert gauge.value() == 3
+    gauge.set(0.5)
+    assert gauge.value() == 0.5
+
+
+def test_metric_names_are_validated():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("9starts_with_digit", "bad")
+    with pytest.raises(ValueError):
+        registry.counter("has-dash", "bad")
+    with pytest.raises(ValueError):
+        registry.counter("ok_name", "bad label", ("label-with-dash",))
+
+
+def test_reregistration_returns_the_same_family():
+    registry = MetricsRegistry()
+    first = registry.counter("t_total", "help")
+    second = registry.counter("t_total", "help")
+    assert first is second
+    with pytest.raises(ValueError):
+        registry.gauge("t_total", "same name, different type")
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    counter = registry.counter("t_weird_total", "weird labels", ("path",))
+    counter.inc('a\\b"c\nd')
+    page = registry.render()
+    assert 't_weird_total{path="a\\\\b\\"c\\nd"} 1' in page
+    assert escape_label_value('"') == '\\"'
+    assert escape_label_value("\\") == "\\\\"
+    assert escape_label_value("\n") == "\\n"
+
+
+def test_every_family_has_help_and_type_headers():
+    registry = MetricsRegistry()
+    registry.counter("t_a_total", "a")
+    registry.gauge("t_b", "b")
+    registry.histogram("t_c_seconds", "c")
+    page = registry.render()
+    for name, kind in (
+        ("t_a_total", "counter"),
+        ("t_b", "gauge"),
+        ("t_c_seconds", "histogram"),
+    ):
+        assert f"# HELP {name} " in page
+        assert f"# TYPE {name} {kind}" in page
+
+
+def test_histogram_buckets_are_cumulative_and_end_at_inf():
+    registry = MetricsRegistry()
+    hist = registry.histogram(
+        "t_latency_seconds", "latency", buckets=(0.01, 0.1, 1.0)
+    )
+    for value in (0.005, 0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    samples = parse_page(registry.render())
+    buckets = [
+        samples['t_latency_seconds_bucket{le="0.01"}'],
+        samples['t_latency_seconds_bucket{le="0.1"}'],
+        samples['t_latency_seconds_bucket{le="1"}'],
+        samples['t_latency_seconds_bucket{le="+Inf"}'],
+    ]
+    assert buckets == [2, 3, 4, 5]
+    # Cumulative: non-decreasing left to right.
+    assert all(a <= b for a, b in zip(buckets, buckets[1:]))
+    # The +Inf bucket equals _count; _sum is the plain total.
+    assert buckets[-1] == samples["t_latency_seconds_count{}"]
+    assert samples["t_latency_seconds_sum{}"] == pytest.approx(5.56)
+
+
+def test_histogram_rejects_degenerate_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("t_empty", "no buckets", buckets=())
+    with pytest.raises(ValueError):
+        registry.histogram("t_dupes", "duplicate bounds", buckets=(1.0, 1.0))
+
+
+def test_default_buckets_are_strictly_increasing():
+    assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+def test_counters_never_decrease_across_scrapes():
+    registry = MetricsRegistry()
+    counter = registry.counter("t_scrapes_total", "scrapes", ("kind",))
+    hist = registry.histogram("t_obs_seconds", "observed", buckets=(1.0,))
+    previous: dict[str, float] = {}
+    for round_ in range(3):
+        counter.inc("a")
+        if round_ % 2:
+            counter.inc("b", amount=3)
+            hist.observe(0.5)
+        current = parse_page(registry.render())
+        for key, value in previous.items():
+            assert current[key] >= value, f"{key} went backwards"
+        previous = current
+
+
+def test_format_value_renders_integers_without_decimal_point():
+    assert format_value(3.0) == "3"
+    assert format_value(0.5) == "0.5"
+    assert format_value(float("inf")) == "+Inf"
+
+
+def test_summary_aggregates_across_label_children():
+    registry = MetricsRegistry()
+    counter = registry.counter("t_sum_total", "sum", ("k",))
+    counter.inc("a", amount=2)
+    counter.inc("b", amount=3)
+    hist = registry.histogram("t_sum_seconds", "hist")
+    hist.observe(0.1)
+    hist.observe(0.2)
+    summary = registry.summary()
+    assert summary["t_sum_total"] == 5
+    assert summary["t_sum_seconds"] == 2  # histograms report observation count
+
+
+def test_default_registry_is_a_process_singleton():
+    assert get_registry() is get_registry()
+
+
+def test_unlabelled_families_always_expose_one_series():
+    registry = MetricsRegistry()
+    registry.counter("t_untouched_total", "never incremented")
+    samples = parse_page(registry.render())
+    assert samples["t_untouched_total{}"] == 0

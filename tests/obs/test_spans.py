@@ -1,0 +1,121 @@
+"""Span store semantics: CAS closing, reclaim sweeps, read paths.
+
+The crash-consistency story hangs on one rule: a span is closed by a
+compare-and-set on ``status == "running"``, so a late finisher (a worker
+whose lease lapsed mid-run) can never overwrite the ``interrupted`` or
+``released`` verdict a reclaimer already recorded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.spans import SpanStore, public_view, span_id
+from repro.store.database import Database
+
+
+@pytest.fixture()
+def spans():
+    return SpanStore(Database())
+
+
+def test_span_id_encodes_job_attempt_and_worker():
+    assert span_id("job-1", 2, "w") == "job-1#a2@w"
+
+
+def test_begin_opens_a_running_span_with_full_schema(spans):
+    sid = spans.begin(
+        job_id="job-1", attempt=1, worker_id="w", name="mine", kind="mine",
+        trace_id="t1",
+    )
+    (document,) = spans.for_job("job-1")
+    assert document["span_id"] == sid
+    assert document["status"] == "running"
+    assert document["end"] is None
+    assert document["error"] is None
+    assert document["trace_id"] == "t1"
+    # Every schema field is present even when unset — readers never .get().
+    for field in ("parent_job_id", "shard_index", "start", "worker_id", "attempt"):
+        assert field in document
+
+
+def test_finish_is_cas_on_running(spans):
+    sid = spans.begin(
+        job_id="job-1", attempt=1, worker_id="w", name="mine", kind="mine"
+    )
+    assert spans.finish(sid, "ok") is True
+    # The late finisher loses: the first verdict stands.
+    assert spans.finish(sid, "error", error="too late") is False
+    (document,) = spans.for_job("job-1")
+    assert document["status"] == "ok"
+    assert document["error"] is None
+    assert document["end"] is not None
+
+
+def test_finish_rejects_unknown_status(spans):
+    sid = spans.begin(
+        job_id="job-1", attempt=1, worker_id="w", name="mine", kind="mine"
+    )
+    with pytest.raises(ValueError):
+        spans.finish(sid, "exploded")
+
+
+def test_close_open_spans_marks_only_open_ones(spans):
+    done = spans.begin(
+        job_id="job-1", attempt=1, worker_id="w1", name="shard", kind="shard"
+    )
+    spans.finish(done, "ok")
+    spans.begin(
+        job_id="job-1", attempt=2, worker_id="w2", name="shard", kind="shard"
+    )
+    spans.begin(
+        job_id="other", attempt=1, worker_id="w2", name="shard", kind="shard"
+    )
+    closed = spans.close_open_spans("job-1", "interrupted", error="lease lapsed")
+    assert closed == 1
+    by_attempt = {doc["attempt"]: doc for doc in spans.for_job("job-1")}
+    assert by_attempt[1]["status"] == "ok"
+    assert by_attempt[2]["status"] == "interrupted"
+    assert by_attempt[2]["error"] == "lease lapsed"
+    # The unrelated job's span stays open.
+    (other,) = spans.for_job("other")
+    assert other["status"] == "running"
+
+
+def test_for_job_orders_by_attempt(spans):
+    spans.begin(
+        job_id="job-1", attempt=2, worker_id="w2", name="shard", kind="shard",
+        start=200.0,
+    )
+    spans.begin(
+        job_id="job-1", attempt=1, worker_id="w1", name="shard", kind="shard",
+        start=100.0,
+    )
+    assert [doc["attempt"] for doc in spans.for_job("job-1")] == [1, 2]
+
+
+def test_for_trace_collects_across_jobs(spans):
+    spans.begin(
+        job_id="parent", attempt=1, worker_id="w", name="planner", kind="mine",
+        trace_id="t1", start=1.0,
+    )
+    spans.begin(
+        job_id="parent-s000", attempt=1, worker_id="w", name="shard",
+        kind="shard", trace_id="t1", parent_job_id="parent", start=2.0,
+    )
+    spans.begin(
+        job_id="unrelated", attempt=1, worker_id="w", name="mine", kind="mine",
+        trace_id="t2", start=0.5,
+    )
+    trace = spans.for_trace("t1")
+    assert [doc["job_id"] for doc in trace] == ["parent", "parent-s000"]
+
+
+def test_public_view_strips_store_bookkeeping(spans):
+    spans.begin(
+        job_id="job-1", attempt=1, worker_id="w", name="mine", kind="mine"
+    )
+    (document,) = spans.for_job("job-1")
+    view = public_view(document)
+    assert "_id" not in view
+    assert view["span_id"] == document["span_id"]

@@ -22,6 +22,9 @@ Byte-identity everywhere: every succeeded path must serve the exact page
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
 import time
 
 import pytest
@@ -30,6 +33,7 @@ from repro.data.datasets import generate, recommended_parameters
 
 from tests.jobs.harness import (
     JOB_TIMEOUT,
+    SRC_DIR,
     ServerProcess,
     caps_page_bytes,
     poll_job,
@@ -156,6 +160,58 @@ def test_kill9_mid_shard_survivor_recomputes_only_lost_shard(
         assert all(len(runs) == 1 for runs in by_shard.values())
         assert all(runs[0][1] == "survivor" for runs in by_shard.values())
         assert caps_page_bytes(survivor, final["result_key"]) == reference_page
+
+    # The persisted span tree outlives both processes and records the
+    # forensics: the dead worker's attempt is marked "interrupted" by the
+    # reclaimer, the survivor's recompute closed "ok".
+    from repro.jobs import DurableJobStore
+    from repro.obs.trace import trace_tree
+    from repro.store.database import Database
+
+    registry = DurableJobStore(Database(store), worker_id="inspector")
+    tree = trace_tree(registry, job_id)
+    trace_id = tree["trace_id"]
+    assert trace_id  # minted by the submitting request's X-Request-Id layer
+    nodes = {node["job_id"]: node for node in tree["children"]}
+    lost = nodes[lost_shard]
+    assert [
+        (span["attempt"], span["worker_id"], span["status"])
+        for span in lost["spans"]
+    ] == [(1, "doomed", "interrupted"), (2, "survivor", "ok")]
+    assert lost["spans"][0]["end"] is not None  # reclaim stamped a close time
+    # Every span of the family shares the submitting request's trace id.
+    family = tree["spans"] + [
+        span for node in tree["children"] for span in node["spans"]
+    ]
+    assert family and all(span["trace_id"] == trace_id for span in family)
+    # Succeeded shards carry their measured wall-time — the calibration
+    # ground truth for estimate_seed_cost — on the job document itself.
+    shards = [node for node in nodes.values() if node["kind"] == "shard"]
+    assert shards and all(
+        node["elapsed_seconds"] is not None for node in shards
+    )
+    del registry
+
+    # ``repro trace`` reconstructs the same timeline from the snapshot.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(SRC_DIR)
+    )
+    rendered = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", job_id,
+         "--store", str(store)],
+        env=env, capture_output=True, text=True, timeout=60,
+    )
+    assert rendered.returncode == 0, rendered.stderr
+    assert f"trace {trace_id}" in rendered.stdout
+    lost_rows = [
+        line for line in rendered.stdout.splitlines() if lost_shard in line
+    ]
+    assert any("interrupted" in line and "doomed" in line for line in lost_rows)
+    assert any("ok" in line and "survivor" in line for line in lost_rows)
+    assert "measured shard wall-times" in rendered.stdout
 
 
 def test_crash_after_shard_claim_leaves_result_intact(
