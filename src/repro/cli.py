@@ -254,6 +254,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_jlist = jobs_sub.add_parser("list", help="print the registry's jobs")
     p_jlist.add_argument("--store", required=True, help="JSON snapshot path")
     p_jlist.add_argument("--status", help="filter by job state")
+    p_jredrive = jobs_sub.add_parser(
+        "redrive",
+        help="replay quarantined dead-letter jobs as fresh queued jobs "
+             "(attempt counters reset; any worker may claim them)",
+    )
+    p_jredrive.add_argument("--store", required=True, help="JSON snapshot path")
+    p_jredrive.add_argument(
+        "--job-id", dest="job_ids", action="append", metavar="JOB_ID",
+        help="redrive only this dead-lettered job (repeatable; "
+             "default: every letter)",
+    )
 
     p_store = sub.add_parser(
         "store", help="inspect / maintain a store (WAL verify, compaction)"
@@ -283,6 +294,34 @@ def build_parser() -> argparse.ArgumentParser:
                               "waterfall (the /api/v1/jobs/{id}/trace shape)")
     p_trace.add_argument("--width", type=int, default=60,
                          help="timeline width in columns (default 60)")
+
+    p_stream = sub.add_parser(
+        "stream", help="inspect a dataset's live CAP change feed"
+    )
+    stream_sub = p_stream.add_subparsers(dest="stream_command", required=True)
+    p_tail = stream_sub.add_parser(
+        "tail",
+        help="print the newest CAP change events of a dataset's feed",
+    )
+    p_tail.add_argument("dataset", help="dataset name")
+    p_tail.add_argument("--store", required=True, help="store path")
+    p_tail.add_argument(
+        "--cursor", type=int, default=None,
+        help="print events with seq > CURSOR (default: the last --limit)",
+    )
+    p_tail.add_argument("--limit", type=int, default=20,
+                        help="events to print (default 20)")
+    p_tail.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit raw event documents as JSON lines")
+
+    p_alerts = sub.add_parser(
+        "alerts", help="print the alerts the stream engine fired for a dataset"
+    )
+    p_alerts.add_argument("dataset", help="dataset name")
+    p_alerts.add_argument("--store", required=True, help="store path")
+    p_alerts.add_argument("--rule", help="only alerts fired by this rule_id")
+    p_alerts.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit raw alert documents as JSON lines")
 
     p_schema = sub.add_parser(
         "schema", help="emit the generated API schema / reference"
@@ -545,6 +584,13 @@ def cmd_jobs(args: argparse.Namespace) -> int:
             print(f"{field}: {len(summary[field])}"
                   + (f" ({', '.join(summary[field])})" if summary[field] else ""))
         return 0
+    if args.jobs_command == "redrive":
+        revived = store.redrive(args.job_ids or None)
+        if not revived:
+            print("nothing to redrive (no matching dead letters)")
+        for job_id in revived:
+            print(f"redriven: {job_id}")
+        return 0
     jobs = store.list(args.status)
     _print_table(
         [
@@ -636,6 +682,77 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store_database(store: str):
+    from .store.database import Database
+
+    path = Path(store)
+    if not path.exists() and not _wal_root(path).exists():
+        raise SystemExit(f"no store at {path}")
+    return Database(path)
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    from .stream import latest_seq, read_events
+
+    database = _open_store_database(args.store)
+    limit = max(1, args.limit)
+    newest = latest_seq(database, args.dataset)
+    cursor = args.cursor if args.cursor is not None else max(0, newest - limit)
+    events = read_events(database, args.dataset, cursor=cursor, limit=limit)
+    if args.as_json:
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+    if not events:
+        print(f"no events after cursor {cursor} "
+              f"(feed for {args.dataset!r} is at seq {newest})")
+        return 0
+    _print_table(
+        [
+            {
+                "seq": event["seq"],
+                "epoch": event["epoch"],
+                "type": event["type"],
+                "sensors": ",".join(event["cap"].get("sensors", [])),
+                "attributes": ",".join(event["cap"].get("attributes", [])),
+                "support": event["cap"].get("support", "-"),
+            }
+            for event in events
+        ]
+    )
+    print(f"cursor: {events[-1]['seq']} (pass --cursor to resume)")
+    return 0
+
+
+def cmd_alerts(args: argparse.Namespace) -> int:
+    database = _open_store_database(args.store)
+    rows = database.collection("alerts").find({"dataset": args.dataset}, sort="seq")
+    if args.rule:
+        rows = [row for row in rows if row.get("rule_id") == args.rule]
+    documents = [{k: v for k, v in row.items() if k != "_id"} for row in rows]
+    if args.as_json:
+        for document in documents:
+            print(json.dumps(document, sort_keys=True))
+        return 0
+    if not documents:
+        print(f"no alerts fired for {args.dataset!r}")
+        return 0
+    _print_table(
+        [
+            {
+                "seq": doc["seq"],
+                "epoch": doc["epoch"],
+                "rule": doc["rule_id"],
+                "severity": doc["severity"],
+                "event": doc["event_type"],
+                "sensors": f"{doc['num_sensors']} (>= {doc['min_sensors']})",
+            }
+            for doc in documents
+        ]
+    )
+    return 0
+
+
 def cmd_schema(args: argparse.Namespace) -> int:
     from .server.schema import main as schema_main
 
@@ -658,6 +775,8 @@ _COMMANDS = {
     "jobs": cmd_jobs,
     "store": cmd_store,
     "trace": cmd_trace,
+    "stream": cmd_stream,
+    "alerts": cmd_alerts,
     "schema": cmd_schema,
 }
 

@@ -77,6 +77,9 @@ class StreamingMiner:
                 self._values[sensor.sensor_id], params.rate_for(sensor.attribute)
             )
         self._appends = 0
+        #: Sensors whose evolving set gained events in the most recent
+        #: :meth:`extend` — the seed set for :meth:`affected_components`.
+        self.last_changed_sensors: set[str] = set()
 
     # -- state ------------------------------------------------------------------
 
@@ -136,6 +139,7 @@ class StreamingMiner:
         old_n = len(self._timeline)
         self._timeline.extend(timeline)
         new_events = 0
+        changed: set[str] = set()
         for sensor in self._sensors:
             sid = sensor.sensor_id
             batch = np.asarray(measurements[sid], dtype=np.float64)
@@ -164,9 +168,38 @@ class StreamingMiner:
                     len(self._timeline),
                 )
             self._evolving[sid] = merged
+            if len(tail_evolving):
+                changed.add(sid)
             new_events += len(tail_evolving)
         self._appends += 1
+        self.last_changed_sensors = changed
         return new_events
+
+    def affected_components(self) -> list[set[str]]:
+        """η-graph components reachable from the last extend's changed sensors.
+
+        CAPs are confined to connected components of the proximity graph,
+        and the search consumes only the evolving sets, so when a batch
+        changes no evolving set inside a component that component's CAP
+        list is provably unchanged.  An empty return therefore means the
+        whole re-mine can be skipped: no CAP anywhere could have changed.
+        """
+        components: list[set[str]] = []
+        seen: set[str] = set()
+        for sid in sorted(self.last_changed_sensors):
+            if sid in seen:
+                continue
+            component = {sid}
+            frontier = [sid]
+            while frontier:
+                node = frontier.pop()
+                for neighbour in self._adjacency.get(node, ()):
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            seen |= component
+            components.append(component)
+        return components
 
     # -- mining -----------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from .model import (
     KIND_MERGE,
     KIND_MINE,
     KIND_SHARD,
+    KIND_STREAM,
     QUEUED,
     RUNNING,
     SUCCEEDED,
@@ -51,6 +52,7 @@ __all__ = [
     "KIND_MERGE",
     "KIND_MINE",
     "KIND_SHARD",
+    "KIND_STREAM",
     "PLAN_WORKERS_DEFAULT",
     "SUCCEEDED",
     "QUEUED",

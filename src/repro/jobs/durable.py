@@ -69,7 +69,7 @@ import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterator, Mapping, Sequence
 
 from ..cache.keys import short_key
 from ..obs.metrics import get_registry
@@ -83,6 +83,7 @@ from .model import (
     KIND_MERGE,
     KIND_MINE,
     KIND_SHARD,
+    KIND_STREAM,
     QUEUED,
     RUNNING,
     SUCCEEDED,
@@ -98,6 +99,7 @@ __all__ = ["DurableJobStore", "FAULT_ENV", "FAULT_POINTS", "maybe_fault"]
 
 _JOBS = "jobs"
 _DEAD_LETTERS = "dead_letters"
+_SHARD_OUTPUTS = "shard_outputs"
 
 _METRICS = get_registry()
 _CLAIMS = _METRICS.counter(
@@ -252,6 +254,15 @@ class DurableJobStore:
             results_collection: "key",
             "datasets": "name",
             "spans": "span_id",
+            "shard_outputs": "shard_id",
+            "observations": "batch_id",
+            "stream_epochs": "name",
+            "stream_state": "name",
+            "cap_events": "event_id",
+            # Rule ids are unique per *dataset*, so rules merge by the
+            # composite ``rule_uid`` ("{dataset}:{rule_id}") the API stamps.
+            "alert_rules": "rule_uid",
+            "alerts": "alert_id",
         }
         #: Trace spans ride the same store (and therefore the same
         #: durability + cross-process merge rules) as the jobs they time.
@@ -496,6 +507,48 @@ class DurableJobStore:
             self._fault_point("after-enqueue")
             return job, True
 
+    def open_stream_job(
+        self,
+        dataset: str,
+        parameters: Mapping[str, Any],
+        key: str,
+        *,
+        trace_id: str | None = None,
+    ) -> tuple[Job, bool]:
+        """The resident stream job for ``dataset``, or a new queued one.
+
+        One live stream job per dataset: dedup matches any non-terminal
+        ``stream`` job on the dataset *name* (not the key — re-submitting
+        with different parameters keeps the running miner rather than
+        racing a second one against the same feed).  Stream jobs are
+        created with ``max_attempts=0`` (unlimited): every idle release
+        and lease-expiry requeue grows ``attempt``, and a long-lived
+        resident job must never dead-letter itself by simply living.
+        """
+        with self._exclusive():
+            for document in self._collection().find({"dataset": dataset}):
+                if document.get("kind", KIND_MINE) != KIND_STREAM:
+                    continue
+                if document["state"] in (QUEUED, RUNNING):
+                    return self._job(document), False
+            sequence = self._next_sequence()
+            job = Job(
+                job_id=f"stream-{sequence:04d}-{short_key(key)}",
+                dataset=dataset,
+                parameters=dict(parameters),
+                key=key,
+                created_at=self._clock(),
+                kind=KIND_STREAM,
+                max_attempts=0,
+                trace_id=trace_id,
+                sequence=sequence,
+            )
+            self._collection().insert_one(self._store_document(job))
+            self._prune_terminal_locked()
+            self._persist()
+            self._fault_point("after-enqueue")
+            return job, True
+
     # -- lookup -----------------------------------------------------------------
 
     def get(self, job_id: str) -> Job | None:
@@ -658,7 +711,7 @@ class DurableJobStore:
         if not_before is not None and now < not_before:
             return False
         kind = document.get("kind", KIND_MINE)
-        if kind == KIND_MINE:
+        if kind in (KIND_MINE, KIND_STREAM):
             return True
         parent = self._doc(document.get("parent_id") or "")
         if (
@@ -1393,9 +1446,24 @@ class DurableJobStore:
         with self._exclusive():
             document = self._require_doc(job_id)
             ensure_transition(document["state"], SUCCEEDED)
+            # The CAP documents spill into their own collection instead of
+            # bloating the job registry (every registry refresh re-parses
+            # every job document; shard outputs can dwarf the jobs).  The
+            # spill lands *before* the success CAS in the same exclusive
+            # (fsynced) section: a crash between the two leaves an orphan
+            # output document for a still-runnable shard, which the re-run
+            # simply replaces — never a success without its caps.
+            spilled = {
+                "shard_id": job_id,
+                "parent_id": document.get("parent_id"),
+                "output": [dict(entry) for entry in output],
+                "elapsed_seconds": float(elapsed_seconds),
+            }
+            outputs = self.database.collection(_SHARD_OUTPUTS)
+            if outputs.replace_one({"shard_id": job_id}, spilled) is None:
+                outputs.insert_one(spilled)
             changes: dict[str, Any] = {
                 "progress": 1.0,
-                "output": [dict(entry) for entry in output],
                 "elapsed_seconds": float(elapsed_seconds),
             }
             if timings is not None:
@@ -1419,6 +1487,7 @@ class DurableJobStore:
         with self._lock:
             self._refresh_locked()
             parent = self._require_doc(parent_id)
+            spills = self.database.collection(_SHARD_OUTPUTS)
             outputs: list[dict[str, Any]] = []
             for shard_id in parent.get("shard_ids", []):
                 shard = self._require_doc(shard_id)
@@ -1427,10 +1496,22 @@ class DurableJobStore:
                         f"shard {shard_id} is {shard['state']!r}; the merge "
                         f"needs every shard succeeded"
                     )
+                spilled = spills.find_one({"shard_id": shard_id})
+                if spilled is not None:
+                    output = spilled.get("output", [])
+                # Pre-spill registries stored the output inline on the job
+                # document; keep reading that form so old stores merge.
+                elif "output" in shard:
+                    output = shard.get("output", [])
+                else:
+                    raise JobStateError(
+                        f"shard {shard_id} succeeded but its spilled output "
+                        f"document is missing"
+                    )
                 outputs.append(
                     {
                         "shard_id": shard_id,
-                        "output": shard.get("output", []),
+                        "output": output,
                         "elapsed_seconds": float(
                             shard.get("elapsed_seconds", 0.0)
                         ),
@@ -1438,7 +1519,13 @@ class DurableJobStore:
                 )
             return outputs
 
-    def release(self, job_id: str, attempt: int | None = None) -> bool:
+    def release(
+        self,
+        job_id: str,
+        attempt: int | None = None,
+        *,
+        retry_in: float | None = None,
+    ) -> bool:
         """Voluntarily give a claim back (graceful shutdown, not a crash).
 
         CAS-guarded ``running → queued`` with no backoff gate: the job is
@@ -1446,6 +1533,11 @@ class DurableJobStore:
         wait out the lease.  If cancellation was requested meanwhile, the
         release completes it instead.  Returns whether this worker still
         owned the claim.
+
+        ``retry_in`` sets a short ``not_before`` gate instead of immediate
+        claimability — the resident stream job's idle cadence: drained, it
+        releases with a sub-second gate so the polling worker re-claims on
+        a beat instead of spinning.
         """
         expected: dict[str, Any] = {
             "state": RUNNING,
@@ -1470,7 +1562,9 @@ class DurableJobStore:
                     "worker_id": None,
                     "lease_expires_at": None,
                     "started_at": None,
-                    "not_before": None,
+                    "not_before": (
+                        self._clock() + retry_in if retry_in is not None else None
+                    ),
                     "progress": 0.0,
                     "shards_done": 0,
                     "shards_total": 0,
@@ -1481,11 +1575,99 @@ class DurableJobStore:
             if matched is None:
                 return False
             self.spans.close_open_spans(
-                job_id, "released", error="claim released on shutdown"
+                job_id, "released", error="claim released"
             )
             self._progress_cache.pop(job_id, None)
             self._persist()
             return True
+
+    def redrive(self, job_ids: Sequence[str] | None = None) -> list[str]:
+        """Replay quarantined dead-letter entries as fresh work.
+
+        For each ``dead_letters`` entry (optionally filtered to
+        ``job_ids``), the original failed job document is revived in place:
+        CAS back to ``queued`` with its **attempt counter reset to 0**, the
+        error and backoff gate cleared — an operator-sanctioned second
+        life after the poison-input (or flaky-infrastructure) episode the
+        quarantine recorded.  Reviving a dead-lettered *sub-job* also
+        restores the lineage its failure tore down: the failed planned
+        parent returns to its lease-less running form and cancelled
+        siblings are requeued with fresh counters, so the distributed mine
+        can finish.  Consumed entries leave the dead-letter collection.
+
+        Like lease reclamation, this deliberately steps outside the
+        lifecycle table (``failed → queued`` is not a worker-legal edge) —
+        it is an administrative transition, applied under the registry's
+        critical section with CAS guards so a concurrently revived or
+        re-failed job is never clobbered.  Returns the revived job ids.
+        """
+        fresh: dict[str, Any] = {
+            "state": QUEUED,
+            "attempt": 0,
+            "worker_id": None,
+            "lease_expires_at": None,
+            "started_at": None,
+            "finished_at": None,
+            "not_before": None,
+            "error": None,
+            "progress": 0.0,
+            "shards_done": 0,
+            "shards_total": 0,
+            "cancel_requested": False,
+        }
+        wanted = set(job_ids) if job_ids is not None else None
+        redriven: list[str] = []
+        with self._exclusive():
+            letters = self.database.collection(_DEAD_LETTERS)
+            for entry in letters.find(sort="quarantined_at"):
+                job_id = str(entry["job_id"])
+                if wanted is not None and job_id not in wanted:
+                    continue
+                document = self._doc(job_id)
+                if document is None:
+                    # The job was pruned with its parent; the quarantine
+                    # record is all that is left — drop it.
+                    letters.delete_many({"job_id": job_id})
+                    continue
+                if document["state"] != FAILED:
+                    continue  # already revived, or resolved another way
+                if (
+                    self._collection().update_if(
+                        {"job_id": job_id}, {"state": FAILED}, fresh
+                    )
+                    is None
+                ):
+                    continue
+                parent_id = document.get("parent_id")
+                if parent_id:
+                    self._collection().update_if(
+                        {"job_id": parent_id},
+                        {"state": FAILED},
+                        {
+                            "state": RUNNING,
+                            "worker_id": None,
+                            "lease_expires_at": None,
+                            "finished_at": None,
+                            "error": None,
+                            "cancel_requested": False,
+                        },
+                    )
+                    for sibling in self._collection().find(
+                        {"parent_id": parent_id}
+                    ):
+                        if sibling["job_id"] == job_id:
+                            continue
+                        if sibling["state"] == CANCELLED:
+                            self._collection().update_if(
+                                {"job_id": sibling["job_id"]},
+                                {"state": CANCELLED},
+                                dict(fresh),
+                            )
+                letters.delete_many({"job_id": job_id})
+                redriven.append(job_id)
+            if redriven:
+                self._persist()
+        return redriven
 
     # -- recovery ---------------------------------------------------------------
 
@@ -1568,6 +1750,7 @@ class DurableJobStore:
         ]
         overflow = terminal[: max(0, len(terminal) - self._terminal_capacity)]
         spans = self.database.collection("spans")
+        spills = self.database.collection(_SHARD_OUTPUTS)
         for document in overflow:
             if document["state"] == SUCCEEDED and document.get("result_key"):
                 self._evicted_results[document["job_id"]] = document["result_key"]
@@ -1575,6 +1758,7 @@ class DurableJobStore:
                 {"parent_id": document["job_id"]}
             ):
                 spans.delete_many({"job_id": child["job_id"]})
+                spills.delete_many({"shard_id": child["job_id"]})
             spans.delete_many({"job_id": document["job_id"]})
             self._collection().delete_many({"job_id": document["job_id"]})
             self._collection().delete_many({"parent_id": document["job_id"]})

@@ -42,6 +42,7 @@ __all__ = [
     "KIND_MINE",
     "KIND_SHARD",
     "KIND_MERGE",
+    "KIND_STREAM",
     "ATTEMPTS_EXHAUSTED",
     "JobStateError",
     "JobError",
@@ -61,14 +62,20 @@ JOB_STATES = (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
 #: States a job never leaves.
 TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, CANCELLED})
 
-#: Job kinds (PR 7, distributed mining).  A ``mine`` job is the classic
-#: whole-run unit *and* the parent of a distributed run; ``shard`` and
-#: ``merge`` are its claimable sub-jobs, living in the same registry and
-#: moving through the same state machine under their own leases.
+#: Job kinds (PR 7, distributed mining; PR 9, streaming).  A ``mine`` job
+#: is the classic whole-run unit *and* the parent of a distributed run;
+#: ``shard`` and ``merge`` are its claimable sub-jobs, living in the same
+#: registry and moving through the same state machine under their own
+#: leases.  A ``stream`` job is the *resident* incremental miner of one
+#: dataset's live observation feed: top-level and claimable like a mine,
+#: but long-lived — it drains appended batches, releases its claim when
+#: idle, and is re-claimed when new observations arrive (or after a crash,
+#: via lease expiry), replaying from its persisted high-water mark.
 KIND_MINE = "mine"
 KIND_SHARD = "shard"
 KIND_MERGE = "merge"
-JOB_KINDS = (KIND_MINE, KIND_SHARD, KIND_MERGE)
+KIND_STREAM = "stream"
+JOB_KINDS = (KIND_MINE, KIND_SHARD, KIND_MERGE, KIND_STREAM)
 
 #: ``JobError.type`` of a dead-lettered job: it crashed (or lost its lease)
 #: on every one of its ``max_attempts`` claims and was quarantined instead

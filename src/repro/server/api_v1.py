@@ -36,6 +36,7 @@ Every error rendered under this prefix uses the uniform envelope
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping
 from urllib.parse import urlencode
 
@@ -49,6 +50,19 @@ from ..jobs import (
     TERMINAL_STATES,
     Job,
     JobStateError,
+)
+from ..stream import (
+    ALERT_RULES,
+    ALERTS,
+    BatchError,
+    RuleError,
+    append_batch,
+    latest_seq,
+    public_event,
+    public_rule,
+    read_events,
+    render_sse,
+    validate_rule,
 )
 from .handlers import (
     ServerState,
@@ -79,6 +93,10 @@ API_PREFIX = "/api/v1"
 #: Page sizing for ``GET /api/v1/results/{key}/caps``.
 DEFAULT_PAGE_LIMIT = 100
 MAX_PAGE_LIMIT = 1000
+
+#: Long-poll ceiling for the change-feed endpoints; the HTTP server's
+#: request timeout is 30s, so the poll must resolve comfortably inside it.
+MAX_WAIT_SECONDS = 20.0
 
 
 def _url(path: str) -> str:
@@ -211,6 +229,44 @@ def _int_param(request: Request, name: str, default: int, minimum: int, maximum:
             code="invalid_pagination",
         )
     return value
+
+
+def _wait_param(request: Request) -> float:
+    """The long-poll ``wait`` query parameter in seconds (default 0)."""
+    raw = request.param("wait")
+    if raw is None:
+        return 0.0
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise HTTPError(
+            400, f"wait must be a number of seconds, got {raw!r}", code="invalid_wait"
+        ) from exc
+    if not 0 <= value <= MAX_WAIT_SECONDS:
+        raise HTTPError(
+            400,
+            f"wait must be between 0 and {MAX_WAIT_SECONDS:g} seconds, got {value:g}",
+            code="invalid_wait",
+        )
+    return value
+
+
+def _poll_events(
+    state: ServerState, name: str, cursor: int, limit: int, wait: float
+) -> list[dict[str, Any]]:
+    """One change-feed page past ``cursor``, long-polling up to ``wait`` s.
+
+    Each poll beat first adopts peers' persisted tail (the resident miner
+    may run in another worker process), so a long-poll parked on an idle
+    feed wakes as soon as *any* process lands events.
+    """
+    deadline = time.monotonic() + wait
+    while True:
+        state._refresh_shared()
+        events = read_events(state.database, name, cursor, limit)
+        if events or time.monotonic() >= deadline:
+            return events
+        time.sleep(0.05)
 
 
 def _page_link_header(
@@ -385,12 +441,15 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
         "/api/v1/datasets/{name}/results",
         responses={
             "201": "result resource created (or dedup'd onto); Location set",
-            "202": "async or distributed job accepted; Location points at "
-                   "the job (mode=distributed shards the mine into sub-jobs "
-                   "any worker process can claim)",
+            "202": "async, distributed, or streaming job accepted; Location "
+                   "points at the job (mode=distributed shards the mine into "
+                   "sub-jobs any worker process can claim; mode=streaming "
+                   "opens the resident miner that drains appended "
+                   "observation batches into the CAP change feed)",
             "400": "bad body/parameters/mode",
             "404": "unknown dataset",
-            "409": "mode=distributed without a durable job registry",
+            "409": "mode=distributed or mode=streaming without a durable "
+                   "job registry",
         },
     )
     def v1_create_result(request: Request) -> Response:
@@ -406,6 +465,15 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
         mode = parse_mine_mode(payload, request)
         dataset = state.get_dataset(name)
         params = parse_parameters(payload["parameters"])
+        if mode == "streaming":
+            job, created = state.submit_stream_job(
+                dataset, params, trace_id=request.trace_id
+            )
+            body = _job_resource(job)
+            body["deduplicated"] = not created
+            response = json_response(body, status=202)
+            response.headers["Location"] = _url(f"/jobs/{job.job_id}")
+            return response
         if mode in ("async", "distributed"):
             plan_workers = payload.get("plan_workers")
             if plan_workers is not None and (
@@ -571,6 +639,233 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
                 "sensor": sensor_id,
                 "correlated": correlated,
                 "links": {"dataset": _url(f"/datasets/{name}")},
+            }
+        )
+
+    # -- live ingestion & change feed -----------------------------------------
+
+    @router.post(
+        "/api/v1/datasets/{name}/observations",
+        responses={
+            "202": "batch appended durably (WAL-fsynced before this answer) "
+                   "and the dataset's stream epoch bumped; the resident "
+                   "streaming miner picks it up on its next drain",
+            "400": "batch fails schema validation: wrong sensor set, ragged "
+                   "rows, non-numeric readings, or timestamps that do not "
+                   "continue the dataset's sampling grid",
+            "404": "unknown dataset",
+        },
+    )
+    def v1_append_observations(request: Request) -> Response:
+        """Append one timestamp-ordered observation batch (live ingestion)."""
+        name = request.path_params["name"]
+        dataset = state.get_dataset(name)
+        try:
+            receipt = append_batch(state.database, dataset, request.json())
+        except BatchError as exc:
+            raise HTTPError(400, str(exc), code="invalid_batch") from exc
+        receipt["links"] = {
+            "dataset": _url(f"/datasets/{name}"),
+            "events": _url(f"/datasets/{name}/events"),
+        }
+        return json_response(receipt, status=202)
+
+    feed_query = (
+        {"name": "cursor", "type": "integer",
+         "description": "resume token: highest event seq already seen "
+                        "(default 0 = from the beginning; durable across "
+                        "server restarts)"},
+        {"name": "limit", "type": "integer",
+         "description": f"page size, 1–{MAX_PAGE_LIMIT} "
+                        f"(default {DEFAULT_PAGE_LIMIT})"},
+        {"name": "wait", "type": "number",
+         "description": "long-poll: hold the request up to this many "
+                        f"seconds (0–{MAX_WAIT_SECONDS:g}, default 0) until "
+                        "events past the cursor exist"},
+    )
+
+    @router.get(
+        "/api/v1/datasets/{name}/events",
+        query=feed_query,
+        responses={"200": "CAP change events past the cursor, ascending by "
+                          "seq, plus the next resume cursor",
+                   "400": "invalid cursor/limit/wait",
+                   "404": "unknown dataset"},
+    )
+    def v1_dataset_events(request: Request) -> Response:
+        """One page of the dataset's CAP change feed (optionally long-polled).
+
+        Events are persisted store documents, so a cursor saved before a
+        server restart resumes exactly where it left off.
+        """
+        name = request.path_params["name"]
+        state.get_dataset(name)
+        cursor = _int_param(request, "cursor", 0, 0, 10**12)
+        limit = _int_param(request, "limit", DEFAULT_PAGE_LIMIT, 1, MAX_PAGE_LIMIT)
+        wait = _wait_param(request)
+        events = _poll_events(state, name, cursor, limit, wait)
+        return json_response(
+            {
+                "dataset": name,
+                "cursor": int(events[-1]["seq"]) if events else cursor,
+                "latest_seq": latest_seq(state.database, name),
+                "events": events,
+                "links": {
+                    "self": _url(f"/datasets/{name}/events"),
+                    "stream": _url(f"/datasets/{name}/events/stream"),
+                },
+            }
+        )
+
+    @router.get(
+        "/api/v1/datasets/{name}/events/stream",
+        query=feed_query,
+        responses={"200": "the same feed page framed as text/event-stream "
+                          "(bounded body; each frame's id: line is its seq — "
+                          "reconnect with Last-Event-ID or ?cursor= to "
+                          "continue)",
+                   "400": "invalid cursor/limit/wait",
+                   "404": "unknown dataset"},
+    )
+    def v1_dataset_events_sse(request: Request) -> Response:
+        """The change feed in Server-Sent-Events framing.
+
+        The server fully buffers responses, so each request serves a
+        *bounded* stream; clients follow the standard SSE reconnect
+        contract, passing the last ``id:`` back via ``Last-Event-ID`` (or
+        ``cursor=``) to resume.
+        """
+        name = request.path_params["name"]
+        state.get_dataset(name)
+        last_event_id = (request.headers or {}).get("last-event-id")
+        if last_event_id is not None and request.param("cursor") is None:
+            try:
+                cursor = int(last_event_id)
+            except ValueError as exc:
+                raise HTTPError(
+                    400,
+                    f"Last-Event-ID must be an integer seq, got {last_event_id!r}",
+                    code="invalid_cursor",
+                ) from exc
+            if cursor < 0:
+                raise HTTPError(
+                    400, "Last-Event-ID must be >= 0", code="invalid_cursor"
+                )
+        else:
+            cursor = _int_param(request, "cursor", 0, 0, 10**12)
+        limit = _int_param(request, "limit", DEFAULT_PAGE_LIMIT, 1, MAX_PAGE_LIMIT)
+        wait = _wait_param(request)
+        events = _poll_events(state, name, cursor, limit, wait)
+        return Response(
+            status=200,
+            headers={
+                "Content-Type": "text/event-stream; charset=utf-8",
+                "Cache-Control": "no-store",
+            },
+            body=render_sse(events).encode("utf-8"),
+        )
+
+    # -- alerting -------------------------------------------------------------
+
+    @router.post(
+        "/api/v1/datasets/{name}/alert-rules",
+        responses={
+            "201": "rule stored (created or replaced, idempotent by "
+                   "rule_id); the resident miner evaluates it against every "
+                   "subsequent epoch's events",
+            "400": "rule fails the grammar (see DESIGN.md: rule_id, "
+                   "optional event_types/attribute, >= 1 severity levels "
+                   "with distinct min_sensors >= 2)",
+            "404": "unknown dataset",
+        },
+    )
+    def v1_put_alert_rule(request: Request) -> Response:
+        """Create or replace one threshold alert rule for this dataset."""
+        name = request.path_params["name"]
+        state.get_dataset(name)
+        try:
+            document = validate_rule(name, request.json())
+        except RuleError as exc:
+            raise HTTPError(400, str(exc), code="invalid_rule") from exc
+        document["rule_uid"] = f"{name}:{document['rule_id']}"
+        with state.database.exclusive():
+            collection = state.database.collection(ALERT_RULES)
+            replaced = (
+                collection.replace_one({"rule_uid": document["rule_uid"]}, document)
+                is not None
+            )
+            if not replaced:
+                collection.insert_one(document)
+        body = public_rule(document)
+        body["replaced"] = replaced
+        body["links"] = {
+            "rules": _url(f"/datasets/{name}/alert-rules"),
+            "alerts": _url(f"/datasets/{name}/alerts"),
+        }
+        return json_response(body, status=201)
+
+    @router.get(
+        "/api/v1/datasets/{name}/alert-rules",
+        responses={"200": "the dataset's alert rules, sorted by rule_id",
+                   "404": "unknown dataset"},
+    )
+    def v1_list_alert_rules(request: Request) -> Response:
+        """List the alert rules registered for one dataset."""
+        name = request.path_params["name"]
+        state.get_dataset(name)
+        state._refresh_shared()
+        rows = state.database.collection(ALERT_RULES).find(
+            {"dataset": name}, sort="rule_id"
+        )
+        return json_response(
+            {"dataset": name, "rules": [public_rule(row) for row in rows]}
+        )
+
+    @router.delete(
+        "/api/v1/datasets/{name}/alert-rules/{rule_id}",
+        responses={"204": "rule deleted", "404": "unknown dataset or rule"},
+    )
+    def v1_delete_alert_rule(request: Request) -> Response:
+        """Delete one alert rule (already-fired alerts are kept)."""
+        name = request.path_params["name"]
+        rule_id = request.path_params["rule_id"]
+        state.get_dataset(name)
+        query = {"dataset": name, "rule_id": rule_id}
+        removed = state.database.collection(ALERT_RULES).delete_many(query)
+        if not removed:
+            raise HTTPError(404, f"unknown rule {rule_id!r}", code="unknown_rule")
+        if state.durable_jobs:
+            state.jobs.store.persist_removal(ALERT_RULES, query)
+        return Response(status=204)
+
+    @router.get(
+        "/api/v1/datasets/{name}/alerts",
+        query=(
+            {"name": "rule", "type": "string",
+             "description": "only alerts fired by this rule_id"},
+            {"name": "limit", "type": "integer",
+             "description": f"page size, 1–{MAX_PAGE_LIMIT} "
+                            f"(default {DEFAULT_PAGE_LIMIT})"},
+        ),
+        responses={"200": "fired alerts, ascending by the event seq that "
+                          "triggered them",
+                   "400": "invalid limit",
+                   "404": "unknown dataset"},
+    )
+    def v1_list_alerts(request: Request) -> Response:
+        """List alerts the stream engine has fired for one dataset."""
+        name = request.path_params["name"]
+        state.get_dataset(name)
+        limit = _int_param(request, "limit", DEFAULT_PAGE_LIMIT, 1, MAX_PAGE_LIMIT)
+        rule = request.param("rule")
+        state._refresh_shared()
+        rows = state.database.collection(ALERTS).find({"dataset": name}, sort="seq")
+        if rule:
+            rows = [row for row in rows if row.get("rule_id") == rule]
+        return json_response(
+            {
+                "dataset": name,
+                "alerts": [public_event(row) for row in rows[:limit]],
             }
         )
 

@@ -46,7 +46,9 @@ from ..jobs import (
     HANDLED,
     KIND_MERGE,
     KIND_SHARD,
+    KIND_STREAM,
     QUEUED,
+    RUNNING,
     TERMINAL_STATES,
     DurableJobStore,
     Job,
@@ -61,6 +63,15 @@ from ..jobs import (
 from ..obs.metrics import get_registry
 from ..obs.profiler import Profiler
 from ..store.database import Database
+from ..stream import (
+    ALERT_RULES,
+    ALERTS,
+    CAP_EVENTS,
+    OBSERVATIONS,
+    STREAM_EPOCHS,
+    STREAM_STATE,
+    StreamSession,
+)
 from .http import HTTPError, Request, Response, html_response, json_response
 
 __all__ = ["ServerState", "register_routes"]
@@ -115,6 +126,18 @@ class ServerState:
         # bump is a log record), so a re-upload on one server process
         # withdraws results mid-mine on every process sharing the store.
         self.database.collection(_GENERATIONS).create_index("name", "hash")
+        # Stream subsystem lookups (batch replay, event dedup, feed reads).
+        self.database.collection(OBSERVATIONS).create_index("batch_id", "hash")
+        self.database.collection(CAP_EVENTS).create_index("event_id", "hash")
+        self.database.collection(CAP_EVENTS).create_index("dataset", "hash")
+        self.database.collection(ALERT_RULES).create_index("rule_id", "hash")
+        self.database.collection(ALERTS).create_index("alert_id", "hash")
+        # Resident-miner cadence: a drained stream job idles this long
+        # before releasing its claim, gated for re-claim after the poll
+        # interval (sub-second so appended batches surface quickly; tests
+        # shorten both).
+        self.stream_idle_seconds = 0.5
+        self.stream_poll_seconds = 0.25
         self.lock = threading.RLock()
         if durable_jobs is None:
             durable_jobs = self.database.path is not None
@@ -262,6 +285,7 @@ class ServerState:
             self._loaded[dataset.name] = dataset
         self._bump_generation(dataset.name)
         self._cancel_dataset_jobs(dataset.name)
+        self._purge_stream(dataset.name)
         if self.durable_jobs:
             # Purge the superseded results from the shared snapshot too (the
             # replaced dataset document itself wins the merge by name).
@@ -283,6 +307,7 @@ class ServerState:
             self._loaded.pop(name, None)
         self._bump_generation(name)
         self._cancel_dataset_jobs(name)
+        self._purge_stream(name)
         if self.durable_jobs:
             # Without this the union-merge refresh would resurrect the
             # dataset (and its results) from the shared snapshot.
@@ -292,12 +317,40 @@ class ServerState:
 
     def _cancel_dataset_jobs(self, dataset_name: str) -> None:
         """In-flight jobs for a replaced/deleted dataset are obsolete."""
-        for job in self.jobs.list():
+        jobs = self.jobs.list()
+        if self.durable_jobs:
+            # Resident stream jobs are not in the default (mine) listing.
+            jobs += self.jobs.store.list(kind=KIND_STREAM)
+        for job in jobs:
             if job.dataset == dataset_name and job.state not in TERMINAL_STATES:
                 try:
                     self.jobs.cancel(job.job_id)
                 except (KeyError, JobStateError):
                     pass  # finished in the meantime — the generation check below catches it
+
+    def _purge_stream(self, name: str) -> None:
+        """A destructive re-upload or delete resets the dataset's stream.
+
+        Observations, epochs, the miner high-water mark, the event feed,
+        and fired alerts all describe the *replaced* data, so they go;
+        alert rules survive — they express monitoring intent about the
+        name, not one generation's measurements.  The stream epoch
+        restarting at 0 is exactly what distinguishes it from the
+        ever-growing destructive generation.
+        """
+        queries = {
+            OBSERVATIONS: {"dataset": name},
+            STREAM_EPOCHS: {"name": name},
+            STREAM_STATE: {"name": name},
+            CAP_EVENTS: {"dataset": name},
+            ALERTS: {"dataset": name},
+        }
+        for collection, query in queries.items():
+            self.database.collection(collection).delete_many(query)
+            if self.durable_jobs:
+                # Tombstone the shared snapshot too, or the union-merge
+                # refresh would resurrect the purged stream.
+                self.jobs.store.persist_removal(collection, query)
 
     def _bump_generation(self, name: str) -> None:
         """Advance a dataset's generation in the shared store.
@@ -431,6 +484,137 @@ class ServerState:
         return self.jobs.submit(
             dataset.name, params.to_document(), key, runner, trace_id=trace_id
         )
+
+    def submit_stream_job(
+        self,
+        dataset: SensorDataset,
+        params: MiningParameters,
+        trace_id: str | None = None,
+    ) -> tuple[Job, bool]:
+        """Open (or dedup onto) the resident streaming-miner job.
+
+        ``mode=streaming`` turns the (dataset, parameters) pair into a
+        long-lived ``stream`` job: it mines the epoch-0 baseline, then
+        drains observation batches as they are appended, re-mining
+        incrementally and publishing CAP deltas to the change feed (see
+        :mod:`repro.stream`).  One per dataset — resubmission dedups onto
+        the live job.  Durable registry only: residency is implemented as
+        lease-claim/release cycles, and recovery replays the WAL-backed
+        observation log.
+        """
+        if not self.durable_jobs:
+            raise HTTPError(
+                409,
+                "streaming mining requires the durable job registry "
+                "(run the server with --store)",
+                code="not_durable",
+            )
+        if params.segmentation != "none":
+            raise HTTPError(
+                400,
+                "mode=streaming requires segmentation='none': smoothing is a "
+                "whole-series operation and cannot be maintained incrementally",
+                code="invalid_parameters",
+            )
+        key = cache_key(dataset.name, params)
+        job, created = self.jobs.store.open_stream_job(
+            dataset.name, params.to_document(), key, trace_id=trace_id
+        )
+        if created:
+            self.jobs.schedule(job.job_id, self._stream_runner(job))
+        return job, created
+
+    def _stream_runner(self, job: Job):
+        """The resident streaming miner's claimed execution (one drain).
+
+        Replays the observation log to the persisted high-water mark,
+        drains every pending epoch (extend → component-pruned re-mine →
+        event diff → alert evaluation, each persisted atomically), renews
+        its lease on a lease/3 beat while working, and once drained-and-
+        idle *releases* the claim with a short retry gate and returns
+        ``HANDLED`` — the polling worker re-claims it on the next beat, so
+        residency never depends on this thread surviving.  A ``kill -9``
+        leaves a lapsed lease; the reclaimer's session resumes from the
+        high-water mark with deterministic, insert-if-missing events — no
+        losses, no duplicates.
+        """
+
+        def runner(control):
+            store = self.jobs.store
+            claimed = store.get(job.job_id)
+            if claimed is None or claimed.state != RUNNING:
+                raise MiningCancelled(f"stream job {job.job_id} lost its claim")
+            attempt = claimed.attempt
+            try:
+                dataset = self.get_dataset(job.dataset)
+            except HTTPError:
+                raise MiningCancelled(
+                    f"dataset {job.dataset!r} is gone; stream retired"
+                ) from None
+            params = MiningParameters.from_document(job.parameters)
+            generation = self.dataset_generation(job.dataset)
+            session = StreamSession(
+                self.database,
+                dataset,
+                params,
+                job.key,
+                checkpoint=control.checkpoint,
+            )
+
+            def on_alert(alert: Mapping[str, Any]) -> None:
+                # Every fired alert gets its own span under the stream
+                # job, so `repro trace <stream-job>` shows the alert
+                # timeline inside the drain that produced it.
+                sid = store.spans.begin(
+                    job_id=alert["alert_id"],
+                    attempt=attempt,
+                    worker_id=store.worker_id or "local",
+                    name=f"alert:{alert['rule_id']}",
+                    kind="alert",
+                    trace_id=job.trace_id,
+                    parent_job_id=job.job_id,
+                )
+                store.spans.finish(sid, "ok")
+
+            lease = max(float(store.lease_seconds), 0.1)
+            last_renewal = time.monotonic()
+            idle_since: float | None = None
+            while True:
+                control.checkpoint()
+                now = time.monotonic()
+                if now - last_renewal >= lease / 3.0:
+                    store.renew_lease(job.job_id, attempt=attempt)
+                    current = store.get(job.job_id)
+                    if (
+                        current is None
+                        or current.state != RUNNING
+                        or current.attempt != attempt
+                    ):
+                        # Reclaimed from under us (lease lapsed under
+                        # load); the newer claim owns the stream now.
+                        raise MiningCancelled("stream claim lost")
+                    last_renewal = now
+                if self.dataset_generation(job.dataset) != generation:
+                    raise MiningCancelled(
+                        f"dataset {job.dataset!r} was replaced; stream superseded"
+                    )
+                pending = list(session.pending_epochs())
+                if pending:
+                    for epoch in pending:
+                        control.checkpoint()
+                        session.process_epoch(epoch, on_alert=on_alert)
+                        store.renew_lease(job.job_id, attempt=attempt)
+                        last_renewal = time.monotonic()
+                    idle_since = None
+                    continue
+                if idle_since is None:
+                    idle_since = now
+                if now - idle_since >= self.stream_idle_seconds:
+                    store.release(job.job_id, attempt, retry_in=self.stream_poll_seconds)
+                    return HANDLED
+                time.sleep(0.05)
+
+        return runner
 
     def _mine_runner(self, dataset: SensorDataset, params: MiningParameters, key: str):
         """The executable work of one mining job (see :meth:`submit_mine_job`)."""
@@ -617,6 +801,8 @@ class ServerState:
             return self._shard_runner(job)
         if job.kind == KIND_MERGE:
             return self._merge_runner(job)
+        if job.kind == KIND_STREAM:
+            return self._stream_runner(job)
         if job.distributed and not job.planned:
             return lambda control: self._run_planner(job, control)
         dataset = self.get_dataset(job.dataset)
@@ -635,7 +821,11 @@ class ServerState:
         if not self.durable_jobs:
             return {}
         summary = self.jobs.store.recover()
-        for job in self.jobs.list(QUEUED):
+        queued = self.jobs.list(QUEUED)
+        # Resident stream jobs are top-level too, but live outside the
+        # default (mine) listing; requeue-recovered ones must also resume.
+        queued += self.jobs.store.list(QUEUED, kind=KIND_STREAM)
+        for job in queued:
             # Top-level jobs only (shard/merge sub-jobs are the polling
             # worker's to claim — their readiness gates live in the store).
             self.jobs.schedule(job.job_id, self._deferred_runner(job))
@@ -712,10 +902,11 @@ def parse_parameters(document: Any) -> MiningParameters:
 
 def parse_mine_mode(payload: Mapping[str, Any], request: Request) -> str:
     mode = str(payload.get("mode") or request.param("mode") or "sync")
-    if mode not in ("sync", "async", "distributed"):
+    if mode not in ("sync", "async", "distributed", "streaming"):
         raise HTTPError(
             400,
-            f"mode must be 'sync', 'async', or 'distributed', got {mode!r}",
+            f"mode must be 'sync', 'async', 'distributed', or 'streaming', "
+            f"got {mode!r}",
             code="invalid_mode",
         )
     return mode
@@ -1029,6 +1220,16 @@ def register_routes(router: Any, state: ServerState) -> None:
         mode = parse_mine_mode(payload, request)
         dataset = state.get_dataset(str(payload["dataset"]))
         params = parse_parameters(payload["parameters"])
+        if mode == "streaming":
+            job, created = state.submit_stream_job(dataset, params)
+            return json_response(
+                {
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "deduplicated": not created,
+                },
+                status=202,
+            )
         if mode in ("async", "distributed"):
             job, created = state.submit_mine_job(
                 dataset, params, distributed=(mode == "distributed")

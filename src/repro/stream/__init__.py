@@ -1,0 +1,92 @@
+"""Live ingestion subsystem: observation append, change feed, alerts.
+
+The paper's smart-city framing is a *monitoring* workload — sensors keep
+reporting and co-actions appear, strengthen, and retire — but until PR 9
+every surface of this repo was batch: upload a dataset, mine it once.
+This package turns the incremental engine (:mod:`repro.core.streaming`)
+into a served subsystem:
+
+* :mod:`~repro.stream.ingest` — validated, WAL-durable observation batch
+  append; each accepted batch bumps the dataset's **stream epoch** (a
+  monotone append counter, distinct from the destructive re-upload
+  *generation*).
+* :mod:`~repro.stream.runner` — the working state of the resident
+  streaming-miner job (``mode=streaming``, job kind ``stream``): replay
+  the observation log to the persisted high-water mark, drain new
+  epochs through :meth:`StreamingMiner.extend`, and re-mine only when an
+  η-graph component was actually touched.
+* :mod:`~repro.stream.feed` — per-epoch CAP diffs persisted as a
+  monotone ``cap_events`` sequence (``new`` / ``extended`` / ``retired``),
+  consumed through cursor long-poll and SSE endpoints.
+* :mod:`~repro.stream.alerts` — threshold rules over CAP events with
+  multi-level severity, fired exactly once per matching event.
+
+See DESIGN.md "Live ingestion & alerting" for the epoch model, the feed
+cursor semantics, and the alert rule grammar.
+"""
+
+from .alerts import RuleError, evaluate_rules, match_level, public_rule, validate_rule
+from .feed import (
+    EVENT_EXTENDED,
+    EVENT_NEW,
+    EVENT_RETIRED,
+    EVENT_TYPES,
+    build_events,
+    cap_identity,
+    diff_caps,
+    event_id,
+    latest_seq,
+    public_event,
+    read_events,
+    render_sse,
+)
+from .ingest import (
+    ALERT_RULES,
+    ALERTS,
+    CAP_EVENTS,
+    OBSERVATIONS,
+    PURGED_COLLECTIONS,
+    STREAM_EPOCHS,
+    STREAM_STATE,
+    BatchError,
+    append_batch,
+    batch_id,
+    current_epoch,
+    update_lag,
+)
+from .runner import StreamSession, load_batch, stream_state
+
+__all__ = [
+    "ALERT_RULES",
+    "ALERTS",
+    "CAP_EVENTS",
+    "EVENT_EXTENDED",
+    "EVENT_NEW",
+    "EVENT_RETIRED",
+    "EVENT_TYPES",
+    "OBSERVATIONS",
+    "PURGED_COLLECTIONS",
+    "STREAM_EPOCHS",
+    "STREAM_STATE",
+    "BatchError",
+    "RuleError",
+    "StreamSession",
+    "append_batch",
+    "batch_id",
+    "build_events",
+    "cap_identity",
+    "current_epoch",
+    "diff_caps",
+    "evaluate_rules",
+    "event_id",
+    "latest_seq",
+    "load_batch",
+    "match_level",
+    "public_event",
+    "public_rule",
+    "read_events",
+    "render_sse",
+    "stream_state",
+    "update_lag",
+    "validate_rule",
+]

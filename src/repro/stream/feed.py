@@ -1,0 +1,176 @@
+"""CAP change feed: per-epoch diffs persisted as a monotone event sequence.
+
+Each re-mine diffs the new CAP list against the previous epoch's snapshot
+and emits ``cap_events``:
+
+* ``new`` — a CAP identity absent from the previous epoch;
+* ``extended`` — same identity, but its support grew (or its co-evolving
+  windows changed) with the appended observations;
+* ``retired`` — an identity from the previous epoch no longer mined.
+
+A CAP's *identity* is ``(sensors, attributes, delays)`` — the pattern's
+shape, stable across appends — while ``support``/``evolving_indices`` are
+its evolution.  Events carry:
+
+* ``seq`` — a per-dataset monotone cursor (1-based, no gaps), the resume
+  token of ``GET .../events?cursor=``: a client that stored ``seq`` N
+  re-reads everything after N, across server restarts, because events are
+  ordinary WAL documents;
+* ``event_id`` — a *deterministic* hash of (cache key, epoch, type,
+  identity).  Replaying an epoch after a crash regenerates byte-identical
+  ids, and the runner inserts events ``insert-if-missing`` by id — the
+  feed can never hold duplicates, no matter where a worker died;
+* ``epoch`` + ``key`` — which append produced it, under which parameters
+  (the result cache key), per the "addressed by cache key + epoch"
+  contract.
+
+Ordering within one epoch is deterministic too (new, then extended, then
+retired, each sorted by identity), so ``seq`` assignment is reproducible
+on replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any, Mapping, Sequence
+
+from .ingest import CAP_EVENTS
+
+__all__ = [
+    "EVENT_NEW",
+    "EVENT_EXTENDED",
+    "EVENT_RETIRED",
+    "EVENT_TYPES",
+    "build_events",
+    "cap_identity",
+    "diff_caps",
+    "event_id",
+    "latest_seq",
+    "public_event",
+    "read_events",
+    "render_sse",
+]
+
+EVENT_NEW = "new"
+EVENT_EXTENDED = "extended"
+EVENT_RETIRED = "retired"
+EVENT_TYPES = (EVENT_NEW, EVENT_EXTENDED, EVENT_RETIRED)
+
+
+def cap_identity(cap: Mapping[str, Any]) -> tuple:
+    """The append-stable identity of a CAP document: (sensors, attributes, delays)."""
+    return (
+        tuple(sorted(str(s) for s in cap.get("sensors", ()))),
+        tuple(sorted(str(a) for a in cap.get("attributes", ()))),
+        tuple((str(k), int(v)) for k, v in sorted(cap.get("delays", {}).items())),
+    )
+
+
+def diff_caps(
+    previous: Sequence[Mapping[str, Any]],
+    current: Sequence[Mapping[str, Any]],
+) -> list[tuple[str, dict[str, Any]]]:
+    """Ordered ``(type, cap document)`` deltas between two epochs' CAP lists.
+
+    Deterministic: new first, then extended, then retired, each group
+    sorted by identity — replaying the same epoch yields the same deltas
+    in the same order, which makes ``seq`` assignment reproducible.
+    """
+    before = {cap_identity(cap): dict(cap) for cap in previous}
+    after = {cap_identity(cap): dict(cap) for cap in current}
+    new = sorted(set(after) - set(before))
+    retired = sorted(set(before) - set(after))
+    extended = sorted(
+        identity
+        for identity in set(after) & set(before)
+        if int(after[identity].get("support", 0)) != int(before[identity].get("support", 0))
+        or list(after[identity].get("evolving_indices", ()))
+        != list(before[identity].get("evolving_indices", ()))
+    )
+    deltas: list[tuple[str, dict[str, Any]]] = []
+    deltas += [(EVENT_NEW, after[identity]) for identity in new]
+    deltas += [(EVENT_EXTENDED, after[identity]) for identity in extended]
+    deltas += [(EVENT_RETIRED, before[identity]) for identity in retired]
+    return deltas
+
+
+def event_id(key: str, epoch: int, event_type: str, cap: Mapping[str, Any]) -> str:
+    """Deterministic event address: hash of (cache key, epoch, type, identity)."""
+    material = json.dumps(
+        [key, int(epoch), event_type, cap_identity(cap)], sort_keys=True
+    )
+    return "ev-" + hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def build_events(
+    dataset: str,
+    key: str,
+    epoch: int,
+    deltas: Sequence[tuple[str, Mapping[str, Any]]],
+    first_seq: int,
+    *,
+    clock=time.time,
+) -> list[dict[str, Any]]:
+    """Materialise one epoch's deltas as ``cap_events`` documents."""
+    now = clock()
+    return [
+        {
+            "event_id": event_id(key, epoch, event_type, cap),
+            "dataset": dataset,
+            "key": key,
+            "epoch": int(epoch),
+            "seq": first_seq + offset,
+            "type": event_type,
+            "cap": dict(cap),
+            "created_at": now,
+        }
+        for offset, (event_type, cap) in enumerate(deltas)
+    ]
+
+
+def public_event(document: Mapping[str, Any]) -> dict[str, Any]:
+    """An event document without store bookkeeping (``_id``)."""
+    return {k: v for k, v in document.items() if k != "_id"}
+
+
+def read_events(
+    database: Any, dataset: str, cursor: int = 0, limit: int = 100
+) -> list[dict[str, Any]]:
+    """Events of one dataset with ``seq > cursor``, ascending, capped."""
+    rows = database.collection(CAP_EVENTS).find({"dataset": dataset}, sort="seq")
+    selected: list[dict[str, Any]] = []
+    for row in rows:
+        if int(row.get("seq", 0)) <= cursor:
+            continue
+        selected.append(public_event(row))
+        if len(selected) >= limit:
+            break
+    return selected
+
+
+def latest_seq(database: Any, dataset: str) -> int:
+    """The newest assigned cursor position (0 when the feed is empty)."""
+    rows = database.collection(CAP_EVENTS).find(
+        {"dataset": dataset}, sort="seq", descending=True, limit=1
+    )
+    return int(rows[0].get("seq", 0)) if rows else 0
+
+
+def render_sse(events: Sequence[Mapping[str, Any]]) -> str:
+    """Render events in ``text/event-stream`` framing.
+
+    Each event becomes an ``id:`` line (its ``seq`` — what a reconnecting
+    client passes back as ``cursor``), an ``event:`` line (its type), and
+    one JSON ``data:`` line.  The server buffers responses, so the SSE
+    endpoint serves *bounded* streams: the client reconnects with its last
+    id to continue — exactly the SSE auto-reconnect contract.
+    """
+    chunks: list[str] = []
+    for event in events:
+        chunks.append(f"id: {int(event['seq'])}")
+        chunks.append(f"event: {event['type']}")
+        chunks.append("data: " + json.dumps(public_event(event), sort_keys=True))
+        chunks.append("")
+    return "\n".join(chunks) + ("\n" if chunks else "")
