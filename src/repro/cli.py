@@ -229,8 +229,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "claimed jobs (default: pid-derived)")
     p_srv.add_argument("--compact-seconds", dest="compact_seconds", type=float,
                        metavar="SECONDS",
-                       help="with --store: background WAL compaction sweep "
-                            "interval (default: disabled)")
+                       help="background compaction sweep interval: WAL "
+                            "segment folds (with --store) plus the stream "
+                            "retention pass (default: disabled)")
+    p_srv.add_argument("--stream-retention", dest="stream_retention", type=int,
+                       metavar="N",
+                       help="server-wide default stream retention: keep the "
+                            "newest N cap_events per dataset, folding older "
+                            "ones into the feed snapshot on each compaction "
+                            "sweep (default: retention only where a dataset "
+                            "configures it via PATCH .../stream-config)")
     p_srv.add_argument("--log-format", dest="log_format",
                        choices=["text", "json"], default="text",
                        help="stdlib logging output: human-readable lines or "
@@ -514,6 +522,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         lease_seconds=args.lease_seconds,
         max_attempts=args.max_attempts,
         auto_compact_seconds=args.compact_seconds,
+        stream_retention=(
+            {"retention_seqs": args.stream_retention}
+            if args.stream_retention
+            else None
+        ),
     )
     preload_name = args.preload_dataset or ("santander" if args.preload else None)
     if preload_name:
@@ -692,12 +705,22 @@ def _open_store_database(store: str):
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
-    from .stream import latest_seq, read_events
+    from .stream import first_live_seq, latest_seq, read_events
 
     database = _open_store_database(args.store)
     limit = max(1, args.limit)
     newest = latest_seq(database, args.dataset)
     cursor = args.cursor if args.cursor is not None else max(0, newest - limit)
+    first_live = first_live_seq(database, args.dataset)
+    if cursor < first_live - 1:
+        # Offline equivalent of the API's 410: the prefix was folded into
+        # the feed snapshot, so resume from the horizon instead of
+        # printing a silently-incomplete tail.
+        print(f"cursor {cursor} predates the retention horizon; events below "
+              f"seq {first_live} are folded into the feed snapshot "
+              f"(GET /api/v1/datasets/{args.dataset}/events/snapshot) — "
+              f"resuming from {first_live - 1}")
+        cursor = first_live - 1
     events = read_events(database, args.dataset, cursor=cursor, limit=limit)
     if args.as_json:
         for event in events:

@@ -101,6 +101,80 @@ class StreamingMiner:
             {sid: v.copy() for sid, v in self._values.items()},
         )
 
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def export_state(self) -> dict:
+        """A JSON-serialisable checkpoint of the incremental state.
+
+        Mining consumes only the evolving sets, the (fleet-derived)
+        η-graph, and the timeline length; :meth:`extend` additionally
+        reads one value per sensor — the last one — for the boundary
+        transition.  The checkpoint therefore carries exactly those
+        pieces, which is what makes *windowed replay* sound: a fresh
+        miner built on the base dataset plus :meth:`adopt_state` mines
+        byte-identically without the observation history in between.
+        """
+        last_values: dict[str, float | None] = {}
+        for sensor in self._sensors:
+            value = float(self._values[sensor.sensor_id][-1])
+            last_values[sensor.sensor_id] = None if np.isnan(value) else value
+        return {
+            "num_timestamps": len(self._timeline),
+            "last_timestamp": self._timeline[-1].isoformat(),
+            "last_values": last_values,
+            "evolving": {
+                sid: {
+                    "indices": [int(i) for i in ev.indices],
+                    "directions": [int(d) for d in ev.directions],
+                }
+                for sid, ev in self._evolving.items()
+            },
+        }
+
+    def adopt_state(self, state: Mapping) -> None:
+        """Fast-forward a freshly-built miner to an exported checkpoint.
+
+        Must be called before any :meth:`extend`.  The timeline is
+        regrown on the sampling grid (appends are grid-validated, so
+        positions are computable); values between the base and the
+        checkpoint are NaN-padded — only the final value matters to the
+        next boundary transition, and evolving status never looks
+        further back than one step (``extract_evolving`` differences
+        adjacent positions only).  After adoption :meth:`dataset`
+        reflects the padded window, not the full history.
+        """
+        target = int(state["num_timestamps"])
+        old_n = len(self._timeline)
+        if target < old_n:
+            raise ValueError(
+                f"checkpoint covers {target} timestamps but the base dataset "
+                f"already has {old_n}; cannot rewind a miner"
+            )
+        if self._appends:
+            raise ValueError("adopt_state must precede any extend()")
+        if target > old_n:
+            interval = self._timeline[1] - self._timeline[0]
+            last = self._timeline[-1]
+            self._timeline.extend(
+                last + interval * step for step in range(1, target - old_n + 1)
+            )
+        last_values = state.get("last_values", {})
+        evolving = state.get("evolving", {})
+        for sensor in self._sensors:
+            sid = sensor.sensor_id
+            if target > old_n:
+                padded = np.full(target, np.nan, dtype=np.float64)
+                padded[:old_n] = self._values[sid]
+                final = last_values.get(sid)
+                padded[-1] = np.nan if final is None else float(final)
+                self._values[sid] = padded
+            checkpoint = evolving.get(sid) or {"indices": [], "directions": []}
+            self._evolving[sid] = EvolvingSet(
+                np.asarray(checkpoint["indices"], dtype=np.int64),
+                np.asarray(checkpoint["directions"], dtype=np.int8),
+            )
+        self.last_changed_sensors = set()
+
     # -- appends ----------------------------------------------------------------
 
     def extend(

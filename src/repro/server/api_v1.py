@@ -55,13 +55,19 @@ from ..stream import (
     ALERT_RULES,
     ALERTS,
     BatchError,
+    RetentionError,
     RuleError,
     append_batch,
+    feed_snapshot,
+    first_live_seq,
+    get_retention,
     latest_seq,
     public_event,
     public_rule,
     read_events,
     render_sse,
+    render_sse_bootstrap,
+    set_retention,
     validate_rule,
 )
 from .handlers import (
@@ -251,6 +257,41 @@ def _wait_param(request: Request) -> float:
     return value
 
 
+#: Long-poll back-off bounds: start fast so a feed that lands events
+#: moments after the poll parks answers promptly, then double up to a cap
+#: so an idle 20s poll costs ~80 wakeups, not 400 fixed-rate rescans.
+POLL_BACKOFF_INITIAL = 0.05
+POLL_BACKOFF_MAX = 0.25
+
+
+def _require_live_cursor(state: ServerState, name: str, cursor: int) -> int:
+    """The feed's ``first_live_seq``; raises 410 when ``cursor`` predates it.
+
+    After a retention fold the events below the horizon are gone — a
+    cursor parked behind ``first_live_seq - 1`` can never be answered
+    faithfully again.  The 410 envelope carries everything the client
+    needs to recover: the horizon itself and a link to the feed snapshot
+    that replaces the trimmed prefix.
+    """
+    first_live = first_live_seq(state.database, name)
+    if cursor < first_live - 1:
+        raise HTTPError(
+            410,
+            f"cursor {cursor} predates the retention horizon; events below "
+            f"seq {first_live} have been folded into the feed snapshot",
+            code="cursor_expired",
+            details={
+                "cursor": int(cursor),
+                "first_live_seq": int(first_live),
+                "links": {
+                    "snapshot": _url(f"/datasets/{name}/events/snapshot"),
+                    "events": _url(f"/datasets/{name}/events"),
+                },
+            },
+        )
+    return first_live
+
+
 def _poll_events(
     state: ServerState, name: str, cursor: int, limit: int, wait: float
 ) -> list[dict[str, Any]]:
@@ -258,15 +299,26 @@ def _poll_events(
 
     Each poll beat first adopts peers' persisted tail (the resident miner
     may run in another worker process), so a long-poll parked on an idle
-    feed wakes as soon as *any* process lands events.
+    feed wakes as soon as *any* process lands events.  The cursor is
+    horizon-checked every beat, not just on entry: a retention fold in
+    another process can expire a parked cursor mid-poll, and answering
+    with a silently-empty page would look like "no new events" instead
+    of "your history is gone".  Idle beats back off exponentially
+    (doubling from {POLL_BACKOFF_INITIAL}s, capped at {POLL_BACKOFF_MAX}s
+    and at the remaining wait), trading a bounded wake latency for far
+    fewer store rescans under parked long-polls.
     """
     deadline = time.monotonic() + wait
+    delay = POLL_BACKOFF_INITIAL
     while True:
         state._refresh_shared()
+        _require_live_cursor(state, name, cursor)
         events = read_events(state.database, name, cursor, limit)
-        if events or time.monotonic() >= deadline:
+        remaining = deadline - time.monotonic()
+        if events or remaining <= 0:
             return events
-        time.sleep(0.05)
+        time.sleep(min(delay, remaining))
+        delay = min(delay * 2, POLL_BACKOFF_MAX)
 
 
 def _page_link_header(
@@ -690,13 +742,18 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
         responses={"200": "CAP change events past the cursor, ascending by "
                           "seq, plus the next resume cursor",
                    "400": "invalid cursor/limit/wait",
-                   "404": "unknown dataset"},
+                   "404": "unknown dataset",
+                   "410": "cursor predates the retention horizon; the error "
+                          "detail carries first_live_seq and a link to the "
+                          "feed snapshot to bootstrap from"},
     )
     def v1_dataset_events(request: Request) -> Response:
         """One page of the dataset's CAP change feed (optionally long-polled).
 
         Events are persisted store documents, so a cursor saved before a
-        server restart resumes exactly where it left off.
+        server restart resumes exactly where it left off — unless
+        retention folded it away, in which case the poll answers 410
+        ``cursor_expired`` instead of a silently-empty page.
         """
         name = request.path_params["name"]
         state.get_dataset(name)
@@ -709,10 +766,12 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
                 "dataset": name,
                 "cursor": int(events[-1]["seq"]) if events else cursor,
                 "latest_seq": latest_seq(state.database, name),
+                "first_live_seq": first_live_seq(state.database, name),
                 "events": events,
                 "links": {
                     "self": _url(f"/datasets/{name}/events"),
                     "stream": _url(f"/datasets/{name}/events/stream"),
+                    "snapshot": _url(f"/datasets/{name}/events/snapshot"),
                 },
             }
         )
@@ -733,7 +792,12 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
         The server fully buffers responses, so each request serves a
         *bounded* stream; clients follow the standard SSE reconnect
         contract, passing the last ``id:`` back via ``Last-Event-ID`` (or
-        ``cursor=``) to resume.
+        ``cursor=``) to resume.  A reconnect whose id fell behind the
+        retention horizon does **not** error (the SSE contract has no
+        useful error channel): the stream instead opens with one
+        ``event: snapshot`` frame carrying the folded CAP state, whose
+        ``id:`` is ``first_live_seq - 1``, and continues with the live
+        tail from there.
         """
         name = request.path_params["name"]
         state.get_dataset(name)
@@ -755,6 +819,14 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
             cursor = _int_param(request, "cursor", 0, 0, 10**12)
         limit = _int_param(request, "limit", DEFAULT_PAGE_LIMIT, 1, MAX_PAGE_LIMIT)
         wait = _wait_param(request)
+        state._refresh_shared()
+        prefix = ""
+        first_live = first_live_seq(state.database, name)
+        if cursor < first_live - 1:
+            snapshot = feed_snapshot(state.database, name)
+            if snapshot is not None:
+                prefix = render_sse_bootstrap(snapshot)
+            cursor = first_live - 1
         events = _poll_events(state, name, cursor, limit, wait)
         return Response(
             status=200,
@@ -762,7 +834,87 @@ def register_v1_routes(router: Any, state: ServerState) -> None:
                 "Content-Type": "text/event-stream; charset=utf-8",
                 "Cache-Control": "no-store",
             },
-            body=render_sse(events).encode("utf-8"),
+            body=(prefix + render_sse(events)).encode("utf-8"),
+        )
+
+    @router.get(
+        "/api/v1/datasets/{name}/events/snapshot",
+        responses={"200": "the durable feed snapshot: the folded CAP state "
+                          "as of first_live_seq - 1, the bootstrap point "
+                          "for cursors the retention fold expired",
+                   "404": "unknown dataset, or the feed has never been "
+                          "folded (every event is still live; read from "
+                          "cursor 0 instead)"},
+    )
+    def v1_dataset_events_snapshot(request: Request) -> Response:
+        """The feed snapshot that replaces events behind the retention horizon."""
+        name = request.path_params["name"]
+        state.get_dataset(name)
+        state._refresh_shared()
+        snapshot = feed_snapshot(state.database, name)
+        if snapshot is None:
+            raise HTTPError(
+                404,
+                f"dataset {name!r} has no feed snapshot; retention has never "
+                "folded this feed — replay it from cursor 0",
+                code="no_snapshot",
+            )
+        snapshot["links"] = {
+            "self": _url(f"/datasets/{name}/events/snapshot"),
+            "events": _url(f"/datasets/{name}/events"),
+        }
+        return json_response(snapshot)
+
+    @router.get(
+        "/api/v1/datasets/{name}/stream-config",
+        responses={"200": "the dataset's effective stream retention "
+                          "configuration (per-dataset overrides merged over "
+                          "the server default)",
+                   "404": "unknown dataset"},
+    )
+    def v1_get_stream_config(request: Request) -> Response:
+        """The effective stream retention configuration for one dataset."""
+        name = request.path_params["name"]
+        state.get_dataset(name)
+        state._refresh_shared()
+        config = get_retention(
+            state.database, name, default=state.stream_default_retention
+        )
+        config["links"] = {
+            "self": _url(f"/datasets/{name}/stream-config"),
+            "events": _url(f"/datasets/{name}/events"),
+        }
+        return json_response(config)
+
+    @router.patch(
+        "/api/v1/datasets/{name}/stream-config",
+        responses={"200": "retention settings merged and stored; the next "
+                          "retention sweep applies them",
+                   "400": "unknown key or invalid value (retention_seqs "
+                          "must be a positive integer or null, "
+                          "retention_seconds a positive number or null)",
+                   "404": "unknown dataset"},
+    )
+    def v1_patch_stream_config(request: Request) -> Response:
+        """Set (or clear, with null) per-dataset stream retention horizons."""
+        name = request.path_params["name"]
+        state.get_dataset(name)
+        try:
+            stored = set_retention(state.database, name, request.json())
+        except RetentionError as exc:
+            raise HTTPError(400, str(exc), code="invalid_retention") from exc
+        effective = get_retention(
+            state.database, name, default=state.stream_default_retention
+        )
+        return json_response(
+            {
+                "dataset": name,
+                "stored": stored,
+                "effective": {
+                    k: effective[k] for k in ("retention_seqs", "retention_seconds")
+                },
+                "links": {"self": _url(f"/datasets/{name}/stream-config")},
+            }
         )
 
     # -- alerting -------------------------------------------------------------

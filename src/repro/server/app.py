@@ -21,6 +21,7 @@ from typing import Callable, Iterable, Mapping
 
 from ..store.compaction import CompactionThread
 from ..store.database import Database
+from ..stream import sweep_retention
 from .api_v1 import register_v1_routes
 from .handlers import ServerState, register_routes
 from .http import Request, Response, wsgi_adapter
@@ -91,6 +92,7 @@ def create_app(
     lease_seconds: float = 30.0,
     max_attempts: int = 5,
     auto_compact_seconds: float | None = None,
+    stream_retention: Mapping[str, object] | None = None,
 ) -> App:
     """Build the Miscela-V API application.
 
@@ -123,10 +125,17 @@ def create_app(
         ``AttemptsExhausted`` error instead of requeueing forever
         (``0`` disables the bound).
     auto_compact_seconds:
-        Interval of the background WAL compaction sweep (see
+        Interval of the background compaction sweep (see
         :class:`repro.store.compaction.CompactionThread`).  ``None``
-        (default) disables it; ignored unless the database runs the WAL
-        engine.
+        (default) disables it.  On the WAL engine the sweep folds log
+        segments; on every engine it additionally runs the stream
+        retention pass (:func:`repro.stream.sweep_retention`) for
+        datasets with retention configured.
+    stream_retention:
+        Server-wide default stream retention config (e.g.
+        ``{"retention_seqs": 500}``), overridable per dataset through
+        ``PATCH /api/v1/datasets/{name}/stream-config``.  ``None``
+        (default) keeps retention strictly per-dataset opt-in.
     """
     state = ServerState(
         database,
@@ -135,6 +144,7 @@ def create_app(
         worker_id=worker_id,
         lease_seconds=lease_seconds,
         max_attempts=max_attempts,
+        stream_retention=stream_retention,
     )
     state.recover_jobs()
     router = Router()
@@ -150,9 +160,17 @@ def create_app(
     handler = metrics_middleware(handler)
     handler = request_id_middleware(handler)
     app = App(state, handler, router)
-    if auto_compact_seconds is not None and state.database.engine == "wal":
+    if auto_compact_seconds is not None:
+        # The sweep thread carries two folds: WAL segment compaction
+        # (engine-gated inside sweep()) and the stream retention pass,
+        # which applies on any engine — the feed horizon is a document
+        # model property, not a storage-engine one.
         app.compactor = CompactionThread(
-            state.database, interval_seconds=auto_compact_seconds
+            state.database,
+            interval_seconds=auto_compact_seconds,
+            extra_sweep=lambda: sweep_retention(
+                state.database, default=state.stream_default_retention
+            ),
         )
         app.compactor.start()
     return app

@@ -67,7 +67,9 @@ from ..stream import (
     ALERT_RULES,
     ALERTS,
     CAP_EVENTS,
+    FEED_SNAPSHOTS,
     OBSERVATIONS,
+    STREAM_CONFIG,
     STREAM_EPOCHS,
     STREAM_STATE,
     StreamSession,
@@ -118,6 +120,7 @@ class ServerState:
         worker_id: str | None = None,
         lease_seconds: float = 30.0,
         max_attempts: int = 5,
+        stream_retention: Mapping[str, Any] | None = None,
     ) -> None:
         self.database = database if database is not None else Database()
         self.cache = ResultCache(self.database)
@@ -128,10 +131,24 @@ class ServerState:
         self.database.collection(_GENERATIONS).create_index("name", "hash")
         # Stream subsystem lookups (batch replay, event dedup, feed reads).
         self.database.collection(OBSERVATIONS).create_index("batch_id", "hash")
+        self.database.collection(OBSERVATIONS).create_index("dataset", "hash")
         self.database.collection(CAP_EVENTS).create_index("event_id", "hash")
         self.database.collection(CAP_EVENTS).create_index("dataset", "hash")
+        # Feed tail reads are range queries past the poll cursor; the
+        # sorted index turns each long-poll beat into a tail touch
+        # instead of a full collection scan.
+        self.database.collection(CAP_EVENTS).create_index("seq", "sorted")
         self.database.collection(ALERT_RULES).create_index("rule_id", "hash")
         self.database.collection(ALERTS).create_index("alert_id", "hash")
+        self.database.collection(FEED_SNAPSHOTS).create_index("dataset", "hash")
+        self.database.collection(STREAM_CONFIG).create_index("name", "hash")
+        #: Server-wide retention default (``--stream-retention``); merged
+        #: under per-dataset ``stream_config`` documents by
+        #: :func:`repro.stream.get_retention`.  None = retention opt-in
+        #: per dataset only.
+        self.stream_default_retention = (
+            dict(stream_retention) if stream_retention else None
+        )
         # Resident-miner cadence: a drained stream job idles this long
         # before releasing its claim, gated for re-claim after the poll
         # interval (sub-second so appended batches surface quickly; tests
@@ -344,6 +361,7 @@ class ServerState:
             STREAM_STATE: {"name": name},
             CAP_EVENTS: {"dataset": name},
             ALERTS: {"dataset": name},
+            FEED_SNAPSHOTS: {"dataset": name},
         }
         for collection, query in queries.items():
             self.database.collection(collection).delete_many(query)

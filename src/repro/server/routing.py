@@ -133,6 +133,9 @@ class Router:
     def delete(self, pattern: str, **meta: Any) -> Callable[[Handler], Handler]:
         return self._decorator("DELETE", pattern, **meta)
 
+    def patch(self, pattern: str, **meta: Any) -> Callable[[Handler], Handler]:
+        return self._decorator("PATCH", pattern, **meta)
+
     def _decorator(
         self, method: str, pattern: str, **meta: Any
     ) -> Callable[[Handler], Handler]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import logging
 import threading
+from typing import Callable, Sequence
 
 from .database import Database
 
@@ -65,11 +66,16 @@ class CompactionThread:
         *,
         min_records: int = MIN_RECORDS,
         records_per_doc: float = RECORDS_PER_DOC,
+        extra_sweep: Callable[[], Sequence[dict[str, object]]] | None = None,
     ) -> None:
         self.database = database
         self.interval_seconds = interval_seconds
         self.min_records = min_records
         self.records_per_doc = records_per_doc
+        #: Optional piggybacked sweep (e.g. the stream retention pass) run
+        #: on the same cadence; its results join the sweep report, its
+        #: failures are logged and swallowed like segment-compaction ones.
+        self.extra_sweep = extra_sweep
         self.sweeps = 0
         self.compacted = 0
         self._stop = threading.Event()
@@ -96,6 +102,11 @@ class CompactionThread:
         """One pass: compact every collection past the threshold."""
         self.sweeps += 1
         results: list[dict[str, object]] = []
+        if self.extra_sweep is not None:
+            try:
+                results.extend(self.extra_sweep())
+            except Exception:  # pragma: no cover - defensive
+                _log.exception("piggybacked compaction sweep failed")
         wal_stats = self.database.stats().get("wal", {})
         for name, entry in wal_stats.items():
             if not needs_compaction(

@@ -25,7 +25,14 @@ See DESIGN.md "Live ingestion & alerting" for the epoch model, the feed
 cursor semantics, and the alert rule grammar.
 """
 
-from .alerts import RuleError, evaluate_rules, match_level, public_rule, validate_rule
+from .alerts import (
+    RuleError,
+    evaluate_rules,
+    match_level,
+    prune_alerts,
+    public_rule,
+    validate_rule,
+)
 from .feed import (
     EVENT_EXTENDED,
     EVENT_NEW,
@@ -39,13 +46,16 @@ from .feed import (
     public_event,
     read_events,
     render_sse,
+    render_sse_bootstrap,
 )
 from .ingest import (
     ALERT_RULES,
     ALERTS,
     CAP_EVENTS,
+    FEED_SNAPSHOTS,
     OBSERVATIONS,
     PURGED_COLLECTIONS,
+    STREAM_CONFIG,
     STREAM_EPOCHS,
     STREAM_STATE,
     BatchError,
@@ -53,6 +63,16 @@ from .ingest import (
     batch_id,
     current_epoch,
     update_lag,
+)
+from .retention import (
+    RetentionError,
+    compact_feed,
+    compact_observations,
+    feed_snapshot,
+    first_live_seq,
+    get_retention,
+    set_retention,
+    sweep_retention,
 )
 from .runner import StreamSession, load_batch, stream_state
 
@@ -64,29 +84,41 @@ __all__ = [
     "EVENT_NEW",
     "EVENT_RETIRED",
     "EVENT_TYPES",
+    "FEED_SNAPSHOTS",
     "OBSERVATIONS",
     "PURGED_COLLECTIONS",
+    "STREAM_CONFIG",
     "STREAM_EPOCHS",
     "STREAM_STATE",
     "BatchError",
+    "RetentionError",
     "RuleError",
     "StreamSession",
     "append_batch",
     "batch_id",
     "build_events",
     "cap_identity",
+    "compact_feed",
+    "compact_observations",
     "current_epoch",
     "diff_caps",
     "evaluate_rules",
     "event_id",
+    "feed_snapshot",
+    "first_live_seq",
+    "get_retention",
     "latest_seq",
     "load_batch",
     "match_level",
+    "prune_alerts",
     "public_event",
     "public_rule",
     "read_events",
     "render_sse",
+    "render_sse_bootstrap",
+    "set_retention",
     "stream_state",
+    "sweep_retention",
     "update_lag",
     "validate_rule",
 ]

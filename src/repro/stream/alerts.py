@@ -33,11 +33,13 @@ from typing import Any, Mapping, Sequence
 
 from ..obs.metrics import get_registry
 from .feed import EVENT_TYPES
+from .ingest import ALERTS
 
 __all__ = [
     "RuleError",
     "evaluate_rules",
     "match_level",
+    "prune_alerts",
     "public_rule",
     "validate_rule",
 ]
@@ -170,3 +172,17 @@ def evaluate_rules(
 def record_fired(rule_id: str) -> None:
     """Bump ``repro_alerts_fired_total{rule=...}`` for one fired alert."""
     _ALERTS_FIRED.inc(rule_id)
+
+
+def prune_alerts(database: Any, dataset: str, horizon_seq: int) -> int:
+    """Drop fired alerts whose triggering event retired behind the horizon.
+
+    Alerts address events by ``seq``; once the retention fold trims the
+    event itself, the alert's referent is gone from the live feed, so it
+    retires with it (the exactly-once guarantee is untouched — a replayed
+    epoch behind the horizon is impossible by the watermark invariant).
+    Returns the number of alerts removed.
+    """
+    return database.collection(ALERTS).delete_many(
+        {"seq": {"$lt": int(horizon_seq)}, "dataset": dataset}
+    )

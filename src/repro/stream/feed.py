@@ -36,7 +36,7 @@ import json
 import time
 from typing import Any, Mapping, Sequence
 
-from .ingest import CAP_EVENTS
+from .ingest import CAP_EVENTS, STREAM_STATE
 
 __all__ = [
     "EVENT_NEW",
@@ -51,6 +51,7 @@ __all__ = [
     "public_event",
     "read_events",
     "render_sse",
+    "render_sse_bootstrap",
 ]
 
 EVENT_NEW = "new"
@@ -138,20 +139,35 @@ def public_event(document: Mapping[str, Any]) -> dict[str, Any]:
 def read_events(
     database: Any, dataset: str, cursor: int = 0, limit: int = 100
 ) -> list[dict[str, Any]]:
-    """Events of one dataset with ``seq > cursor``, ascending, capped."""
-    rows = database.collection(CAP_EVENTS).find({"dataset": dataset}, sort="seq")
-    selected: list[dict[str, Any]] = []
-    for row in rows:
-        if int(row.get("seq", 0)) <= cursor:
-            continue
-        selected.append(public_event(row))
-        if len(selected) >= limit:
-            break
-    return selected
+    """Events of one dataset with ``seq > cursor``, ascending, capped.
+
+    A range query, not a scan: the ``seq`` term leads so the sorted
+    index (see ``ServerState``'s index setup) narrows the candidates to
+    the tail past the cursor before the predicate runs — a poll parked
+    at cursor N touches only events it has not seen, however long the
+    feed has grown.  Stores without the index still answer correctly
+    through the predicate path, just without the narrowing.
+    """
+    rows = database.collection(CAP_EVENTS).find(
+        {"seq": {"$gt": int(cursor)}, "dataset": dataset}, sort="seq", limit=limit
+    )
+    return [public_event(row) for row in rows]
 
 
 def latest_seq(database: Any, dataset: str) -> int:
-    """The newest assigned cursor position (0 when the feed is empty)."""
+    """The newest assigned cursor position (0 when the feed is empty).
+
+    Reuses the ``stream_state.next_seq`` high-water mark — maintained
+    atomically with every event commit — instead of sorting the event
+    collection for one max.  This also survives retention: a fully
+    folded feed keeps answering its true latest seq even when the
+    newest event documents have been trimmed.  Pre-first-claim (no
+    state yet) the feed is necessarily empty, so the fallback scan only
+    ever sees a handful of documents.
+    """
+    state = database.collection(STREAM_STATE).find_one({"name": dataset})
+    if state is not None:
+        return int(state.get("next_seq", 1)) - 1
     rows = database.collection(CAP_EVENTS).find(
         {"dataset": dataset}, sort="seq", descending=True, limit=1
     )
@@ -174,3 +190,22 @@ def render_sse(events: Sequence[Mapping[str, Any]]) -> str:
         chunks.append("data: " + json.dumps(public_event(event), sort_keys=True))
         chunks.append("")
     return "\n".join(chunks) + ("\n" if chunks else "")
+
+
+def render_sse_bootstrap(snapshot: Mapping[str, Any]) -> str:
+    """The feed-snapshot frame an expired SSE reconnect bootstraps from.
+
+    When a client reconnects with a ``Last-Event-ID`` behind the
+    retention horizon, the trimmed prefix cannot be replayed; instead
+    the stream opens with one ``event: snapshot`` frame carrying the
+    folded CAP state, whose ``id:`` is ``first_live_seq - 1`` — exactly
+    the cursor from which the live tail then continues, so the standard
+    reconnect contract keeps working without any client-side special
+    casing beyond understanding the frame type.
+    """
+    first_live = int(snapshot.get("first_live_seq", 1))
+    return (
+        f"id: {first_live - 1}\n"
+        "event: snapshot\n"
+        "data: " + json.dumps(dict(snapshot), sort_keys=True) + "\n\n"
+    )

@@ -35,6 +35,8 @@ __all__ = [
     "CAP_EVENTS",
     "ALERT_RULES",
     "ALERTS",
+    "STREAM_CONFIG",
+    "FEED_SNAPSHOTS",
     "PURGED_COLLECTIONS",
     "BatchError",
     "append_batch",
@@ -56,12 +58,24 @@ CAP_EVENTS = "cap_events"
 ALERT_RULES = "alert_rules"
 #: Fired alerts, exactly one per (rule, event).
 ALERTS = "alerts"
+#: Per-dataset retention settings (see :mod:`repro.stream.retention`).
+STREAM_CONFIG = "stream_config"
+#: Per-dataset feed snapshots: retired CAP history folded behind the
+#: retention horizon (see :mod:`repro.stream.retention`).
+FEED_SNAPSHOTS = "feed_snapshots"
 
 #: Stream collections wiped by a destructive re-upload or delete of the
-#: dataset.  ``alert_rules`` deliberately survives: rules describe intent
-#: about a *name*, not one generation's data, so a re-uploaded dataset
-#: keeps its monitoring configuration.
-PURGED_COLLECTIONS = (OBSERVATIONS, STREAM_EPOCHS, STREAM_STATE, CAP_EVENTS, ALERTS)
+#: dataset.  ``alert_rules`` and ``stream_config`` deliberately survive:
+#: both describe intent about a *name*, not one generation's data, so a
+#: re-uploaded dataset keeps its monitoring and retention configuration.
+PURGED_COLLECTIONS = (
+    OBSERVATIONS,
+    STREAM_EPOCHS,
+    STREAM_STATE,
+    CAP_EVENTS,
+    ALERTS,
+    FEED_SNAPSHOTS,
+)
 
 _METRICS = get_registry()
 _BATCHES = _METRICS.counter(

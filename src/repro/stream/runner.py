@@ -12,9 +12,14 @@ Recovery contract (the kill -9 test's ground truth):
 * the **high-water mark** is ``stream_state.mined_epoch`` — advanced
   atomically *with* that epoch's events and CAP snapshot in one exclusive
   (fsynced) section, so it can never run ahead of the feed;
-* a new session replays the observation log ``1..mined_epoch`` through
-  :meth:`StreamingMiner.extend` (cheap — no mining) to rebuild the
-  evolving sets, then resumes at ``mined_epoch + 1``;
+* a new session adopts the persisted **watermark** — the miner's
+  incremental state checkpointed with every commit
+  (:meth:`StreamingMiner.export_state`) — then replays only the
+  observation log *past* it through :meth:`StreamingMiner.extend`
+  (cheap — no mining) and resumes at ``mined_epoch + 1``.  Windowed
+  replay is what lets the retention sweep
+  (:mod:`repro.stream.retention`) drop batches at or below the
+  watermark epoch without ever breaking a rebuild;
 * re-processing an epoch whose events were written but whose state
   advance was lost is harmless: deltas and event ids are deterministic,
   and events/alerts are inserted if-missing — no lost and no duplicated
@@ -127,6 +132,7 @@ class StreamSession:
                 "next_seq": 1,
                 "last_timestamp": dataset.timeline[-1].isoformat(),
                 "updated_at": clock(),
+                "watermark": {"epoch": 0, **self.miner.export_state()},
             }
             with database.exclusive():
                 existing = stream_state(database, dataset.name)
@@ -137,13 +143,26 @@ class StreamSession:
         self.caps: list[dict[str, Any]] = [dict(cap) for cap in state["caps"]]
         self.mined_epoch = int(state["mined_epoch"])
         self.next_seq = int(state["next_seq"])
-        # Replay the already-mined log prefix to rebuild the evolving sets
+        # Windowed replay: adopt the persisted miner checkpoint, then
+        # replay only the log past it to rebuild the evolving sets
         # (extend only — the CAP snapshot above replaces re-mining it).
-        for epoch in range(1, self.mined_epoch + 1):
+        # The retention sweep may have dropped batches at or below the
+        # watermark epoch; the checkpoint makes them unnecessary.
+        watermark = state.get("watermark")
+        replay_from = 1
+        if watermark and int(watermark.get("epoch", 0)) <= self.mined_epoch:
+            # Never adopt a checkpoint *ahead* of the high-water mark (a
+            # hand-rolled-back or corrupted state document): re-mining
+            # epochs the checkpoint already covers would break the grid.
+            self.miner.adopt_state(watermark)
+            replay_from = int(watermark.get("epoch", 0)) + 1
+        self.replayed_epochs = 0
+        for epoch in range(replay_from, self.mined_epoch + 1):
             if checkpoint is not None:
                 checkpoint()
             timeline, series = load_batch(database, dataset.name, epoch)
             self.miner.extend(timeline, series)
+            self.replayed_epochs += 1
 
     def pending_epochs(self) -> range:
         """Appended-but-unmined epochs, oldest first."""
@@ -204,6 +223,11 @@ class StreamSession:
                     "next_seq": self.next_seq + len(events),
                     "last_timestamp": timeline[-1].isoformat(),
                     "updated_at": now,
+                    # The miner checkpoint rides the same atomic commit,
+                    # so the watermark can never run ahead of (or lag) the
+                    # high-water mark — the retention sweep may drop every
+                    # batch at or below it the moment this section lands.
+                    "watermark": {"epoch": epoch, **self.miner.export_state()},
                 },
             )
         self.caps = caps_after

@@ -68,10 +68,13 @@ class ServerProcess:
         worker_id: str | None = None,
         fault: str | None = None,
         store_fault: str | None = None,
+        stream_fault: str | None = None,
         exec_log: Path | None = None,
         mine_delay: float | None = None,
         shard_delay: float | None = None,
         max_attempts: int | None = None,
+        stream_retention: int | None = None,
+        compact_seconds: float | None = None,
         start: bool = True,
     ) -> None:
         self.store_path = Path(store_path)
@@ -87,6 +90,10 @@ class ServerProcess:
             self.args += ["--worker-id", worker_id]
         if max_attempts is not None:
             self.args += ["--max-attempts", str(max_attempts)]
+        if stream_retention is not None:
+            self.args += ["--stream-retention", str(stream_retention)]
+        if compact_seconds is not None:
+            self.args += ["--compact-seconds", str(compact_seconds)]
         self.env = dict(os.environ)
         self.env["PYTHONPATH"] = (
             f"{SRC_DIR}{os.pathsep}{self.env['PYTHONPATH']}"
@@ -95,12 +102,15 @@ class ServerProcess:
         )
         self.env.pop("REPRO_JOBS_FAULT", None)
         self.env.pop("REPRO_STORE_FAULT", None)
+        self.env.pop("REPRO_STREAM_FAULT", None)
         self.env.pop("REPRO_JOBS_MINE_DELAY", None)
         self.env.pop("REPRO_JOBS_SHARD_DELAY", None)
         if fault:
             self.env["REPRO_JOBS_FAULT"] = fault
         if store_fault:
             self.env["REPRO_STORE_FAULT"] = store_fault
+        if stream_fault:
+            self.env["REPRO_STREAM_FAULT"] = stream_fault
         if exec_log:
             self.env["REPRO_JOBS_EXEC_LOG"] = str(exec_log)
         if mine_delay:
